@@ -1,0 +1,31 @@
+# Convenience targets; everything is plain dune underneath.
+
+all:
+	dune build @all
+
+test:
+	dune runtest
+
+test-verbose:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+bench-full:
+	dune exec bench/main.exe -- full
+
+bench-csv:
+	dune exec bench/main.exe -- csv
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/byzantine_agreement.exe
+	dune exec examples/correlated_equilibrium.exe
+	dune exec examples/punishment_pitfall.exe
+	dune exec examples/mediator_tour.exe
+
+clean:
+	dune clean
+
+.PHONY: all test test-verbose bench bench-full bench-csv examples clean

@@ -1,0 +1,46 @@
+(* Experiment harness: regenerates every measurable claim of the paper
+   (E1-E8, see DESIGN.md section 4) plus the substrate micro-benchmarks.
+
+   Usage:
+     dune exec bench/main.exe            -- all experiments, quick budget
+     dune exec bench/main.exe -- full    -- larger Monte-Carlo budget
+     dune exec bench/main.exe -- e1 e5   -- selected experiments
+     dune exec bench/main.exe -- micro   -- only the Bechamel benches
+     dune exec bench/main.exe -- csv     -- also write results/<id>.csv *)
+
+let experiments : (string * (Experiments.Common.budget -> Experiments.Common.table)) list =
+  [
+    ("e1", Experiments.E1.run);
+    ("e2", Experiments.E2.run);
+    ("e3", Experiments.E3.run);
+    ("e4", Experiments.E4.run);
+    ("e5", Experiments.E5.run);
+    ("e6", Experiments.E6.run);
+    ("e7", Experiments.E7.run);
+    ("e8", Experiments.E8.run);
+    ("e9", Experiments.E9.run);
+    ("e10", Experiments.E10.run);
+    ("a1", Experiments.A1.run);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let budget =
+    if List.mem "full" args then Experiments.Common.Full else Experiments.Common.Quick
+  in
+  let csv = List.mem "csv" args in
+  let selected = List.filter (fun a -> a <> "full" && a <> "csv") args in
+  let want id = selected = [] || List.mem id selected in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (id, run) ->
+      if want id then begin
+        let t = Unix.gettimeofday () in
+        let table = run budget in
+        Experiments.Common.print_table table;
+        if csv then Experiments.Common.write_csv ~dir:"results" table;
+        Printf.printf "(%.1fs)\n" (Unix.gettimeofday () -. t)
+      end)
+    experiments;
+  if want "micro" then Experiments.Micro.run ();
+  Printf.printf "\nTotal: %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,224 @@
+(* ctmed — command-line front end for the mediator/cheap-talk library.
+
+   ctmed list                 catalog of specs and experiments
+   ctmed run SPEC [opts]      one cheap-talk history of a compiled spec
+   ctmed experiment [IDS]     the paper experiments (E1..E10, A1)
+   ctmed micro                substrate micro-benchmarks *)
+
+open Cmdliner
+
+let specs : (string * (unit -> Mediator.Spec.t)) list =
+  [
+    ("coordination", fun () -> Mediator.Spec.coordination ~n:5);
+    ("majority-match", fun () -> Mediator.Spec.majority_match ~n:5);
+    ("majority", fun () -> Mediator.Spec.majority_coordination ~n:5);
+    ("byzantine-agreement", fun () -> Mediator.Spec.byzantine_agreement ~n:5);
+    ("chicken", fun () -> Mediator.Spec.chicken_with_bystanders ~n:5);
+    ("pitfall", fun () -> Mediator.Spec.pitfall_minimal ~n:7 ~k:2);
+  ]
+
+let experiment_ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "a1" ]
+
+(* --- list --- *)
+
+let list_cmd =
+  let doc = "List available specs and experiments." in
+  let run () =
+    Printf.printf "Specs (ctmed run <spec>):\n";
+    List.iter (fun (name, _) -> Printf.printf "  %s\n" name) specs;
+    Printf.printf "\nExperiments (ctmed experiment <id>):\n";
+    List.iter (fun id -> Printf.printf "  %s\n" id) experiment_ids;
+    Printf.printf "  micro\n"
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* --- run --- *)
+
+let theorem_conv =
+  let parse = function
+    | "4.1" | "t41" -> Ok Cheaptalk.Compile.T41
+    | "4.2" | "t42" -> Ok Cheaptalk.Compile.T42
+    | "4.4" | "t44" -> Ok Cheaptalk.Compile.T44
+    | "4.5" | "t45" -> Ok Cheaptalk.Compile.T45
+    | s -> Error (`Msg ("unknown theorem: " ^ s))
+  in
+  Arg.conv (parse, fun fmt th -> Cheaptalk.Compile.pp_theorem fmt th)
+
+let run_cmd =
+  let doc = "Compile a mediator spec to cheap talk and run one history." in
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc:"spec name (see list)")
+  in
+  let theorem_arg =
+    Arg.(
+      value
+      & opt theorem_conv Cheaptalk.Compile.T41
+      & info [ "theorem" ] ~docv:"THM" ~doc:"compilation theorem: 4.1, 4.2, 4.4 or 4.5")
+  in
+  let k_arg = Arg.(value & opt int 0 & info [ "k" ] ~doc:"rational deviators tolerated") in
+  let t_arg = Arg.(value & opt int 1 & info [ "t" ] ~doc:"malicious players tolerated") in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"run seed") in
+  let run spec_name theorem k t seed =
+    match List.assoc_opt spec_name specs with
+    | None ->
+        Printf.eprintf "unknown spec %s (try: ctmed list)\n" spec_name;
+        exit 1
+    | Some mk -> (
+        let spec = mk () in
+        let n = spec.Mediator.Spec.game.Games.Game.n in
+        match Cheaptalk.Compile.plan ~spec ~theorem ~k ~t () with
+        | Error e ->
+            Printf.eprintf "cannot compile: %s\n" e;
+            exit 1
+        | Ok plan ->
+            Printf.printf "%s via %s (n=%d k=%d t=%d; degree=%d faults=%d)\n" spec_name
+              (Cheaptalk.Compile.theorem_name theorem)
+              n k t plan.Cheaptalk.Compile.degree plan.Cheaptalk.Compile.faults;
+            let r =
+              Cheaptalk.Verify.run_once plan ~types:(Array.make n 0)
+                ~scheduler:(Sim.Scheduler.random_seeded seed) ~seed
+            in
+            Printf.printf "actions: [%s]\n"
+              (String.concat " "
+                 (Array.to_list (Array.map string_of_int r.Cheaptalk.Verify.actions)));
+            Printf.printf "messages: %d, delivery steps: %d, deadlocked: %b\n"
+              (Cheaptalk.Verify.messages_used r)
+              r.Cheaptalk.Verify.outcome.Sim.Types.steps r.Cheaptalk.Verify.deadlocked)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ spec_arg $ theorem_arg $ k_arg $ t_arg $ seed_arg)
+
+(* --- experiment --- *)
+
+let experiment_cmd =
+  let doc = "Run the paper experiments (all when no id is given)." in
+  let ids_arg =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"experiment ids, e.g. e1 e5")
+  in
+  let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"4x Monte-Carlo budget") in
+  let run ids full =
+    let budget = if full then Experiments.Common.Full else Experiments.Common.Quick in
+    let want id = ids = [] || List.mem id ids in
+    let table_of = function
+      | "e1" -> Some Experiments.E1.run
+      | "e2" -> Some Experiments.E2.run
+      | "e3" -> Some Experiments.E3.run
+      | "e4" -> Some Experiments.E4.run
+      | "e5" -> Some Experiments.E5.run
+      | "e6" -> Some Experiments.E6.run
+      | "e7" -> Some Experiments.E7.run
+      | "e8" -> Some Experiments.E8.run
+      | "e9" -> Some Experiments.E9.run
+      | "e10" -> Some Experiments.E10.run
+      | "a1" -> Some Experiments.A1.run
+      | _ -> None
+    in
+    List.iter
+      (fun id ->
+        if want id then
+          match table_of id with
+          | Some run -> Experiments.Common.print_table (run budget)
+          | None -> ())
+      experiment_ids
+  in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ ids_arg $ full_arg)
+
+(* --- mediator --- *)
+
+let mediator_cmd =
+  let doc = "Run one canonical mediator-game history (no cheap talk)." in
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc:"spec name (see list)")
+  in
+  let rounds_arg = Arg.(value & opt int 2 & info [ "rounds" ] ~doc:"canonical rounds R") in
+  let strong_arg =
+    Arg.(value & flag & info [ "strong" ] ~doc:"Lemma 6.8 strong mode (order selects outcome)")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"run seed") in
+  let run spec_name rounds strong seed =
+    match List.assoc_opt spec_name specs with
+    | None ->
+        Printf.eprintf "unknown spec %s (try: ctmed list)\n" spec_name;
+        exit 1
+    | Some mk ->
+        let spec = mk () in
+        let n = spec.Mediator.Spec.game.Games.Game.n in
+        let rng = Random.State.make [| 0xCAFE; seed |] in
+        let procs =
+          Mediator.Protocol.game_processes ~strong ~spec ~types:(Array.make n 0) ~rounds
+            ~wait_for:n ~rng ()
+        in
+        let o =
+          Sim.Runner.run
+            (Sim.Runner.config ~mediator:n ~scheduler:(Sim.Scheduler.random_seeded seed) procs)
+        in
+        Printf.printf "%s mediator game (R=%d%s): actions [%s], %d messages\n" spec_name rounds
+          (if strong then ", strong" else "")
+          (String.concat " "
+             (List.init n (fun i ->
+                  match o.Sim.Types.moves.(i) with Some a -> string_of_int a | None -> "-")))
+          o.Sim.Types.messages_sent
+  in
+  Cmd.v (Cmd.info "mediator" ~doc)
+    Term.(const run $ spec_arg $ rounds_arg $ strong_arg $ seed_arg)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let doc = "Print the message-sequence chart of one mediator-game run." in
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC" ~doc:"spec name (see list)")
+  in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"run seed") in
+  let limit_arg = Arg.(value & opt int 60 & info [ "limit" ] ~doc:"max events to print") in
+  let run spec_name seed limit =
+    match List.assoc_opt spec_name specs with
+    | None ->
+        Printf.eprintf "unknown spec %s (try: ctmed list)\n" spec_name;
+        exit 1
+    | Some mk ->
+        let spec = mk () in
+        let n = spec.Mediator.Spec.game.Games.Game.n in
+        let rng = Random.State.make [| 0xCAFE; seed |] in
+        let procs =
+          Mediator.Protocol.game_processes ~spec ~types:(Array.make n 0) ~rounds:2 ~wait_for:n
+            ~rng ()
+        in
+        let o =
+          Sim.Runner.run
+            (Sim.Runner.config ~mediator:n ~scheduler:(Sim.Scheduler.random_seeded seed) procs)
+        in
+        print_string (Sim.Trace_pp.chart ~limit o);
+        Format.printf "%a@." Sim.Trace_pp.pp_stats (Sim.Trace_pp.stats o)
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ spec_arg $ seed_arg $ limit_arg)
+
+(* --- lemma68 --- *)
+
+let lemma68_cmd =
+  let doc = "Lemma 6.8 counting: patterns, scheduler classes, padding rounds." in
+  let n_arg = Arg.(value & opt int 7 & info [ "n" ] ~doc:"players") in
+  let r_arg = Arg.(value & opt int 1 & info [ "r" ] ~doc:"mediator messages per player") in
+  let run n r =
+    Printf.printf "Lemma 6.8 at n=%d, r=%d\n" n r;
+    Printf.printf "  message patterns      <= 10^%.2f\n" (Mediator.Lemma68.log10_pattern_bound ~n ~r);
+    Printf.printf "  scheduler classes     <= 10^%.2f\n" (Mediator.Lemma68.log10_class_bound ~n ~r);
+    Printf.printf "  padding rounds R      =  %d      (minimal with (Rn)! >= classes)\n"
+      (Mediator.Lemma68.min_padding_rounds ~n ~r);
+    Printf.printf "  paper closed form     =  (4rn)^(4rn) ~ 10^%.0f\n"
+      (Mediator.Lemma68.log10_r_closed_form ~n ~r);
+    if n * r <= 6 then
+      Printf.printf "  exact pattern count   =  %d\n" (Mediator.Lemma68.count_patterns_exact ~n ~r)
+  in
+  Cmd.v (Cmd.info "lemma68" ~doc) Term.(const run $ n_arg $ r_arg)
+
+let micro_cmd =
+  let doc = "Substrate micro-benchmarks (Bechamel)." in
+  Cmd.v (Cmd.info "micro" ~doc) Term.(const Experiments.Micro.run $ const ())
+
+let main =
+  let doc = "implementing mediators with asynchronous cheap talk" in
+  Cmd.group (Cmd.info "ctmed" ~doc)
+    [ list_cmd; run_cmd; mediator_cmd; trace_cmd; lemma68_cmd; experiment_cmd; micro_cmd ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,76 @@
+(* A tour of the mediator-game layer (Section 2 and Lemma 6.8 machinery)
+   before any cheap talk happens: canonical form, relaxed-scheduler
+   deadlocks with batch atomicity, the strong (order-selecting) mediator,
+   and the counting behind the minimally informative transform.
+
+   Run with: dune exec examples/mediator_tour.exe *)
+
+module Spec = Mediator.Spec
+module Protocol = Mediator.Protocol
+module Lemma68 = Mediator.Lemma68
+
+let show_moves n (o : int Sim.Types.outcome) =
+  String.concat " "
+    (List.init n (fun i ->
+         match o.Sim.Types.moves.(i) with Some a -> string_of_int a | None -> "-"))
+
+let () =
+  let n = 4 in
+  let spec = Spec.coordination ~n in
+  let types = Array.make n 0 in
+  Printf.printf "== The mediator game, up close ==\n\n";
+
+  (* 1. Canonical form (Section 2): initial message, round prompts, STOP. *)
+  Printf.printf "1. Canonical form, R = 3 rounds:\n";
+  let rng = Random.State.make [| 1 |] in
+  let procs = Protocol.game_processes ~spec ~types ~rounds:3 ~wait_for:n ~rng () in
+  let o =
+    Sim.Runner.run (Sim.Runner.config ~mediator:n ~scheduler:(Sim.Scheduler.fifo ()) procs)
+  in
+  Printf.printf "   actions [%s]; %d messages = n*R player msgs + n*(R-1) prompts + n STOPs\n\n"
+    (show_moves n o) o.Sim.Types.messages_sent;
+
+  (* 2. Relaxed schedulers and Lemma 6.10: all-or-none STOP delivery. *)
+  Printf.printf "2. Relaxed scheduler sweep (Lemma 6.10 batch atomicity):\n";
+  List.iter
+    (fun stop_after ->
+      let rng = Random.State.make [| stop_after |] in
+      let procs = Protocol.game_processes ~spec ~types ~rounds:1 ~wait_for:n ~rng () in
+      let o =
+        Sim.Runner.run
+          (Sim.Runner.config ~mediator:n
+             ~scheduler:(Sim.Scheduler.relaxed_stop_after stop_after)
+             procs)
+      in
+      let movers =
+        List.length
+          (List.filter Option.is_some (Array.to_list (Array.sub o.Sim.Types.moves 0 n)))
+      in
+      Printf.printf "   stop after %2d deliveries -> %d/%d players moved\n" stop_after movers n)
+    [ 2; 4; 6; 8; 10 ];
+  Printf.printf "   (never a strict subset: the STOP batch is delivered all-or-none)\n\n";
+
+  (* 3. The strong mediator: message order selects the outcome. *)
+  Printf.printf "3. Strong mode (Lemma 6.8): the scheduler's order choice picks the coin:\n";
+  List.iter
+    (fun (name, sched) ->
+      let rng = Random.State.make [| 2024 |] in
+      let procs = Protocol.game_processes ~strong:true ~spec ~types ~rounds:2 ~wait_for:n ~rng () in
+      let o = Sim.Runner.run (Sim.Runner.config ~mediator:n ~scheduler:sched procs) in
+      Printf.printf "   %-12s -> actions [%s]\n" name (show_moves n o))
+    (("fifo", Sim.Scheduler.fifo ()) :: ("lifo", Sim.Scheduler.lifo ())
+    :: List.init 6 (fun i ->
+           (Printf.sprintf "random(%d)" i, Sim.Scheduler.random_seeded i)));
+  Printf.printf "   (same seeds everywhere; only the delivery order differs)\n\n";
+
+  (* 4. What the strong implementation costs: the Lemma 6.8 counting. *)
+  Printf.printf "4. Lemma 6.8 counting at n = %d, r = 1:\n" n;
+  Printf.printf "   message patterns    <= 10^%.2f\n" (Lemma68.log10_pattern_bound ~n ~r:1);
+  Printf.printf "   scheduler classes   <= 10^%.2f\n" (Lemma68.log10_class_bound ~n ~r:1);
+  Printf.printf "   minimal padding R   =  %d rounds\n" (Lemma68.min_padding_rounds ~n ~r:1);
+  Printf.printf "   paper's closed form =  (4rn)^(4rn) ~ 10^%.0f\n"
+    (Lemma68.log10_r_closed_form ~n ~r:1);
+  (if n <= 6 then
+     Printf.printf "   exact pattern count =  %d (n*r small enough to enumerate)\n"
+       (Lemma68.count_patterns_exact ~n ~r:1));
+  Printf.printf "\nDone.\n"

@@ -1,0 +1,59 @@
+open Sim.Types
+
+let silent () = { start = (fun () -> []); receive = (fun ~src:_ _ -> []); will = (fun () -> None) }
+
+let crash_after k inner =
+  let activations = ref 0 in
+  let alive () =
+    incr activations;
+    !activations <= k
+  in
+  {
+    start = (fun () -> if alive () then inner.start () else []);
+    receive = (fun ~src m -> if alive () then inner.receive ~src m else []);
+    will = inner.will;
+  }
+
+let map_effects f effects =
+  List.concat_map
+    (fun eff ->
+      match eff with
+      | Send (dst, m) -> ( match f (dst, m) with Some (d, m') -> [ Send (d, m') ] | None -> [])
+      | Move _ | Halt -> [ eff ])
+    effects
+
+let tamper_sends f inner =
+  {
+    start = (fun () -> map_effects f (inner.start ()));
+    receive = (fun ~src m -> map_effects f (inner.receive ~src m));
+    will = inner.will;
+  }
+
+let withhold_from ~victim inner =
+  tamper_sends (fun (dst, m) -> if dst = victim then None else Some (dst, m)) inner
+
+let corrupt_output_shares ~offset inner =
+  tamper_sends
+    (fun (dst, m) ->
+      match m with
+      | Mpc.Engine.Output_msg (stage, v) ->
+          Some (dst, Mpc.Engine.Output_msg (stage, Field.Gf.add v offset))
+      | _ -> Some (dst, m))
+    inner
+
+let corrupt_avss_points ~offset inner =
+  tamper_sends
+    (fun (dst, m) ->
+      match m with
+      | Mpc.Engine.Share_msg (sid, Mpc.Avss.Point v) ->
+          Some (dst, Mpc.Engine.Share_msg (sid, Mpc.Avss.Point (Field.Gf.add v offset)))
+      | _ -> Some (dst, m))
+    inner
+
+let spam ~forge rng =
+  let i = ref 0 in
+  let burst () =
+    incr i;
+    List.map (fun (dst, m) -> Send (dst, m)) (forge rng !i)
+  in
+  { start = (fun () -> burst ()); receive = (fun ~src:_ _ -> burst ()); will = (fun () -> None) }

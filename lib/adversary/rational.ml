@@ -1,0 +1,100 @@
+module Gf = Field.Gf
+module Compile = Cheaptalk.Compile
+module Phased = Cheaptalk.Phased
+module Pitfall = Cheaptalk.Pitfall
+open Sim.Types
+
+let lie_type plan ~me ~fake_type ~coin_seed ~seed =
+  Compile.player_process plan ~me ~type_:fake_type ~coin_seed ~seed
+
+let override_action plan ~me ~type_ ~coin_seed ~seed ~f =
+  let honest = Compile.player_process plan ~me ~type_ ~coin_seed ~seed in
+  let rewrite effects =
+    List.map (function Move a -> Move (f a) | (Send _ | Halt) as e -> e) effects
+  in
+  {
+    start = (fun () -> rewrite (honest.start ()));
+    receive = (fun ~src m -> rewrite (honest.receive ~src m));
+    will = honest.will;
+  }
+
+let stall_after ~messages ~will inner =
+  let seen = ref 0 in
+  {
+    start = (fun () -> inner.start ());
+    receive =
+      (fun ~src m ->
+        incr seen;
+        if !seen > messages then [] else inner.receive ~src m);
+    will = (fun () -> will);
+  }
+
+(* The Section 6.4 coalition member. Both members run the honest phased
+   session, but:
+   - when phase 0 completes, the member sends its leak to its partner over
+     the cheap-talk channel (a covert message with an out-of-range phase
+     tag, which honest players ignore);
+   - when both leaks are known, b = leak_even XOR leak_odd; if b = 0 the
+     member stalls the session (phase 1 then deadlocks and the honest
+     wills play the punishment, worth 1.1 > 1.0 to the coalition); if
+     b = 1 it keeps playing honestly (worth 2). *)
+let covert_phase = 9_999
+
+let pitfall_coalition cfg ~partner ~me ~type_ ~seed =
+  let session =
+    Phased.create_session cfg ~me
+      ~input_of:(fun ~phase ~prev -> Pitfall.input_of ~type_ ~phase ~prev)
+      ~seed
+  in
+  let my_leak = ref None in
+  let partner_leak = ref None in
+  let covert_sent = ref false in
+  let decided = ref false in
+  let to_effects sends = List.map (fun (dst, m) -> Send (dst, m)) sends in
+  let post () =
+    (* covert exchange after phase 0 *)
+    let covert =
+      if !covert_sent then []
+      else
+        match (Phased.outputs session).(0) with
+        | Some v ->
+            let leak, _share = Pitfall.phase0_decode v in
+            my_leak := Some leak;
+            covert_sent := true;
+            [
+              Send
+                ( partner,
+                  { Phased.phase = covert_phase; inner = Mpc.Engine.Output_msg (0, Gf.of_int leak) }
+                );
+            ]
+        | None -> []
+    in
+    (* decision once both leaks known *)
+    if (not !decided) && Option.is_some !my_leak && Option.is_some !partner_leak then begin
+      decided := true;
+      let b = Option.get !my_leak lxor Option.get !partner_leak in
+      if b = 0 then Phased.stall session
+    end;
+    (* honest completion when phase 1 reconstructs *)
+    let final =
+      if Phased.finished session then
+        match (Phased.outputs session).(1) with
+        | Some v -> [ Move (Gf.to_int v); Halt ]
+        | None -> []
+      else []
+    in
+    covert @ final
+  in
+  {
+    start = (fun () -> to_effects (Phased.start session) @ post ());
+    receive =
+      (fun ~src m ->
+        if m.Phased.phase = covert_phase then begin
+          (match m.Phased.inner with
+          | Mpc.Engine.Output_msg (_, v) when src = partner -> partner_leak := Some (Gf.to_int v)
+          | _ -> ());
+          post ()
+        end
+        else to_effects (Phased.handle session ~src m) @ post ());
+    will = (fun () -> Some Games.Catalog.bot_action);
+  }

@@ -1,0 +1,240 @@
+type msg =
+  | Bval of { round : int; value : bool }
+  | Aux of { round : int; value : bool }
+  | Decide of bool
+
+let pp_msg fmt = function
+  | Bval { round; value } -> Format.fprintf fmt "BVAL(%d,%b)" round value
+  | Aux { round; value } -> Format.fprintf fmt "AUX(%d,%b)" round value
+  | Decide v -> Format.fprintf fmt "DECIDE(%b)" v
+
+module Iset = Set.Make (Int)
+
+type round_state = {
+  mutable bval_from_false : Iset.t;
+  mutable bval_from_true : Iset.t;
+  mutable bval_sent_false : bool;
+  mutable bval_sent_true : bool;
+  mutable bin_false : bool;
+  mutable bin_true : bool;
+  mutable aux_sent : bool;
+  aux_from : (int, bool) Hashtbl.t;
+  mutable completed : bool;
+}
+
+type t = {
+  n : int;
+  f : int;
+  me : int;
+  coin : Coin.t;
+  rounds : (int, round_state) Hashtbl.t;
+  mutable current : int; (* 0 = not proposed *)
+  mutable est : bool;
+  mutable decided : bool option;
+  mutable decide_sent : bool;
+  decide_from : (int, bool) Hashtbl.t;
+  mutable halted : bool;
+}
+
+let create ~n ~f ~me ~coin =
+  if n <= 3 * f then invalid_arg "Aba.create: need n > 3f";
+  {
+    n;
+    f;
+    me;
+    coin;
+    rounds = Hashtbl.create 8;
+    current = 0;
+    est = false;
+    decided = None;
+    decide_sent = false;
+    decide_from = Hashtbl.create 8;
+    halted = false;
+  }
+
+let round_state s r =
+  match Hashtbl.find_opt s.rounds r with
+  | Some st -> st
+  | None ->
+      let st =
+        {
+          bval_from_false = Iset.empty;
+          bval_from_true = Iset.empty;
+          bval_sent_false = false;
+          bval_sent_true = false;
+          bin_false = false;
+          bin_true = false;
+          aux_sent = false;
+          aux_from = Hashtbl.create 8;
+          completed = false;
+        }
+      in
+      Hashtbl.replace s.rounds r st;
+      st
+
+type reaction = {
+  sends : (int * msg) list;
+  decided : bool option;
+}
+
+let nothing = { sends = []; decided = None }
+
+let to_others s m =
+  List.filter_map (fun dst -> if dst = s.me then None else Some (dst, m)) (List.init s.n (fun i -> i))
+
+let bval_count st v = Iset.cardinal (if v then st.bval_from_true else st.bval_from_false)
+let bval_sent st v = if v then st.bval_sent_true else st.bval_sent_false
+
+let record_bval st src v =
+  if v then st.bval_from_true <- Iset.add src st.bval_from_true
+  else st.bval_from_false <- Iset.add src st.bval_from_false
+
+let mark_bval_sent st v = if v then st.bval_sent_true <- true else st.bval_sent_false <- true
+let in_bin st v = if v then st.bin_true else st.bin_false
+let add_bin st v = if v then st.bin_true <- true else st.bin_false <- true
+
+(* Send BVAL(r, v) from ourselves: mark, self-record, emit. *)
+let send_bval s r v =
+  let st = round_state s r in
+  if bval_sent st v then []
+  else begin
+    mark_bval_sent st v;
+    record_bval st s.me v;
+    to_others s (Bval { round = r; value = v })
+  end
+
+let send_aux s r v =
+  let st = round_state s r in
+  if st.aux_sent then []
+  else begin
+    st.aux_sent <- true;
+    Hashtbl.replace st.aux_from s.me v;
+    to_others s (Aux { round = r; value = v })
+  end
+
+let send_decide s v =
+  if s.decide_sent then []
+  else begin
+    s.decide_sent <- true;
+    Hashtbl.replace s.decide_from s.me v;
+    to_others s (Decide v)
+  end
+
+(* Propagate quorum effects inside round [r]; returns sends. *)
+let bval_progress s r =
+  let st = round_state s r in
+  let sends = ref [] in
+  List.iter
+    (fun v ->
+      let c = bval_count st v in
+      if c >= s.f + 1 && not (bval_sent st v) then sends := send_bval s r v @ !sends;
+      if c >= (2 * s.f) + 1 && not (in_bin st v) then begin
+        add_bin st v;
+        (* bin_values became nonempty: send AUX once (in our current round). *)
+        if r = s.current && not st.aux_sent then sends := send_aux s r v @ !sends
+      end)
+    [ false; true ];
+  (* We may have entered round r with bin_values already populated. *)
+  if r = s.current && not st.aux_sent then begin
+    if st.bin_true then sends := send_aux s r true @ !sends
+    else if st.bin_false then sends := send_aux s r false @ !sends
+  end;
+  !sends
+
+(* Try to complete the current round; may decide and/or advance. *)
+let rec try_complete s =
+  if s.halted || s.current = 0 then nothing
+  else begin
+    let r = s.current in
+    let st = round_state s r in
+    if st.completed || not st.aux_sent then nothing
+    else begin
+      let valid =
+        Hashtbl.fold (fun _src v acc -> if in_bin st v then acc + 1 else acc) st.aux_from 0
+      in
+      if valid < s.n - s.f then nothing
+      else begin
+        let vals_true = Hashtbl.fold (fun _ v acc -> acc || (v && in_bin st v)) st.aux_from false in
+        let vals_false =
+          Hashtbl.fold (fun _ v acc -> acc || ((not v) && in_bin st v)) st.aux_from false
+        in
+        st.completed <- true;
+        let c = s.coin ~round:r in
+        let decided_now = ref None in
+        let sends = ref [] in
+        (match (vals_false, vals_true) with
+        | true, false | false, true ->
+            let v = vals_true in
+            s.est <- v;
+            if v = c then begin
+              match s.decided with
+              | Some _ -> ()
+              | None ->
+                  s.decided <- Some v;
+                  decided_now := Some v;
+                  sends := send_decide s v @ !sends
+            end
+        | _ ->
+            (* both (or pathologically neither): adopt the coin *)
+            s.est <- c);
+        (* Advance. *)
+        s.current <- r + 1;
+        sends := !sends @ send_bval s (r + 1) s.est;
+        sends := !sends @ bval_progress s (r + 1);
+        let next = try_complete s in
+        { sends = !sends @ next.sends; decided = (match !decided_now with Some v -> Some v | None -> next.decided) }
+      end
+    end
+  end
+
+let propose s v =
+  if s.current <> 0 then invalid_arg "Aba.propose: already proposed";
+  if s.halted then nothing
+  else begin
+    s.current <- 1;
+    s.est <- v;
+    let sends = send_bval s 1 v in
+    let sends = sends @ bval_progress s 1 in
+    let r = try_complete s in
+    { sends = sends @ r.sends; decided = r.decided }
+  end
+
+let check_halt s =
+  if (not s.halted) && Hashtbl.length s.decide_from >= s.n - s.f then s.halted <- true
+
+let handle s ~src m =
+  if s.halted then nothing
+  else
+    match m with
+    | Bval { round; value } ->
+        let st = round_state s round in
+        record_bval st src value;
+        let sends = bval_progress s round in
+        let r = try_complete s in
+        check_halt s;
+        { sends = sends @ r.sends; decided = r.decided }
+    | Aux { round; value } ->
+        let st = round_state s round in
+        if not (Hashtbl.mem st.aux_from src) then Hashtbl.replace st.aux_from src value;
+        let r = try_complete s in
+        check_halt s;
+        r
+    | Decide v ->
+        if not (Hashtbl.mem s.decide_from src) then Hashtbl.replace s.decide_from src v;
+        let count = Hashtbl.fold (fun _ v' acc -> if v' = v then acc + 1 else acc) s.decide_from 0 in
+        let sends = ref [] in
+        let decided_now = ref None in
+        if count >= s.f + 1 then begin
+          (match s.decided with
+          | Some _ -> ()
+          | None ->
+              s.decided <- Some v;
+              decided_now := Some v);
+          sends := send_decide s v @ !sends
+        end;
+        check_halt s;
+        { sends = !sends; decided = !decided_now }
+
+let decision (s : t) = s.decided
+let halted (s : t) = s.halted
+let round (s : t) = s.current

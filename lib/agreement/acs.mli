@@ -1,0 +1,38 @@
+(** Agreement on a Common Subset (BCG/BKR style), built from n reliable
+    broadcasts and n binary agreements.
+
+    Every player broadcasts its input value; the players then agree on a
+    common "core set" of at least n-f players whose inputs were received,
+    by running one {!Aba} per player. This is the input-agreement step of
+    asynchronous MPC: the mediator simulation acts on exactly the core
+    set's inputs (the paper's "n - k - t players whose messages the
+    mediator uses", Lemma 6.8).
+
+    Guarantees for f < n/3: all honest players output the same set of
+    indices with the same values; the set has at least n-f members; every
+    honest member's value is its actual input. *)
+
+type 'p msg =
+  | Rb of int * 'p Broadcast.Rbc.msg  (** sub-message of dealer [i]'s broadcast *)
+  | Ab of int * Aba.msg  (** sub-message of the agreement about dealer [i] *)
+
+type 'p t
+
+val create : n:int -> f:int -> me:int -> coin:(instance:int -> Coin.t) -> 'p t
+(** [coin] supplies an independent coin per ABA instance. *)
+
+type 'p reaction = {
+  sends : (int * 'p msg) list;
+  output : 'p option array option;
+      (** Once: the core set — [Some v] at accepted indices (with dealer
+          [i]'s broadcast value), [None] at rejected indices. *)
+}
+
+val input : 'p t -> 'p -> 'p reaction
+(** Contribute our own value (starts our broadcast). *)
+
+val handle : 'p t -> src:int -> 'p msg -> 'p reaction
+
+val output : 'p t -> 'p option array option
+val core_size : 'p t -> int option
+(** Number of accepted indices, once decided. *)

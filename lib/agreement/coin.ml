@@ -1,0 +1,19 @@
+type t = round:int -> bool
+
+(* Deterministic across players: every honest player computes the same
+   coin for (seed, instance, round). *)
+let common ~seed ~instance ~round = Hashtbl.hash (seed, instance, round, "coin") land 1 = 1
+
+let local rng ~round:_ = Random.State.bool rng
+
+let constant b ~round:_ = b
+
+(* Optimistic variant: rounds 1 and 2 are deterministic (true, then
+   false), so unanimous instances decide within two rounds; later rounds
+   fall back to the pseudo-random common coin. Safety is untouched (the
+   coin only gates termination); an adversary aware of the first two
+   values can delay decisions by at most two rounds. *)
+let optimistic ~seed ~instance ~round =
+  if round = 1 then true
+  else if round = 2 then false
+  else common ~seed ~instance ~round

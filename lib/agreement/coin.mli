@@ -1,0 +1,28 @@
+(** Round coins for asynchronous binary agreement.
+
+    The paper's constructions (via BCG/BKR) assume an agreement substrate;
+    randomized ABA needs a coin per round. Two variants:
+
+    - {!common}: a deterministic pseudo-random function of (instance,
+      round) shared by all players — the "predistributed common coin"
+      substitution documented in DESIGN.md. All players see the same coin,
+      giving expected O(1) rounds.
+    - {!local}: an independent per-player coin (Ben-Or style). Correct but
+      converges only when coins happen to agree — the ablation baseline. *)
+
+type t = round:int -> bool
+
+val common : seed:int -> instance:int -> t
+(** Same (seed, instance) ⇒ same coin sequence at every player. *)
+
+val optimistic : seed:int -> instance:int -> t
+(** Like {!common} but rounds 1 and 2 are deterministic (true then false):
+    unanimous instances decide within two rounds. The default coin of the
+    MPC engine. *)
+
+val local : Random.State.t -> t
+(** Fresh independent flips (per player). *)
+
+val constant : bool -> t
+(** Always the same value — useful to force worst-case round counts in
+    tests. *)

@@ -1,0 +1,126 @@
+type 'p msg =
+  | Initial of 'p
+  | Echo of 'p
+  | Ready of 'p
+
+let pp_msg pp_p fmt = function
+  | Initial p -> Format.fprintf fmt "Initial(%a)" pp_p p
+  | Echo p -> Format.fprintf fmt "Echo(%a)" pp_p p
+  | Ready p -> Format.fprintf fmt "Ready(%a)" pp_p p
+
+(* Per-source bookkeeping: a Byzantine source may echo several values; we
+   count at most one echo and one ready per source per value, and ignore a
+   source's later conflicting votes entirely (first vote binds). *)
+type 'p t = {
+  n : int;
+  f : int;
+  me : int;
+  sender_id : int;
+  mutable started : bool;
+  mutable echoed : bool;
+  mutable readied : bool;
+  mutable output : 'p option;
+  echo_from : (int, 'p) Hashtbl.t;  (* src -> value echoed *)
+  ready_from : (int, 'p) Hashtbl.t;
+}
+
+let create ~n ~f ~me ~sender =
+  if n <= 3 * f then invalid_arg "Rbc.create: need n > 3f";
+  if me < 0 || me >= n || sender < 0 || sender >= n then invalid_arg "Rbc.create: pid range";
+  {
+    n;
+    f;
+    me;
+    sender_id = sender;
+    started = false;
+    echoed = false;
+    readied = false;
+    output = None;
+    echo_from = Hashtbl.create 8;
+    ready_from = Hashtbl.create 8;
+  }
+
+let sender s = s.sender_id
+let delivered s = s.output
+
+type 'p reaction = {
+  sends : (int * 'p msg) list;
+  output : 'p option;
+}
+
+let nothing = { sends = []; output = None }
+
+(* Own votes are registered directly in the tables, so sends exclude self. *)
+let to_all s m =
+  List.filter_map
+    (fun dst -> if dst = s.me then None else Some (dst, m))
+    (List.init s.n (fun i -> i))
+
+let count_votes table v =
+  Hashtbl.fold (fun _ v' acc -> if v' = v then acc + 1 else acc) table 0
+
+(* Check quorums after a vote table changed; may emit Echo/Ready/deliver. *)
+let check_progress s v =
+  let sends = ref [] in
+  let echoes = count_votes s.echo_from v in
+  let readies = count_votes s.ready_from v in
+  if (not s.readied) && (echoes >= s.n - s.f || readies >= s.f + 1) then begin
+    s.readied <- true;
+    Hashtbl.replace s.ready_from s.me v;
+    sends := to_all s (Ready v) @ !sends
+  end;
+  let readies = count_votes s.ready_from v in
+  let output =
+    match s.output with
+    | Some _ -> None
+    | None ->
+        if readies >= (2 * s.f) + 1 then begin
+          s.output <- Some v;
+          Some v
+        end
+        else None
+  in
+  { sends = !sends; output }
+
+let broadcast s v =
+  if s.me <> s.sender_id then invalid_arg "Rbc.broadcast: not the sender";
+  if s.started then invalid_arg "Rbc.broadcast: already started";
+  s.started <- true;
+  (* The sender processes its own Initial immediately: it echoes. *)
+  s.echoed <- true;
+  Hashtbl.replace s.echo_from s.me v;
+  let r = check_progress s v in
+  { r with sends = to_all s (Initial v) @ to_all s (Echo v) @ r.sends }
+
+let handle s ~src m =
+  match m with
+  | Initial v ->
+      if src <> s.sender_id || s.echoed then nothing
+      else begin
+        s.echoed <- true;
+        Hashtbl.replace s.echo_from s.me v;
+        let r = check_progress s v in
+        { r with sends = to_all s (Echo v) @ r.sends }
+      end
+  | Echo v ->
+      if Hashtbl.mem s.echo_from src && src <> s.me then nothing
+      else begin
+        if src <> s.me then Hashtbl.replace s.echo_from src v;
+        (* Bracha: echo after n-f echoes as well, if we have not echoed. *)
+        let r1 =
+          if (not s.echoed) && count_votes s.echo_from v >= s.n - s.f then begin
+            s.echoed <- true;
+            Hashtbl.replace s.echo_from s.me v;
+            to_all s (Echo v)
+          end
+          else []
+        in
+        let r = check_progress s v in
+        { r with sends = r1 @ r.sends }
+      end
+  | Ready v ->
+      if Hashtbl.mem s.ready_from src && src <> s.me then nothing
+      else begin
+        if src <> s.me then Hashtbl.replace s.ready_from src v;
+        check_progress s v
+      end

@@ -1,0 +1,42 @@
+(** Bracha asynchronous reliable broadcast (t < n/3 Byzantine faults).
+
+    One instance carries one broadcast by a designated sender. Guarantees
+    (for f < n/3 faulty players):
+    - {b Validity}: if the sender is honest, every honest player
+      eventually delivers the sender's value.
+    - {b Agreement}: if any honest player delivers v, every honest player
+      eventually delivers v.
+    - {b Integrity}: honest players deliver at most once.
+
+    Sessions are passive state machines: the embedding process feeds in
+    messages and forwards the returned sends. Payload equality uses
+    structural comparison; payloads must not contain functions. *)
+
+type 'p msg =
+  | Initial of 'p  (** sender's value *)
+  | Echo of 'p
+  | Ready of 'p
+
+val pp_msg : (Format.formatter -> 'p -> unit) -> Format.formatter -> 'p msg -> unit
+
+type 'p t
+
+val create : n:int -> f:int -> me:int -> sender:int -> 'p t
+(** A session for one broadcast. [f] is the fault bound; create checks
+    n > 3f. All players (including the sender) create a session. *)
+
+val sender : 'p t -> int
+val delivered : 'p t -> 'p option
+
+type 'p reaction = {
+  sends : (int * 'p msg) list;  (** messages to forward, (dst, msg) *)
+  output : 'p option;  (** newly delivered value, at most once *)
+}
+
+val broadcast : 'p t -> 'p -> 'p reaction
+(** Called by the sender to start its broadcast.
+    @raise Invalid_argument if [me <> sender] or already started. *)
+
+val handle : 'p t -> src:int -> 'p msg -> 'p reaction
+(** Feed an incoming instance message. Equivocating or duplicate messages
+    from the same source are ignored (counted once). *)

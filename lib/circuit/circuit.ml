@@ -1,0 +1,299 @@
+module Gf = Field.Gf
+module Poly = Field.Poly
+
+type gate =
+  | Input of int
+  | Random of int
+  | Const of Gf.t
+  | Add of int * int
+  | Sub of int * int
+  | Mul of int * int
+  | Scale of Gf.t * int
+
+type t = {
+  n_inputs : int;
+  n_random : int;
+  random_moduli : int array;
+  gates : gate array;
+  outputs : int array;
+}
+
+let validate c =
+  let ng = Array.length c.gates in
+  let check_ref pos j =
+    if j < 0 || j >= pos then invalid_arg "Circuit.create: gate references a non-earlier gate"
+  in
+  Array.iteri
+    (fun pos g ->
+      match g with
+      | Input i -> if i < 0 || i >= c.n_inputs then invalid_arg "Circuit.create: input index out of range"
+      | Random j -> if j < 0 || j >= c.n_random then invalid_arg "Circuit.create: random index out of range"
+      | Const _ -> ()
+      | Add (a, b) | Sub (a, b) | Mul (a, b) ->
+          check_ref pos a;
+          check_ref pos b
+      | Scale (_, a) -> check_ref pos a)
+    c.gates;
+  Array.iter
+    (fun o -> if o < 0 || o >= ng then invalid_arg "Circuit.create: output references missing gate")
+    c.outputs
+
+let create ?random_moduli ~n_inputs ~n_random ~gates ~outputs () =
+  if n_inputs < 0 || n_random < 0 then invalid_arg "Circuit.create: negative arity";
+  let random_moduli =
+    match random_moduli with
+    | None -> Array.make n_random 0
+    | Some m ->
+        if Array.length m <> n_random then
+          invalid_arg "Circuit.create: random_moduli arity mismatch";
+        Array.iter (fun x -> if x < 0 then invalid_arg "Circuit.create: negative modulus") m;
+        Array.copy m
+  in
+  let c =
+    { n_inputs; n_random; random_moduli; gates = Array.copy gates; outputs = Array.copy outputs }
+  in
+  validate c;
+  c
+
+let sample_randomness c rng =
+  Array.map
+    (fun m -> if m > 0 then Gf.of_int (Random.State.int rng m) else Gf.random rng)
+    c.random_moduli
+
+let size c = Array.length c.gates
+
+let depth c =
+  let d = Array.make (Array.length c.gates) 0 in
+  Array.iteri
+    (fun pos g ->
+      match g with
+      | Input _ | Random _ | Const _ -> d.(pos) <- 0
+      | Add (a, b) | Sub (a, b) | Mul (a, b) -> d.(pos) <- 1 + max d.(a) d.(b)
+      | Scale (_, a) -> d.(pos) <- 1 + d.(a))
+    c.gates;
+  Array.fold_left max 0 d
+
+let mul_count c =
+  Array.fold_left (fun acc g -> match g with Mul _ -> acc + 1 | _ -> acc) 0 c.gates
+
+let eval_with c interp =
+  let vals = Array.make (Array.length c.gates) None in
+  Array.iteri
+    (fun pos g ->
+      let earlier =
+        Array.init pos (fun i ->
+            match vals.(i) with Some v -> v | None -> assert false)
+      in
+      vals.(pos) <- Some (interp g earlier))
+    c.gates;
+  Array.map
+    (fun o -> match vals.(o) with Some v -> v | None -> assert false)
+    c.outputs
+
+let eval c ~inputs ~random =
+  if Array.length inputs <> c.n_inputs then invalid_arg "Circuit.eval: wrong input arity";
+  if Array.length random <> c.n_random then invalid_arg "Circuit.eval: wrong randomness arity";
+  let interp g earlier =
+    match g with
+    | Input i -> inputs.(i)
+    | Random j -> random.(j)
+    | Const v -> v
+    | Add (a, b) -> Gf.add earlier.(a) earlier.(b)
+    | Sub (a, b) -> Gf.sub earlier.(a) earlier.(b)
+    | Mul (a, b) -> Gf.mul earlier.(a) earlier.(b)
+    | Scale (v, a) -> Gf.mul v earlier.(a)
+  in
+  eval_with c interp
+
+let identity_selector ~n_inputs =
+  let gates = Array.init n_inputs (fun i -> Input i) in
+  create ~n_inputs ~n_random:0 ~gates ~outputs:(Array.init n_inputs (fun i -> i)) ()
+
+let sum ~n_inputs =
+  if n_inputs < 1 then invalid_arg "Circuit.sum: need at least one input";
+  let gates = ref [] in
+  let pos = ref 0 in
+  let emit g =
+    gates := g :: !gates;
+    incr pos;
+    !pos - 1
+  in
+  let first = emit (Input 0) in
+  let acc = ref first in
+  for i = 1 to n_inputs - 1 do
+    let inp = emit (Input i) in
+    acc := emit (Add (!acc, inp))
+  done;
+  let gates = Array.of_list (List.rev !gates) in
+  create ~n_inputs ~n_random:0 ~gates ~outputs:(Array.make n_inputs !acc) ()
+
+(* Horner evaluation of an interpolated threshold polynomial in the sum of
+   the inputs: maj(s) = 1 iff s > n/2 for s in {0..n}. *)
+let majority ~n_inputs =
+  if n_inputs < 1 then invalid_arg "Circuit.majority: need at least one input";
+  let n = n_inputs in
+  let pts =
+    List.init (n + 1) (fun s ->
+        (Gf.of_int s, if 2 * s > n then Gf.one else Gf.zero))
+  in
+  let threshold = Poly.interpolate pts in
+  let coeffs = Poly.coeffs threshold in
+  let deg = Array.length coeffs - 1 in
+  let gates = ref [] in
+  let pos = ref 0 in
+  let emit g =
+    gates := g :: !gates;
+    incr pos;
+    !pos - 1
+  in
+  (* s = sum of inputs *)
+  let first = emit (Input 0) in
+  let s = ref first in
+  for i = 1 to n - 1 do
+    let inp = emit (Input i) in
+    s := emit (Add (!s, inp))
+  done;
+  (* Horner: acc = c_deg; acc = acc*s + c_j *)
+  let acc = ref (emit (Const (if deg >= 0 then coeffs.(deg) else Gf.zero))) in
+  for j = deg - 1 downto 0 do
+    let prod = emit (Mul (!acc, !s)) in
+    let cst = emit (Const coeffs.(j)) in
+    acc := emit (Add (prod, cst))
+  done;
+  let gates = Array.of_list (List.rev !gates) in
+  create ~n_inputs:n ~n_random:0 ~gates ~outputs:(Array.make n !acc) ()
+
+let coin_plus_input ~n_inputs =
+  if n_inputs < 1 then invalid_arg "Circuit.coin_plus_input";
+  let gates = ref [] in
+  let pos = ref 0 in
+  let emit g =
+    gates := g :: !gates;
+    incr pos;
+    !pos - 1
+  in
+  let r = emit (Random 0) in
+  let outputs =
+    Array.init n_inputs (fun i ->
+        let inp = emit (Input i) in
+        emit (Add (inp, r)))
+  in
+  let gates = Array.of_list (List.rev !gates) in
+  create ~n_inputs ~n_random:1 ~gates ~outputs ()
+
+let random_circuit rng ~n_inputs ~n_random ~n_gates ~n_outputs =
+  if n_inputs < 1 || n_gates < 1 || n_outputs < 1 then invalid_arg "Circuit.random_circuit";
+  let gates = Array.make n_gates (Const Gf.zero) in
+  for pos = 0 to n_gates - 1 do
+    let pick_earlier () = Random.State.int rng (max 1 pos) in
+    let g =
+      if pos < n_inputs then Input pos
+      else
+        match Random.State.int rng (if n_random > 0 then 6 else 5) with
+        | 0 -> Add (pick_earlier (), pick_earlier ())
+        | 1 -> Sub (pick_earlier (), pick_earlier ())
+        | 2 -> Mul (pick_earlier (), pick_earlier ())
+        | 3 -> Scale (Gf.random rng, pick_earlier ())
+        | 4 -> Const (Gf.random rng)
+        | _ -> Random (Random.State.int rng n_random)
+    in
+    gates.(pos) <- g
+  done;
+  let outputs = Array.init n_outputs (fun _ -> n_gates - 1 - Random.State.int rng (min n_gates 4)) in
+  create ~n_inputs ~n_random ~gates ~outputs ()
+
+let pp_gate fmt = function
+  | Input i -> Format.fprintf fmt "in[%d]" i
+  | Random j -> Format.fprintf fmt "rand[%d]" j
+  | Const v -> Format.fprintf fmt "const %a" Gf.pp v
+  | Add (a, b) -> Format.fprintf fmt "g%d + g%d" a b
+  | Sub (a, b) -> Format.fprintf fmt "g%d - g%d" a b
+  | Mul (a, b) -> Format.fprintf fmt "g%d * g%d" a b
+  | Scale (v, a) -> Format.fprintf fmt "%a * g%d" Gf.pp v a
+
+let pp fmt c =
+  Format.fprintf fmt "@[<v>circuit: %d inputs, %d random, %d gates, depth %d@," c.n_inputs
+    c.n_random (size c) (depth c);
+  Array.iteri (fun i g -> Format.fprintf fmt "g%d := %a@," i pp_gate g) c.gates;
+  Format.fprintf fmt "outputs: %a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Format.pp_print_int)
+    (Array.to_list c.outputs)
+
+let top_level_create = create
+
+module Builder = struct
+
+  type t = {
+    n_inputs : int;
+    mutable rev_gates : gate list;
+    mutable n_gates : int;
+    mutable rev_moduli : int list;
+    mutable n_random : int;
+    input_cache : (int, int) Hashtbl.t;
+  }
+
+  let create ~n_inputs =
+    {
+      n_inputs;
+      rev_gates = [];
+      n_gates = 0;
+      rev_moduli = [];
+      n_random = 0;
+      input_cache = Hashtbl.create 8;
+    }
+
+  let emit b g =
+    b.rev_gates <- g :: b.rev_gates;
+    b.n_gates <- b.n_gates + 1;
+    b.n_gates - 1
+
+  let input b i =
+    if i < 0 || i >= b.n_inputs then invalid_arg "Builder.input: out of range";
+    match Hashtbl.find_opt b.input_cache i with
+    | Some id -> id
+    | None ->
+        let id = emit b (Input i) in
+        Hashtbl.replace b.input_cache i id;
+        id
+
+  let random b ?(modulus = 0) () =
+    let slot = b.n_random in
+    b.n_random <- slot + 1;
+    b.rev_moduli <- modulus :: b.rev_moduli;
+    emit b (Random slot)
+
+  let const b v = emit b (Const v)
+  let add b x y = emit b (Add (x, y))
+  let sub b x y = emit b (Sub (x, y))
+  let mul b x y = emit b (Mul (x, y))
+  let scale b v x = emit b (Scale (v, x))
+
+  let sum b = function
+    | [] -> const b Gf.zero
+    | first :: rest -> List.fold_left (fun acc x -> add b acc x) first rest
+
+  let poly_eval b p wire =
+    let coeffs = Poly.coeffs p in
+    let deg = Array.length coeffs - 1 in
+    if deg < 0 then const b Gf.zero
+    else begin
+      let acc = ref (const b coeffs.(deg)) in
+      for j = deg - 1 downto 0 do
+        let prod = mul b !acc wire in
+        acc := add b prod (const b coeffs.(j))
+      done;
+      !acc
+    end
+
+  let table_lookup b ~wire ~domain f =
+    if domain < 1 then invalid_arg "Builder.table_lookup: empty domain";
+    let pts = List.init domain (fun s -> (Gf.of_int s, f s)) in
+    poly_eval b (Poly.interpolate pts) wire
+
+  let finish b ~outputs =
+    top_level_create
+      ~random_moduli:(Array.of_list (List.rev b.rev_moduli))
+      ~n_inputs:b.n_inputs ~n_random:b.n_random
+      ~gates:(Array.of_list (List.rev b.rev_gates))
+      ~outputs ()
+end

@@ -1,0 +1,124 @@
+module Gf = Field.Gf
+module Engine = Mpc.Engine
+module Spec = Mediator.Spec
+open Sim.Types
+
+type theorem = T41 | T42 | T44 | T45
+
+let theorem_name = function
+  | T41 -> "Theorem 4.1"
+  | T42 -> "Theorem 4.2"
+  | T44 -> "Theorem 4.4"
+  | T45 -> "Theorem 4.5"
+
+let pp_theorem fmt th = Format.pp_print_string fmt (theorem_name th)
+
+type approach = Default_move | Ah_wills
+
+let required_n th ~k ~t =
+  match th with
+  | T41 -> (4 * k) + (4 * t) + 1
+  | T42 -> (3 * k) + (3 * t) + 1
+  | T44 -> (3 * k) + (4 * t) + 1
+  | T45 -> (2 * k) + (3 * t) + 1
+
+let threshold_ok th ~n ~k ~t = n >= required_n th ~k ~t
+
+type plan = {
+  spec : Spec.t;
+  theorem : theorem;
+  k : int;
+  t : int;
+  approach : approach;
+  degree : int;
+  faults : int;
+}
+
+let plan ?approach ~spec ~theorem ~k ~t () =
+  let n = spec.Spec.game.Games.Game.n in
+  if k < 0 || t < 0 then Error "k and t must be non-negative"
+  else if not (threshold_ok theorem ~n ~k ~t) then
+    Error
+      (Printf.sprintf "%s needs n >= %d for k=%d t=%d, but the game has n=%d"
+         (theorem_name theorem) (required_n theorem ~k ~t) k t n)
+  else begin
+    let needs_punishment = match theorem with T44 | T45 -> true | T41 | T42 -> false in
+    if needs_punishment && Option.is_none spec.Spec.punishment then
+      Error (theorem_name theorem ^ " requires a punishment profile in the spec")
+    else begin
+      let approach =
+        match approach with
+        | Some a -> a
+        | None -> if needs_punishment then Ah_wills else Default_move
+      in
+      if needs_punishment && approach = Default_move then
+        Error (theorem_name theorem ^ " uses the AH approach (punishment in the wills)")
+      else begin
+        let degree = k + t in
+        let faults = match theorem with T41 | T42 -> k + t | T44 | T45 -> t in
+        (* MPC substrate arity requirements (cf. Engine.create). *)
+        if n <= 3 * faults then Error "substrate: n > 3*faults violated"
+        else if n < degree + (2 * faults) + 1 then
+          Error "substrate: n >= degree + 2*faults + 1 violated"
+        else if
+          Circuit.mul_count spec.Spec.circuit > 0 && n < (2 * degree) + faults + 1
+        then Error "substrate: n >= 2*degree + faults + 1 violated (circuit multiplies)"
+        else Ok { spec; theorem; k; t; approach; degree; faults }
+      end
+    end
+  end
+
+let plan_exn ?approach ~spec ~theorem ~k ~t () =
+  match plan ?approach ~spec ~theorem ~k ~t () with
+  | Ok p -> p
+  | Error e -> invalid_arg ("Compile.plan: " ^ e)
+
+let player_process p ~me ~type_ ~coin_seed ~seed =
+  let spec = p.spec in
+  let n = spec.Spec.game.Games.Game.n in
+  let engine =
+    Engine.create ?stages:spec.Spec.stages ~n ~degree:p.degree ~faults:p.faults ~me
+      ~circuit:spec.Spec.circuit
+      ~input:(spec.Spec.encode_type ~player:me type_)
+      ~rng:(Random.State.make [| 0xC0DE; seed; me |])
+      ~coin_seed ()
+  in
+  let emit (r : Engine.reaction) =
+    List.map (fun (dst, m) -> Send (dst, m)) r.Engine.sends
+    @
+    match r.Engine.result with
+    | Some v -> [ Move (spec.Spec.decode_action ~player:me v); Halt ]
+    | None -> []
+  in
+  let will () =
+    match (p.approach, spec.Spec.punishment) with
+    | Ah_wills, Some punish -> Some (punish ~player:me ~type_)
+    | Ah_wills, None | Default_move, _ -> None
+  in
+  {
+    start = (fun () -> emit (Engine.start engine));
+    receive = (fun ~src m -> emit (Engine.handle engine ~src m));
+    will;
+  }
+
+let processes p ~types ~coin_seed ~seed =
+  let n = p.spec.Spec.game.Games.Game.n in
+  if Array.length types <> n then invalid_arg "Compile.processes: types arity";
+  Array.init n (fun me -> player_process p ~me ~type_:types.(me) ~coin_seed ~seed)
+
+(* Explicit-constant instantiation of the paper's message bounds. One AVSS
+   is O(n^2) messages, one ABA O(n^2) per round (O(1) expected rounds with
+   a common coin); the input phase runs n AVSS + n ABA, each multiplication
+   gate n AVSS + n ABA, and output delivery is n^2. *)
+let message_bound p =
+  let n = p.spec.Spec.game.Games.Game.n in
+  let c = Circuit.size p.spec.Spec.circuit in
+  let muls = Circuit.mul_count p.spec.Spec.circuit in
+  let stages =
+    match p.spec.Spec.stages with Some s -> Array.length s | None -> 1
+  in
+  let avss_cost = 4 * n * n in
+  let aba_cost = 12 * n * n in
+  let sessions = n * (1 + p.spec.Spec.circuit.Circuit.n_random) + (n * muls) in
+  let agreements = n + (n * muls) in
+  (sessions * avss_cost) + (agreements * aba_cost) + (stages * n * n) + (16 * n * c)

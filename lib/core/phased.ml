@@ -1,0 +1,128 @@
+module Gf = Field.Gf
+module Engine = Mpc.Engine
+
+type msg = { phase : int; inner : Engine.msg }
+
+type config = {
+  n : int;
+  degree : int;
+  faults : int;
+  circuits : Circuit.t array;
+  coin_seed : int;
+}
+
+let config ~n ~degree ~faults ~circuits ~coin_seed =
+  if Array.length circuits = 0 then invalid_arg "Phased.config: no phases";
+  if n <= 3 * faults then invalid_arg "Phased.config: need n > 3*faults";
+  if n < degree + (2 * faults) + 1 then
+    invalid_arg "Phased.config: need n >= degree + 2*faults + 1";
+  Array.iter
+    (fun c ->
+      if c.Circuit.n_inputs <> n || Array.length c.Circuit.outputs <> n then
+        invalid_arg "Phased.config: circuit arity";
+      if Circuit.mul_count c > 0 && n < (2 * degree) + faults + 1 then
+        invalid_arg "Phased.config: multiplication arity")
+    circuits;
+  { n; degree; faults; circuits; coin_seed }
+
+type session = {
+  cfg : config;
+  me : int;
+  seed : int;
+  input_of : phase:int -> prev:Gf.t option array -> Gf.t;
+  engines : Engine.t option array;  (** created lazily: phase input depends on earlier outputs *)
+  results : Gf.t option array;
+  buffered : (int * int * Engine.msg) list ref;  (** (phase, src, msg) arriving early *)
+  mutable current : int;
+  mutable stalled : bool;
+}
+
+let create_session cfg ~me ~input_of ~seed =
+  let phases = Array.length cfg.circuits in
+  {
+    cfg;
+    me;
+    seed;
+    input_of;
+    engines = Array.make phases None;
+    results = Array.make phases None;
+    buffered = ref [];
+    current = -1;
+    stalled = false;
+  }
+
+let wrap phase sends = List.map (fun (dst, m) -> (dst, { phase; inner = m })) sends
+
+let outputs s = Array.copy s.results
+let finished s = Array.for_all Option.is_some s.results
+let stall s = s.stalled <- true
+
+let record_result s p (r : Engine.reaction) =
+  match r.Engine.result with Some v -> s.results.(p) <- Some v | None -> ()
+
+(* Advance: start any phase whose predecessor finished, replaying early
+   messages buffered for it. *)
+let rec advance s =
+  if s.stalled then []
+  else if s.current + 1 < Array.length s.engines
+          && (s.current < 0 || Option.is_some s.results.(s.current))
+  then begin
+    let p = s.current + 1 in
+    s.current <- p;
+    let input = s.input_of ~phase:p ~prev:(Array.copy s.results) in
+    let e =
+      Engine.create ~n:s.cfg.n ~degree:s.cfg.degree ~faults:s.cfg.faults ~me:s.me
+        ~circuit:s.cfg.circuits.(p) ~input
+        ~rng:(Random.State.make [| 0xFA5E; s.seed; s.me; p |])
+        ~coin_seed:(s.cfg.coin_seed + (p * 1_000_003))
+        ()
+    in
+    s.engines.(p) <- Some e;
+    let r = Engine.start e in
+    record_result s p r;
+    let replay, keep = List.partition (fun (ph, _, _) -> ph = p) !(s.buffered) in
+    s.buffered := keep;
+    let replay_sends =
+      List.concat_map
+        (fun (_, src, m) ->
+          let r = Engine.handle e ~src m in
+          record_result s p r;
+          wrap p r.Engine.sends)
+        (List.rev replay)
+    in
+    wrap p r.Engine.sends @ replay_sends @ advance s
+  end
+  else []
+
+let start s = advance s
+
+let handle s ~src m =
+  if s.stalled then []
+  else if m.phase < 0 || m.phase >= Array.length s.engines then []
+  else begin
+    match s.engines.(m.phase) with
+    | None ->
+        (* Phase not started here yet: buffer until our own inputs exist. *)
+        s.buffered := (m.phase, src, m.inner) :: !(s.buffered);
+        advance s
+    | Some e ->
+        let r = Engine.handle e ~src m.inner in
+        record_result s m.phase r;
+        wrap m.phase r.Engine.sends @ advance s
+  end
+
+let honest cfg ~me ~input_of ~seed ~act ~will =
+  let s = create_session cfg ~me ~input_of ~seed in
+  let finishing () =
+    if finished s then begin
+      let outs = Array.map Option.get s.results in
+      [ Sim.Types.Move (act outs); Sim.Types.Halt ]
+    end
+    else []
+  in
+  let to_effects sends = List.map (fun (dst, m) -> Sim.Types.Send (dst, m)) sends in
+  {
+    Sim.Types.start = (fun () -> to_effects (start s) @ finishing ());
+    receive = (fun ~src m -> to_effects (handle s ~src m) @ finishing ());
+    will = (fun () -> will);
+  }

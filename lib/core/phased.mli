@@ -1,0 +1,69 @@
+(** Sequential composition of MPC phases — cheap talk for mediators whose
+    interaction has several segments, each consuming the players'
+    reactions to the previous one.
+
+    The canonical mediator of Lemma 6.8 sends each player only its final
+    recommendation, but a {e non}-minimally-informative mediator (the
+    Section 6.4 naive strategy) sends information early and then continues
+    the conversation. In cheap talk each mediator segment becomes one MPC
+    evaluation; a player enters phase p+1 — with an input {e derived from
+    its phase-p private output} (carried secret state, e.g. a share of the
+    mediator's coin) — only once phase p is reconstructed. The §6.4
+    attack — decode the leak, then refuse to enter the next phase — needs
+    exactly this structure: the later phases still require everyone's
+    participation, so a coalition can hold the protocol hostage {e after}
+    learning the leak. A single-phase (minimally informative) protocol
+    never exposes that window, which is Lemma 6.8's point. *)
+
+type msg = { phase : int; inner : Mpc.Engine.msg }
+
+type config = {
+  n : int;
+  degree : int;
+  faults : int;
+  circuits : Circuit.t array;  (** one per phase, in order *)
+  coin_seed : int;
+}
+
+val config :
+  n:int -> degree:int -> faults:int -> circuits:Circuit.t array -> coin_seed:int -> config
+(** Validates every circuit against the thresholds (as {!Mpc.Engine.create}
+    would). @raise Invalid_argument on violation or zero phases. *)
+
+(** One player's phased run, usable both by the honest process and by
+    protocol-level deviations (the adversary library drives a session
+    directly so it can stall between phases). *)
+type session
+
+val create_session :
+  config ->
+  me:int ->
+  input_of:(phase:int -> prev:Field.Gf.t option array -> Field.Gf.t) ->
+  seed:int ->
+  session
+(** [input_of ~phase ~prev] supplies the phase's input given the outputs
+    of all earlier phases ([prev.(p)] is phase p's reconstructed value) —
+    carried state between mediator segments. *)
+
+val start : session -> (int * msg) list
+val handle : session -> src:int -> msg -> (int * msg) list
+
+val outputs : session -> Field.Gf.t option array
+(** Phase outputs reconstructed so far (index = phase). *)
+
+val finished : session -> bool
+(** All phases reconstructed. *)
+
+val stall : session -> unit
+(** Stop participating: after this, [start]/[handle] return no sends. *)
+
+val honest :
+  config ->
+  me:int ->
+  input_of:(phase:int -> prev:Field.Gf.t option array -> Field.Gf.t) ->
+  seed:int ->
+  act:(Field.Gf.t array -> int) ->
+  will:int option ->
+  (msg, int) Sim.Types.process
+(** The honest phased player: runs the phases in order and finally moves
+    on [act outputs] (one output per phase). *)

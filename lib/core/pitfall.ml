@@ -1,0 +1,77 @@
+module Gf = Field.Gf
+module B = Circuit.Builder
+
+(* Coefficient range for the carried sharing of b: small enough that
+   leak + 3*share never wraps the field (share <= 1 + coeff_range * n^deg
+   stays tiny for the game sizes the counterexample uses). *)
+let coeff_range = 4
+
+let phase0_decode v =
+  let x = Gf.to_int v in
+  (x mod 3, Gf.of_int (x / 3))
+
+let phase0_circuit ~n ~degree =
+  let b = B.create ~n_inputs:n in
+  let b_raw = B.random b ~modulus:2 () in
+  let a_raw = B.random b ~modulus:2 () in
+  let parity wire = B.table_lookup b ~wire ~domain:(n + 1) (fun s -> Gf.of_int (s mod 2)) in
+  let b_bit = parity b_raw in
+  let a_bit = parity a_raw in
+  (* leak for odd indices is a XOR b = a + b - 2ab: one shared mul *)
+  let ab = B.mul b a_bit b_bit in
+  let odd_leak = B.sub b (B.add b a_bit b_bit) (B.add b ab ab) in
+  (* Carried sharing of b: poly(b) with small random coefficients. Note
+     the contributions to a mod-m random slot sum over the core set, so a
+     slot declared mod coeff_range carries a value in [0, n*(coeff_range-1)]. *)
+  let coeffs = List.init degree (fun _ -> B.random b ~modulus:coeff_range ()) in
+  let share_gate i =
+    (* share_i = b + sum_j c_j * (i+1)^j *)
+    let x = i + 1 in
+    let terms =
+      List.mapi
+        (fun j c ->
+          let power = int_of_float (float_of_int x ** float_of_int (j + 1)) in
+          B.scale b (Gf.of_int power) c)
+        coeffs
+    in
+    B.sum b (b_bit :: terms)
+  in
+  let outputs =
+    Array.init n (fun i ->
+        let leak = if i mod 2 = 0 then a_bit else odd_leak in
+        let share = share_gate i in
+        B.add b leak (B.scale b (Gf.of_int 3) share))
+  in
+  B.finish b ~outputs
+
+let phase1_circuit ~n =
+  let b = B.create ~n_inputs:n in
+  let lambda = Shamir.lagrange_at_zero (List.init n (fun i -> i + 1)) in
+  let terms =
+    List.init n (fun i -> B.scale b (List.assoc (i + 1) lambda) (B.input b i))
+  in
+  let out = B.sum b terms in
+  B.finish b ~outputs:(Array.make n out)
+
+let circuits ~n ~degree = [| phase0_circuit ~n ~degree; phase1_circuit ~n |]
+
+let config ~n ~k ~coin_seed =
+  if n <= 3 * k then invalid_arg "Pitfall.config: need n > 3k";
+  let degree = k in
+  Phased.config ~n ~degree ~faults:0 ~circuits:(circuits ~n ~degree) ~coin_seed
+
+let input_of ~type_ ~phase ~prev =
+  match phase with
+  | 0 -> Gf.of_int type_
+  | 1 -> (
+      match prev.(0) with
+      | Some v -> snd (phase0_decode v)
+      | None -> Gf.zero (* unreachable for the honest player *))
+  | _ -> Gf.zero
+
+let honest_player ~config ~me ~type_ ~seed =
+  Phased.honest config ~me
+    ~input_of:(fun ~phase ~prev -> input_of ~type_ ~phase ~prev)
+    ~seed
+    ~act:(fun outs -> Gf.to_int outs.(1))
+    ~will:(Some Games.Catalog.bot_action)

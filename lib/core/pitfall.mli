@@ -1,0 +1,45 @@
+(** The Section 6.4 counterexample as a runnable two-phase cheap-talk
+    protocol — the naive (non-minimally-informative) implementation that
+    Lemma 6.8's transform exists to rule out.
+
+    The mediator's naive strategy sends player i the leak a + b·i (mod 2)
+    {e before} the recommendation b. Its cheap-talk emulation therefore has
+    two segments: phase 0 computes the leaks together with carried secret
+    state (each player's Shamir share of b), and phase 1 — which requires
+    everyone's renewed participation — reconstructs b from that carried
+    state. A coalition holding an even-index and an odd-index player
+    decodes b = leak_even XOR leak_odd at the end of phase 0 and, exactly
+    as in the paper, refuses to enter phase 1 whenever b = 0: the ensuing
+    deadlock triggers the punishment wills (payoff 1.1) which the
+    coalition prefers to the b = 0 equilibrium payoff (1.0). Expected
+    coalition payoff: 1.55 > 1.5.
+
+    The carried shares use small-range coefficients so they pack into one
+    field element next to the leak; their secrecy is irrelevant here —
+    the leak itself already reveals b to the coalition, which is the
+    point of the counterexample. *)
+
+val phase0_decode : Field.Gf.t -> int * Field.Gf.t
+(** Split a phase-0 output into (leak bit, carried share of b). *)
+
+val circuits : n:int -> degree:int -> Circuit.t array
+(** [| phase0; phase1 |]: leak-and-share, then interpolate b. *)
+
+val config : n:int -> k:int -> coin_seed:int -> Phased.config
+(** Phased config for the naive protocol at fault budget t = 0 (the §6.4
+    setting: k rational players, punishment available, Theorem 4.4
+    regime). @raise Invalid_argument unless n > 3k. *)
+
+val input_of :
+  type_:int -> phase:int -> prev:Field.Gf.t option array -> Field.Gf.t
+(** Honest per-phase input: the encoded type in phase 0, the carried share
+    in phase 1. *)
+
+val honest_player :
+  config:Phased.config ->
+  me:int ->
+  type_:int ->
+  seed:int ->
+  (Phased.msg, int) Sim.Types.process
+(** Honest player: plays the reconstructed b, with the punishment (bot) in
+    its will. *)

@@ -1,0 +1,90 @@
+module Dist = Games.Dist
+module Spec = Mediator.Spec
+
+type run = {
+  outcome : int Sim.Types.outcome;
+  actions : int array;
+  deadlocked : bool;
+}
+
+let actions_of (p : Compile.plan) ~types ~procs (o : int Sim.Types.outcome) =
+  let spec = p.Compile.spec in
+  let n = spec.Spec.game.Games.Game.n in
+  let willed = Sim.Runner.moves_with_wills procs o in
+  Array.init n (fun i ->
+      match o.Sim.Types.moves.(i) with
+      | Some a -> a
+      | None -> (
+          match p.Compile.approach with
+          | Compile.Ah_wills -> (
+              match willed.(i) with
+              | Some a -> a
+              | None -> (
+                  match spec.Spec.default_move with
+                  | Some d -> d ~player:i ~type_:types.(i)
+                  | None -> 0))
+          | Compile.Default_move -> (
+              match spec.Spec.default_move with
+              | Some d -> d ~player:i ~type_:types.(i)
+              | None -> 0)))
+
+let run_with p ~types ~scheduler ~seed ~replace =
+  let honest = Compile.processes p ~types ~coin_seed:(seed * 7919) ~seed in
+  let procs =
+    Array.mapi (fun pid h -> match replace pid with Some adv -> adv | None -> h) honest
+  in
+  let o = Sim.Runner.run (Sim.Runner.config ~scheduler procs) in
+  {
+    outcome = o;
+    actions = actions_of p ~types ~procs o;
+    deadlocked =
+      (match o.Sim.Types.termination with
+      | Sim.Types.Deadlocked | Sim.Types.Cutoff -> true
+      | Sim.Types.All_halted | Sim.Types.Quiescent -> false);
+  }
+
+let run_once p ~types ~scheduler ~seed = run_with p ~types ~scheduler ~seed ~replace:(fun _ -> None)
+
+let empirical_action_dist p ~types ~samples ~scheduler_of ~seed =
+  let emp = Dist.Empirical.create () in
+  for s = 0 to samples - 1 do
+    let r = run_once p ~types ~scheduler:(scheduler_of (seed + s)) ~seed:(seed + s) in
+    Dist.Empirical.add emp r.actions
+  done;
+  Dist.Empirical.to_dist emp
+
+let implementation_distance p ~types ~samples ~scheduler_of ~seed =
+  match Mediator.Measure.exact_action_dist p.Compile.spec ~types with
+  | None -> invalid_arg "Verify.implementation_distance: randomness not enumerable"
+  | Some exact ->
+      let empirical = empirical_action_dist p ~types ~samples ~scheduler_of ~seed in
+      Dist.l1 exact empirical
+
+let draw_types (game : Games.Game.t) rng =
+  let u = Random.State.float rng 1.0 in
+  let rec pick acc = function
+    | [] -> fst (List.hd game.Games.Game.type_dist)
+    | (types, prob) :: rest -> if u < acc +. prob then types else pick (acc +. prob) rest
+  in
+  pick 0.0 game.Games.Game.type_dist
+
+let expected_utilities p ~samples ~scheduler_of ~seed ?(replace = fun _ -> None) () =
+  let game = p.Compile.spec.Spec.game in
+  let n = game.Games.Game.n in
+  let totals = Array.make n 0.0 in
+  let rng = Random.State.make [| 0xFEED; seed |] in
+  for s = 0 to samples - 1 do
+    let types = draw_types game rng in
+    let r = run_with p ~types ~scheduler:(scheduler_of (seed + s)) ~seed:(seed + s) ~replace in
+    let u = game.Games.Game.utility ~types ~actions:r.actions in
+    for i = 0 to n - 1 do
+      totals.(i) <- totals.(i) +. u.(i)
+    done
+  done;
+  Array.map (fun x -> x /. float_of_int samples) totals
+
+let coterminated (o : int Sim.Types.outcome) ~honest =
+  let moved i = Option.is_some o.Sim.Types.moves.(i) in
+  List.for_all moved honest || List.for_all (fun i -> not (moved i)) honest
+
+let messages_used r = r.outcome.Sim.Types.messages_sent

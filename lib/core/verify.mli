@@ -1,0 +1,77 @@
+(** Empirical verification of the compiled cheap-talk protocols: the
+    measurable faces of implementation (Section 2), t-cotermination
+    (Definition 5.3) and (k,t)-robustness.
+
+    Implementation is checked as distribution distance: for a fixed type
+    profile, the exact outcome distribution of the mediated play (the
+    mediator's randomness enumerated) is compared with the empirical
+    distribution over simulator runs of the cheap-talk protocol under a
+    scheduler family — the paper's dist(π, π′) with Monte-Carlo error. *)
+
+type run = {
+  outcome : int Sim.Types.outcome;
+  actions : int array;
+      (** the induced action profile, after wills / default moves *)
+  deadlocked : bool;
+}
+
+val run_once :
+  Compile.plan ->
+  types:int array ->
+  scheduler:Sim.Scheduler.t ->
+  seed:int ->
+  run
+(** One cheap-talk history with all players honest. [seed] derives both
+    the players' secret randomness and the shared coin. *)
+
+val run_with :
+  Compile.plan ->
+  types:int array ->
+  scheduler:Sim.Scheduler.t ->
+  seed:int ->
+  replace:(int -> (Mpc.Engine.msg, int) Sim.Types.process option) ->
+  run
+(** Like {!run_once} but [replace pid] may substitute an adversarial
+    process for player [pid] (honest when it returns [None]). *)
+
+val actions_of :
+  Compile.plan -> types:int array -> procs:(Mpc.Engine.msg, int) Sim.Types.process array ->
+  int Sim.Types.outcome -> int array
+(** Project an outcome to an action profile: movers keep their move;
+    non-movers get their will (AH) or the spec default / action 0. *)
+
+val empirical_action_dist :
+  Compile.plan ->
+  types:int array ->
+  samples:int ->
+  scheduler_of:(int -> Sim.Scheduler.t) ->
+  seed:int ->
+  Games.Dist.t
+
+val implementation_distance :
+  Compile.plan ->
+  types:int array ->
+  samples:int ->
+  scheduler_of:(int -> Sim.Scheduler.t) ->
+  seed:int ->
+  float
+(** dist(mediated, cheap-talk) at this type profile: L1 between the exact
+    mediated distribution and the empirical cheap-talk distribution.
+    @raise Invalid_argument if the spec's randomness is not enumerable. *)
+
+val expected_utilities :
+  Compile.plan ->
+  samples:int ->
+  scheduler_of:(int -> Sim.Scheduler.t) ->
+  seed:int ->
+  ?replace:(int -> (Mpc.Engine.msg, int) Sim.Types.process option) ->
+  unit ->
+  float array
+(** Monte-Carlo ex-ante utilities of the cheap-talk play (types drawn from
+    the game's prior), optionally with adversarial substitutions. *)
+
+val coterminated : int Sim.Types.outcome -> honest:int list -> bool
+(** Definition 5.3 for one history: either every honest player moved or
+    none did. *)
+
+val messages_used : run -> int

@@ -1,0 +1,66 @@
+type table = {
+  id : string;
+  title : string;
+  claim : string;
+  header : string list;
+  rows : string list list;
+  verdict : string;
+}
+
+let pad width s =
+  let len = String.length s in
+  if len >= width then s else s ^ String.make (width - len) ' '
+
+let print_table t =
+  let all = t.header :: t.rows in
+  let cols = List.fold_left (fun acc row -> max acc (List.length row)) 0 all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let line row =
+    String.concat "  " (List.mapi (fun i cell -> pad widths.(i) cell) row)
+  in
+  Printf.printf "\n=== %s: %s ===\n" t.id t.title;
+  Printf.printf "Claim: %s\n\n" t.claim;
+  Printf.printf "%s\n" (line t.header);
+  Printf.printf "%s\n" (String.make (String.length (line t.header)) '-');
+  List.iter (fun row -> Printf.printf "%s\n" (line row)) t.rows;
+  Printf.printf "\n>> %s\n" t.verdict
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  String.concat "\n"
+    (List.map (fun row -> String.concat "," (List.map csv_cell row)) (t.header :: t.rows))
+  ^ "\n"
+
+let write_csv ~dir t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir (String.lowercase_ascii t.id ^ ".csv") in
+  let oc = open_out path in
+  output_string oc (to_csv t);
+  close_out oc
+
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let f4 x = Printf.sprintf "%.4f" x
+
+type budget = Quick | Full
+
+let samples b base = match b with Quick -> base | Full -> 4 * base
+
+let scheduler_of seed = Sim.Scheduler.random_seeded seed
+
+let honest_utilities plan ~samples ~seed =
+  Cheaptalk.Verify.expected_utilities plan ~samples ~scheduler_of ~seed ()
+
+let utilities_with plan ~samples ~seed ~replace =
+  Cheaptalk.Verify.expected_utilities plan ~samples ~scheduler_of ~seed ~replace ()
+
+let implementation_distance plan ~types ~samples ~seed =
+  Cheaptalk.Verify.implementation_distance plan ~types ~samples ~scheduler_of ~seed

@@ -1,0 +1,51 @@
+(** Shared infrastructure for the experiments: table rendering and the
+    standard measurement loops. Every experiment produces a {!table} so
+    the bench harness and the CLI print identical artifacts (these are
+    the "rows the paper reports" — here, the rows its theorems predict). *)
+
+type table = {
+  id : string;  (** e.g. "E1" *)
+  title : string;
+  claim : string;  (** the paper claim being checked *)
+  header : string list;
+  rows : string list list;
+  verdict : string;  (** one-line pass/fail style summary *)
+}
+
+val print_table : table -> unit
+
+val to_csv : table -> string
+(** Header + rows as RFC-4180-ish CSV (cells quoted when needed). *)
+
+val write_csv : dir:string -> table -> unit
+(** Write [dir]/<id>.csv (creating [dir] if missing). *)
+
+val f2 : float -> string
+val f3 : float -> string
+val f4 : float -> string
+
+type budget = Quick | Full
+(** Quick keeps each experiment in the seconds range (used by `dune exec
+    bench/main.exe`); Full multiplies sample counts for tighter Monte
+    Carlo error. *)
+
+val samples : budget -> int -> int
+(** [samples b base] = base (Quick) or 4x base (Full). *)
+
+(** Monte-Carlo measurement helpers on compiled plans. *)
+
+val honest_utilities :
+  Cheaptalk.Compile.plan -> samples:int -> seed:int -> float array
+
+val utilities_with :
+  Cheaptalk.Compile.plan ->
+  samples:int ->
+  seed:int ->
+  replace:(int -> (Mpc.Engine.msg, int) Sim.Types.process option) ->
+  float array
+
+val implementation_distance :
+  Cheaptalk.Compile.plan -> types:int array -> samples:int -> seed:int -> float
+
+val scheduler_of : int -> Sim.Scheduler.t
+(** The default scheduler family for sampling: seeded uniform-random. *)

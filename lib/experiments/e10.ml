@@ -1,0 +1,109 @@
+(* E10 — Theorem 4.5: eps-implementation with a (2k+2t)-punishment at
+   n > 2k + 3t, below Theorem 4.4's n > 3k + 4t threshold.
+
+   Configuration: the Section 6.4 game at n = 6 with k = 1, t = 1 (4.4
+   would need n >= 8 and refuses; 4.5 needs n >= 6). The distinguishing
+   regime: the sharing degree is k+t = 2 but n < 3(k+t)+1, so the final
+   reveal is NOT unconditionally robust against k+t corrupted shares —
+   a coalition can sometimes block reconstruction (the paper's eps). The
+   punishment in the wills is what keeps that unprofitable: a blocked
+   reveal is a deadlock, deadlock plays bot, and bot pays the coalition
+   1.1 < 1.5.
+
+   Rows: honest payoff; the stall deviation; the reveal-corruption
+   deviation (the eps-event generator), with its deadlock rate. *)
+
+module Compile = Cheaptalk.Compile
+module Verify = Cheaptalk.Verify
+module Spec = Mediator.Spec
+
+let n = 6
+let k = 1
+let t = 1
+
+let measure plan ~samples ~seed ~replace =
+  let spec = plan.Compile.spec in
+  let game = spec.Spec.game in
+  let types = Array.make n 0 in
+  let totals = Array.make n 0.0 in
+  let deadlocks = ref 0 in
+  for s = 0 to samples - 1 do
+    let seed = seed + s in
+    let r =
+      Verify.run_with plan ~types ~scheduler:(Common.scheduler_of seed) ~seed ~replace:(replace seed)
+    in
+    (* blocked = some HONEST player never moved (deviators not halting is
+       their own business) *)
+    let honest_blocked =
+      List.exists
+        (fun i ->
+          Option.is_none (replace seed i)
+          && Option.is_none r.Verify.outcome.Sim.Types.moves.(i))
+        (List.init n (fun i -> i))
+    in
+    if honest_blocked then incr deadlocks;
+    let u = game.Games.Game.utility ~types ~actions:r.Verify.actions in
+    for i = 0 to n - 1 do
+      totals.(i) <- totals.(i) +. u.(i)
+    done
+  done;
+  ( Array.map (fun x -> x /. float_of_int samples) totals,
+    float_of_int !deadlocks /. float_of_int samples )
+
+let run budget =
+  let samples = Common.samples budget 25 in
+  let spec = Spec.pitfall_minimal ~n ~k in
+  (match Compile.plan ~spec ~theorem:Compile.T44 ~k ~t () with
+  | Ok _ -> failwith "T44 unexpectedly applies at n=6 k=1 t=1"
+  | Error _ -> ());
+  let plan = Compile.plan_exn ~spec ~theorem:Compile.T45 ~k ~t () in
+  let honest _ _ = None in
+  let stall seed pid =
+    (* the deviator stalls early and leaves its best-response will (bet on
+       the higher-paying recommendation b = 1) *)
+    if pid = 2 then
+      Some
+        (Adversary.Rational.stall_after ~messages:25 ~will:(Some 1)
+           (Compile.player_process plan ~me:2 ~type_:0 ~coin_seed:(seed * 7919) ~seed))
+    else None
+  in
+  let corrupt_reveal seed pid =
+    if pid <= 1 then
+      Some
+        (Adversary.Byzantine.corrupt_output_shares ~offset:Field.Gf.one
+           (Compile.player_process plan ~me:pid ~type_:0 ~coin_seed:(seed * 7919) ~seed))
+    else None
+  in
+  let u_honest, d_honest = measure plan ~samples ~seed:303 ~replace:honest in
+  let u_stall, d_stall = measure plan ~samples ~seed:303 ~replace:stall in
+  let u_corrupt, d_corrupt = measure plan ~samples ~seed:303 ~replace:corrupt_reveal in
+  let rows =
+    [
+      [ "honest"; Common.f3 u_honest.(2); Common.f3 u_honest.(5); Common.f2 d_honest ];
+      [ "stall[2] (k deviator)"; Common.f3 u_stall.(2); Common.f3 u_stall.(5); Common.f2 d_stall ];
+      [
+        "corrupt-reveal[0,1] (k+t shares)";
+        Common.f3 u_corrupt.(0);
+        Common.f3 u_corrupt.(5);
+        Common.f2 d_corrupt;
+      ];
+    ]
+  in
+  let ok =
+    d_honest < 0.05
+    && u_stall.(2) <= u_honest.(2) +. 0.05
+    && u_corrupt.(0) <= u_honest.(0) +. 0.05
+    && d_corrupt > 0.5
+  in
+  {
+    Common.id = "E10";
+    title = "Theorem 4.5 — eps + (2k+2t)-punishment at n > 2k+3t";
+    claim =
+      "below 4.4's threshold the reveal can be blocked (the eps), but every blocking \
+       deviation lands in the punishment and stays unprofitable";
+    header = [ "profile"; "deviator payoff"; "honest payoff"; "deadlock rate" ];
+    rows;
+    verdict =
+      (if ok then "PASS: blocking is possible (the eps) but punished; no deviation profits"
+       else "FAIL: a deviation profited or honest runs deadlocked");
+  }

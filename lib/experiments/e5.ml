@@ -1,0 +1,110 @@
+(* E5 — Lemma 6.8: the minimally informative transform is necessary.
+
+   The Section 6.4 game (n = 7, k = 2). Two cheap-talk implementations of
+   the same mediated equilibrium (expected payoff 1.5):
+
+   - NAIVE (two segments; leaks a + b*i first): the coalition {0, 1}
+     decodes b after segment one and stalls whenever b = 0, harvesting the
+     punishment payoff 1.1 > 1.0. Expected coalition payoff 1.55.
+   - MINIMAL (single segment, the f(sigma+sigma_d) of Lemma 6.8): the
+     only pre-output information is nothing; the final reveal is
+     error-correcting, so the analogous sabotage gains nothing.
+
+   Also reports the run-length contrast the lemma prices in: the weak
+   implementation of the minimal mediator uses O(n) mediator-game
+   messages, while covering all scheduler classes (strong implementation)
+   needs the astronomically larger R of Lemma 6.8 — we print the bound. *)
+
+module Compile = Cheaptalk.Compile
+module Verify = Cheaptalk.Verify
+module Spec = Mediator.Spec
+module Pitfall = Cheaptalk.Pitfall
+
+let n = 7
+let k = 2
+
+let naive_run ~coalition ~seed =
+  let cfg = Pitfall.config ~n ~k ~coin_seed:(seed * 131) in
+  let procs =
+    Array.init n (fun me ->
+        if coalition && me < 2 then
+          Adversary.Rational.pitfall_coalition cfg ~partner:(1 - me) ~me ~type_:0 ~seed
+        else Pitfall.honest_player ~config:cfg ~me ~type_:0 ~seed)
+  in
+  let o =
+    Sim.Runner.run
+      (Sim.Runner.config ~max_steps:2_000_000 ~scheduler:(Common.scheduler_of seed) procs)
+  in
+  let willed = Sim.Runner.moves_with_wills procs o in
+  Array.init n (fun i ->
+      match o.Sim.Types.moves.(i) with
+      | Some a -> a
+      | None -> ( match willed.(i) with Some a -> a | None -> 0))
+
+let payoff actions =
+  let game = Games.Catalog.punishment_pitfall ~n ~k in
+  (game.Games.Game.utility ~types:(Array.make n 0) ~actions).(0)
+
+let avg_naive ~coalition ~samples ~seed =
+  let tot = ref 0.0 in
+  for s = 0 to samples - 1 do
+    tot := !tot +. payoff (naive_run ~coalition ~seed:(seed + s))
+  done;
+  !tot /. float_of_int samples
+
+let minimal_avg ~sabotage ~samples ~seed =
+  let spec = Spec.pitfall_minimal ~n ~k in
+  let plan = Compile.plan_exn ~spec ~theorem:Compile.T44 ~k ~t:0 () in
+  let tot = ref 0.0 in
+  for s = 0 to samples - 1 do
+    let seed = seed + s in
+    let r =
+      Verify.run_with plan ~types:(Array.make n 0) ~scheduler:(Common.scheduler_of seed) ~seed
+        ~replace:(fun pid ->
+          if sabotage && pid < 2 then
+            Some
+              (Adversary.Byzantine.corrupt_output_shares ~offset:Field.Gf.one
+                 (Compile.player_process plan ~me:pid ~type_:0 ~coin_seed:(seed * 7919) ~seed))
+          else None)
+    in
+    tot := !tot +. payoff r.Verify.actions
+  done;
+  !tot /. float_of_int samples
+
+(* Lemma 6.8's counting: the strong implementation must be able to select
+   any of |S^det/~| scheduler classes (see Mediator.Lemma68). *)
+let log10_classes = Mediator.Lemma68.log10_class_bound ~n ~r:1
+let actual_r = Mediator.Lemma68.min_padding_rounds ~n ~r:1
+let log10_r_closed = Mediator.Lemma68.log10_r_closed_form ~n ~r:1
+
+let run budget =
+  let samples = Common.samples budget 30 in
+  let nb = avg_naive ~coalition:false ~samples ~seed:61 in
+  let nc = avg_naive ~coalition:true ~samples ~seed:61 in
+  let mb = minimal_avg ~sabotage:false ~samples ~seed:61 in
+  let mc = minimal_avg ~sabotage:true ~samples ~seed:61 in
+  let rows =
+    [
+      [ "naive (leaky)"; "honest"; Common.f3 nb; "-" ];
+      [ "naive (leaky)"; "coalition {0,1}"; Common.f3 nc; Common.f3 (nc -. nb) ];
+      [ "minimal (Lemma 6.8)"; "honest"; Common.f3 mb; "-" ];
+      [ "minimal (Lemma 6.8)"; "coalition {0,1}"; Common.f3 mc; Common.f3 (mc -. mb) ];
+      [ "weak-impl msgs (mediator game)"; "O(n)"; string_of_int (2 * n); "-" ];
+      [ "scheduler classes (Lemma 6.8)"; "2^2rn(4rn)(4rn)!/(r!)^2n"; Printf.sprintf "10^%.1f" log10_classes; "-" ];
+      [ "padding rounds R (actual min)"; "(Rn)! >= classes"; string_of_int actual_r; "-" ];
+      [ "padding rounds R (closed form)"; "(4rn)^(4rn)"; Printf.sprintf "10^%.0f" log10_r_closed; "-" ];
+    ]
+  in
+  let ok = nc > nb +. 0.02 && mc <= mb +. 0.05 in
+  {
+    Common.id = "E5";
+    title = "Lemma 6.8 / Section 6.4 — naive vs minimally informative mediator";
+    claim =
+      "the coalition profits from the naive mediator's leak (gain > 0) and gains nothing \
+       against the minimally informative transform";
+    header = [ "implementation"; "profile"; "coalition payoff"; "gain" ];
+    rows;
+    verdict =
+      (if ok then "PASS: leak exploitable, minimal transform immune — the lemma's content"
+       else "FAIL: expected separation not observed");
+  }

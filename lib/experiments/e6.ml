@@ -1,0 +1,102 @@
+(* E6 — message complexity: O(nNc) for Theorems 4.1/4.2.
+
+   Three sweeps on the coordination protocol:
+   - n grows (circuit roughly proportional to n here, so messages grow
+     like n * c(n) * n^2 — we report raw counts and the bound ratio);
+   - c grows at fixed n (extra multiplication gates);
+   - N grows (stages — one per additional mediator message).
+   Every row checks messages <= the explicit-constant bound from
+   Compile.message_bound. *)
+
+module Compile = Cheaptalk.Compile
+module Verify = Cheaptalk.Verify
+module Spec = Mediator.Spec
+module B = Circuit.Builder
+
+let messages plan ~samples ~seed =
+  let n = plan.Compile.spec.Mediator.Spec.game.Games.Game.n in
+  let tot = ref 0 in
+  for s = 0 to samples - 1 do
+    let r =
+      Verify.run_once plan ~types:(Array.make n 0) ~scheduler:(Common.scheduler_of (seed + s))
+        ~seed:(seed + s)
+    in
+    tot := !tot + Verify.messages_used r
+  done;
+  !tot / samples
+
+(* A coordination spec padded with [extra] multiplication gates. *)
+let padded_coordination ~n ~extra =
+  let base = Spec.coordination ~n in
+  let b = B.create ~n_inputs:n in
+  let bit_wire = B.random b ~modulus:2 () in
+  let bit =
+    B.table_lookup b ~wire:bit_wire ~domain:(n + 1) (fun s -> Field.Gf.of_int (s mod 2))
+  in
+  let acc = ref bit in
+  for _ = 1 to extra do
+    acc := B.mul b !acc bit (* bit * bit = bit: padding that keeps the output value *)
+  done;
+  let circuit = B.finish b ~outputs:(Array.make n !acc) in
+  Spec.create ~name:(Printf.sprintf "coordination-%d+%dmul" n extra)
+    ~game:base.Spec.game ~circuit ~encode_type:(fun ~player:_ x -> Field.Gf.of_int x)
+    ~decode_action:(fun ~player:_ v -> Field.Gf.to_int v)
+    ()
+
+let staged_coordination ~n ~stages =
+  let base = Spec.coordination ~n in
+  let out = base.Spec.circuit.Circuit.outputs in
+  Spec.create ~name:(Printf.sprintf "coordination-%d-N%d" n stages) ~game:base.Spec.game
+    ~circuit:base.Spec.circuit
+    ~stages:(Array.make stages out)
+    ~encode_type:(fun ~player:_ x -> Field.Gf.of_int x)
+    ~decode_action:(fun ~player:_ v -> Field.Gf.to_int v)
+    ()
+
+let row ~label spec ~samples ~seed =
+  let plan = Compile.plan_exn ~spec ~theorem:Compile.T41 ~k:0 ~t:1 () in
+  let c = Circuit.size spec.Spec.circuit in
+  let muls = Circuit.mul_count spec.Spec.circuit in
+  let m = messages plan ~samples ~seed in
+  let bound = Compile.message_bound plan in
+  ( [
+      label;
+      string_of_int spec.Spec.game.Games.Game.n;
+      string_of_int c;
+      string_of_int muls;
+      (match spec.Spec.stages with Some s -> string_of_int (Array.length s) | None -> "1");
+      string_of_int m;
+      string_of_int bound;
+      Common.f2 (float_of_int m /. float_of_int bound);
+    ],
+    m <= bound )
+
+let run budget =
+  let samples = Common.samples budget 3 in
+  let entries =
+    [
+      row ~label:"n sweep" (Spec.coordination ~n:5) ~samples ~seed:71;
+      row ~label:"n sweep" (Spec.coordination ~n:7) ~samples ~seed:72;
+      row ~label:"n sweep" (Spec.coordination ~n:9) ~samples ~seed:73;
+      row ~label:"c sweep" (padded_coordination ~n:5 ~extra:0) ~samples ~seed:74;
+      row ~label:"c sweep" (padded_coordination ~n:5 ~extra:5) ~samples ~seed:75;
+      row ~label:"c sweep" (padded_coordination ~n:5 ~extra:10) ~samples ~seed:76;
+      row ~label:"N sweep" (staged_coordination ~n:5 ~stages:1) ~samples ~seed:77;
+      row ~label:"N sweep" (staged_coordination ~n:5 ~stages:2) ~samples ~seed:78;
+      row ~label:"N sweep" (staged_coordination ~n:5 ~stages:4) ~samples ~seed:79;
+    ]
+  in
+  let rows = List.map fst entries in
+  let ok = List.for_all snd entries in
+  {
+    Common.id = "E6";
+    title = "Message complexity — O(nNc) with explicit constants";
+    claim =
+      "messages grow polynomially with n, linearly with extra gates (c) and reveal stages \
+       (N), always within the analytic bound";
+    header = [ "sweep"; "n"; "c"; "muls"; "N"; "messages"; "bound"; "ratio" ];
+    rows;
+    verdict =
+      (if ok then "PASS: every run within the O(nNc) instantiated bound"
+       else "FAIL: bound exceeded");
+  }

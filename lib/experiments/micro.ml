@@ -1,0 +1,177 @@
+(* S1-S5 — substrate micro-benchmarks (Bechamel): field ops, Shamir +
+   Berlekamp-Welch, reliable broadcast, binary agreement, AVSS, one full
+   MPC evaluation, and one full cheap-talk compilation run. These support
+   the experiments (performance baselines), they are not paper claims. *)
+
+open Bechamel
+open Toolkit
+
+module Gf = Field.Gf
+
+let rng = Random.State.make [| 2718 |]
+
+let bench_gf_mul =
+  let a = Gf.of_int 123456789 and b = Gf.of_int 987654321 in
+  Test.make ~name:"gf/mul" (Staged.stage (fun () -> ignore (Gf.mul a b)))
+
+let bench_gf_inv =
+  let a = Gf.of_int 123456789 in
+  Test.make ~name:"gf/inv" (Staged.stage (fun () -> ignore (Gf.inv a)))
+
+let bench_shamir_share =
+  Test.make ~name:"shamir/share n=7 t=2"
+    (Staged.stage (fun () -> ignore (Shamir.share rng ~n:7 ~t:2 ~secret:(Gf.of_int 42))))
+
+let bench_shamir_robust =
+  let shares = Shamir.share (Random.State.make [| 3 |]) ~n:9 ~t:2 ~secret:(Gf.of_int 7) in
+  let tampered = Array.copy shares in
+  tampered.(1) <- { tampered.(1) with Shamir.value = Gf.add tampered.(1).Shamir.value Gf.one };
+  tampered.(5) <- { tampered.(5) with Shamir.value = Gf.add tampered.(5).Shamir.value Gf.one };
+  let lst = Array.to_list tampered in
+  Test.make ~name:"shamir/BW-decode n=9 e=2"
+    (Staged.stage (fun () -> ignore (Shamir.reconstruct_robust ~t:2 ~max_errors:2 lst)))
+
+let run_sim procs sched = ignore (Sim.Runner.run (Sim.Runner.config ~scheduler:sched procs))
+
+let bench_rbc =
+  let make () =
+    let n = 4 and f = 1 in
+    Array.init n (fun me ->
+        let session = Broadcast.Rbc.create ~n ~f ~me ~sender:0 in
+        Sim.Types.
+          {
+            start =
+              (fun () ->
+                if me = 0 then
+                  List.map
+                    (fun (d, m) -> Send (d, m))
+                    (Broadcast.Rbc.broadcast session 42).Broadcast.Rbc.sends
+                else []);
+            receive =
+              (fun ~src m ->
+                List.map
+                  (fun (d, m) -> Send (d, m))
+                  (Broadcast.Rbc.handle session ~src m).Broadcast.Rbc.sends);
+            will = (fun () -> None);
+          })
+  in
+  Test.make ~name:"rbc/broadcast n=4"
+    (Staged.stage (fun () -> run_sim (make ()) (Sim.Scheduler.fifo ())))
+
+let bench_aba =
+  let make () =
+    let n = 4 and f = 1 in
+    Array.init n (fun me ->
+        let session =
+          Agreement.Aba.create ~n ~f ~me ~coin:(Agreement.Coin.common ~seed:1 ~instance:0)
+        in
+        let emit (r : Agreement.Aba.reaction) =
+          List.map (fun (d, m) -> Sim.Types.Send (d, m)) r.Agreement.Aba.sends
+        in
+        Sim.Types.
+          {
+            start = (fun () -> emit (Agreement.Aba.propose session true));
+            receive = (fun ~src m -> emit (Agreement.Aba.handle session ~src m));
+            will = (fun () -> None);
+          })
+  in
+  Test.make ~name:"aba/unanimous n=4"
+    (Staged.stage (fun () -> run_sim (make ()) (Sim.Scheduler.fifo ())))
+
+let bench_avss =
+  let make () =
+    let n = 4 and t = 1 in
+    Array.init n (fun me ->
+        let session = Mpc.Avss.create ~n ~degree:t ~faults:t ~me ~dealer:0 in
+        let local_rng = Random.State.make [| 5; me |] in
+        let emit (r : Mpc.Avss.reaction) =
+          List.map (fun (d, m) -> Sim.Types.Send (d, m)) r.Mpc.Avss.sends
+        in
+        Sim.Types.
+          {
+            start =
+              (fun () ->
+                if me = 0 then emit (Mpc.Avss.deal session local_rng ~secret:(Gf.of_int 9))
+                else []);
+            receive = (fun ~src m -> emit (Mpc.Avss.handle session ~src m));
+            will = (fun () -> None);
+          })
+  in
+  Test.make ~name:"avss/deal+accept n=4"
+    (Staged.stage (fun () -> run_sim (make ()) (Sim.Scheduler.fifo ())))
+
+let bench_mpc_sum =
+  let circuit = Circuit.sum ~n_inputs:4 in
+  let make () =
+    Array.init 4 (fun me ->
+        let e =
+          Mpc.Engine.create ~n:4 ~degree:1 ~faults:1 ~me ~circuit ~input:(Gf.of_int me)
+            ~rng:(Random.State.make [| 7; me |])
+            ~coin_seed:3 ()
+        in
+        let emit (r : Mpc.Engine.reaction) =
+          List.map (fun (d, m) -> Sim.Types.Send (d, m)) r.Mpc.Engine.sends
+        in
+        Sim.Types.
+          {
+            start = (fun () -> emit (Mpc.Engine.start e));
+            receive = (fun ~src m -> emit (Mpc.Engine.handle e ~src m));
+            will = (fun () -> None);
+          })
+  in
+  Test.make ~name:"mpc/sum-circuit n=4"
+    (Staged.stage (fun () -> run_sim (make ()) (Sim.Scheduler.fifo ())))
+
+let bench_cheaptalk =
+  let spec = Mediator.Spec.coordination ~n:5 in
+  let plan = Cheaptalk.Compile.plan_exn ~spec ~theorem:Cheaptalk.Compile.T41 ~k:0 ~t:1 () in
+  let seed = ref 0 in
+  Test.make ~name:"cheaptalk/coordination n=5 (full run)"
+    (Staged.stage (fun () ->
+         incr seed;
+         ignore
+           (Cheaptalk.Verify.run_once plan ~types:[| 0; 0; 0; 0; 0 |]
+              ~scheduler:(Sim.Scheduler.fifo ()) ~seed:!seed)))
+
+let all_tests =
+  [
+    bench_gf_mul;
+    bench_gf_inv;
+    bench_shamir_share;
+    bench_shamir_robust;
+    bench_rbc;
+    bench_aba;
+    bench_avss;
+    bench_mpc_sum;
+    bench_cheaptalk;
+  ]
+
+let run () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  Printf.printf "\n=== S1-S5: substrate micro-benchmarks (Bechamel) ===\n\n";
+  Printf.printf "%-40s %16s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 58 '-');
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] ->
+              let v, unit =
+                if est > 1e9 then (est /. 1e9, "s")
+                else if est > 1e6 then (est /. 1e6, "ms")
+                else if est > 1e3 then (est /. 1e3, "us")
+                else (est, "ns")
+              in
+              Printf.printf "%-40s %12.2f %s\n" name v unit
+          | _ -> Printf.printf "%-40s %16s\n" name "n/a")
+        analyzed)
+    all_tests

@@ -1,0 +1,80 @@
+type t = Gf.t array array (* c.(i).(j) = coefficient of x^i y^j; square *)
+
+let degree (b : t) = Array.length b - 1
+
+let create c =
+  let n = Array.length c in
+  Array.iter (fun row -> if Array.length row <> n then invalid_arg "Bipoly.create: not square") c;
+  Array.map Array.copy c
+
+let coeff (b : t) i j =
+  if i <= degree b && j <= degree b then b.(i).(j) else Gf.zero
+
+let eval (b : t) x y =
+  (* Horner in x of Horner-in-y row evaluations *)
+  let d = degree b in
+  let acc = ref Gf.zero in
+  for i = d downto 0 do
+    let row = ref Gf.zero in
+    for j = d downto 0 do
+      row := Gf.add (Gf.mul !row y) b.(i).(j)
+    done;
+    acc := Gf.add (Gf.mul !acc x) !row
+  done;
+  !acc
+
+let row (b : t) y0 =
+  let d = degree b in
+  Poly.of_coeffs
+    (Array.init (d + 1) (fun i ->
+         let acc = ref Gf.zero in
+         for j = d downto 0 do
+           acc := Gf.add (Gf.mul !acc y0) b.(i).(j)
+         done;
+         !acc))
+
+let col (b : t) x0 =
+  let d = degree b in
+  Poly.of_coeffs
+    (Array.init (d + 1) (fun j ->
+         let acc = ref Gf.zero in
+         for i = d downto 0 do
+           acc := Gf.add (Gf.mul !acc x0) b.(i).(j)
+         done;
+         !acc))
+
+let secret (b : t) = coeff b 0 0
+
+let is_symmetric (b : t) =
+  let d = degree b in
+  let ok = ref true in
+  for i = 0 to d do
+    for j = 0 to i - 1 do
+      if not (Gf.equal b.(i).(j) b.(j).(i)) then ok := false
+    done
+  done;
+  !ok
+
+let random_symmetric st ~degree ~secret =
+  if degree < 0 then invalid_arg "Bipoly.random_symmetric: negative degree";
+  let b = Array.make_matrix (degree + 1) (degree + 1) Gf.zero in
+  for i = 0 to degree do
+    for j = 0 to i do
+      let c = Gf.random st in
+      b.(i).(j) <- c;
+      b.(j).(i) <- c
+    done
+  done;
+  b.(0).(0) <- secret;
+  b
+
+let pp fmt (b : t) =
+  let d = degree b in
+  Format.fprintf fmt "@[<v>";
+  for i = 0 to d do
+    for j = 0 to d do
+      if not (Gf.equal b.(i).(j) Gf.zero) then
+        Format.fprintf fmt "%a*x^%dy^%d " Gf.pp b.(i).(j) i j
+    done
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,38 @@
+(** Bivariate polynomials over {!Gf} of degree at most d in each variable.
+
+    Used by the asynchronous verifiable secret sharing protocol: the dealer
+    embeds the secret as B(0,0) in a random symmetric bivariate polynomial,
+    sends player i the row polynomial B(x, i) and players cross-check
+    evaluations pairwise. *)
+
+type t
+
+val degree : t -> int
+(** The per-variable degree bound d. *)
+
+val create : Gf.t array array -> t
+(** [create c] where [c.(i).(j)] is the coefficient of x^i y^j. The matrix
+    must be square. The array is copied. *)
+
+val coeff : t -> int -> int -> Gf.t
+
+val eval : t -> Gf.t -> Gf.t -> Gf.t
+(** [eval b x y] = B(x, y). *)
+
+val row : t -> Gf.t -> Poly.t
+(** [row b y0] is the univariate polynomial x ↦ B(x, y0). *)
+
+val col : t -> Gf.t -> Poly.t
+(** [col b x0] is the univariate polynomial y ↦ B(x0, y). *)
+
+val secret : t -> Gf.t
+(** B(0, 0). *)
+
+val is_symmetric : t -> bool
+
+val random_symmetric : Random.State.t -> degree:int -> secret:Gf.t -> t
+(** Random symmetric bivariate polynomial with B(0,0) = secret and degree
+    at most [degree] in each variable. Symmetry gives B(i,j) = B(j,i), the
+    pairwise consistency check in AVSS. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+type t = int
+
+let p = 0x7FFFFFFF (* 2^31 - 1, Mersenne prime *)
+
+let zero = 0
+let one = 1
+
+let of_int x =
+  let r = x mod p in
+  if r < 0 then r + p else r
+
+let to_int x = x
+
+let add a b =
+  let s = a + b in
+  if s >= p then s - p else s
+
+let sub a b =
+  let d = a - b in
+  if d < 0 then d + p else d
+
+let neg a = if a = 0 then 0 else p - a
+
+(* a, b < 2^31 so a*b < 2^62 fits in OCaml's 63-bit int. *)
+let mul a b = a * b mod p
+
+let pow x e =
+  if e < 0 then invalid_arg "Gf.pow: negative exponent";
+  let rec go acc base e =
+    if e = 0 then acc
+    else
+      let acc = if e land 1 = 1 then mul acc base else acc in
+      go acc (mul base base) (e lsr 1)
+  in
+  go one x e
+
+(* Extended Euclid is ~3x faster than pow (p-2) and exact. *)
+let inv a =
+  if a = 0 then raise Division_by_zero;
+  let rec go r0 r1 s0 s1 = if r1 = 0 then s0 else go r1 (r0 mod r1) s1 (s0 - (r0 / r1) * s1) in
+  let s = go p a 0 1 in
+  of_int s
+
+let div a b = mul a (inv b)
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+let hash (a : t) = a
+
+let random st = Random.State.full_int st p
+
+let rec random_nonzero st =
+  let x = random st in
+  if x = 0 then random_nonzero st else x
+
+let pp fmt x = Format.fprintf fmt "%d" x
+let to_string = string_of_int

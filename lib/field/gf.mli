@@ -1,0 +1,48 @@
+(** Prime-field arithmetic over GF(p) with p = 2^31 - 1 (a Mersenne prime).
+
+    All elements are represented as native [int] values in [0, p). Products
+    of two elements fit in 62 bits, so no big-integer library is needed.
+    This field underlies Shamir secret sharing, Reed-Solomon decoding and
+    the arithmetic-circuit mediator model of the paper. *)
+
+type t = private int
+(** A field element, always in canonical range [0, p). *)
+
+val p : int
+(** The field modulus, 2^31 - 1. *)
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** [of_int x] reduces [x] modulo [p] (works for negative [x] too). *)
+
+val to_int : t -> int
+(** Canonical representative in [0, p). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val inv : t -> t
+(** Multiplicative inverse. @raise Division_by_zero on [zero]. *)
+
+val div : t -> t -> t
+(** [div a b = mul a (inv b)]. @raise Division_by_zero if [b = zero]. *)
+
+val pow : t -> int -> t
+(** [pow x e] for [e >= 0] by square-and-multiply. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val random : Random.State.t -> t
+(** Uniformly random field element. *)
+
+val random_nonzero : Random.State.t -> t
+(** Uniformly random element of GF(p) \ {0}. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,93 @@
+let copy_matrix a = Array.map Array.copy a
+
+let check_shapes a b =
+  let rows = Array.length a in
+  if rows <> Array.length b then invalid_arg "Linalg.solve: row count mismatch";
+  if rows > 0 then begin
+    let cols = Array.length a.(0) in
+    Array.iter (fun r -> if Array.length r <> cols then invalid_arg "Linalg.solve: ragged matrix") a
+  end
+
+(* Reduce [m] (rows) with the augmented column [v] to row echelon form in
+   place; returns the list of (row, pivot-column) pairs in order. *)
+let eliminate m v =
+  let rows = Array.length m in
+  let cols = if rows = 0 then 0 else Array.length m.(0) in
+  let pivots = ref [] in
+  let r = ref 0 in
+  for c = 0 to cols - 1 do
+    if !r < rows then begin
+      (* find pivot row *)
+      let pr = ref (-1) in
+      for i = !r to rows - 1 do
+        if !pr < 0 && not (Gf.equal m.(i).(c) Gf.zero) then pr := i
+      done;
+      if !pr >= 0 then begin
+        let pi = !pr in
+        (* swap *)
+        let tmp = m.(!r) in
+        m.(!r) <- m.(pi);
+        m.(pi) <- tmp;
+        let tv = v.(!r) in
+        v.(!r) <- v.(pi);
+        v.(pi) <- tv;
+        (* normalise pivot row *)
+        let inv = Gf.inv m.(!r).(c) in
+        for j = c to cols - 1 do
+          m.(!r).(j) <- Gf.mul m.(!r).(j) inv
+        done;
+        v.(!r) <- Gf.mul v.(!r) inv;
+        (* eliminate below and above *)
+        for i = 0 to rows - 1 do
+          if i <> !r && not (Gf.equal m.(i).(c) Gf.zero) then begin
+            let f = m.(i).(c) in
+            for j = c to cols - 1 do
+              m.(i).(j) <- Gf.sub m.(i).(j) (Gf.mul f m.(!r).(j))
+            done;
+            v.(i) <- Gf.sub v.(i) (Gf.mul f v.(!r))
+          end
+        done;
+        pivots := (!r, c) :: !pivots;
+        incr r
+      end
+    end
+  done;
+  List.rev !pivots
+
+let solve a b =
+  check_shapes a b;
+  let rows = Array.length a in
+  let cols = if rows = 0 then 0 else Array.length a.(0) in
+  let m = copy_matrix a in
+  let v = Array.copy b in
+  let pivots = eliminate m v in
+  (* Inconsistent if some zero row has nonzero rhs *)
+  let npiv = List.length pivots in
+  let inconsistent = ref false in
+  for i = npiv to rows - 1 do
+    if not (Gf.equal v.(i) Gf.zero) then inconsistent := true
+  done;
+  if !inconsistent then None
+  else begin
+    let x = Array.make cols Gf.zero in
+    List.iter (fun (r, c) -> x.(c) <- v.(r)) pivots;
+    Some x
+  end
+
+let rank a =
+  let rows = Array.length a in
+  if rows = 0 then 0
+  else begin
+    let m = copy_matrix a in
+    let v = Array.make rows Gf.zero in
+    List.length (eliminate m v)
+  end
+
+let mat_vec a x =
+  Array.map
+    (fun row ->
+      if Array.length row <> Array.length x then invalid_arg "Linalg.mat_vec: shape mismatch";
+      let acc = ref Gf.zero in
+      Array.iteri (fun j aij -> acc := Gf.add !acc (Gf.mul aij x.(j))) row;
+      !acc)
+    a

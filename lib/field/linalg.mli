@@ -1,0 +1,15 @@
+(** Linear algebra over {!Gf}: Gaussian elimination, used by the
+    Berlekamp-Welch decoder in {!module:Shamir} to solve for the error
+    locator and message polynomials. *)
+
+val solve : Gf.t array array -> Gf.t array -> Gf.t array option
+(** [solve a b] returns some solution x of the linear system A·x = b, or
+    [None] if the system is inconsistent. When the system is
+    under-determined, free variables are set to zero. [a] is an array of
+    rows; it is not modified. @raise Invalid_argument on shape mismatch. *)
+
+val rank : Gf.t array array -> int
+(** Rank of the matrix. *)
+
+val mat_vec : Gf.t array array -> Gf.t array -> Gf.t array
+(** Matrix-vector product. *)

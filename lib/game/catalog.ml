@@ -1,0 +1,104 @@
+let all_equal actions v = Array.for_all (fun a -> a = v) actions
+
+let coordination ~n =
+  Game.complete_information ~name:(Printf.sprintf "coordination-%d" n) ~n
+    ~action_counts:(Array.make n 2)
+    ~utility:(fun actions ->
+      let u = if all_equal actions 0 || all_equal actions 1 then 1.0 else 0.0 in
+      Array.make n u)
+    ()
+
+let majority_bit types =
+  let ones = Array.fold_left ( + ) 0 types in
+  if 2 * ones > Array.length types then 1 else 0
+
+let majority_coordination ~n =
+  let type_dist =
+    List.map
+      (fun profile -> (profile, 1.0 /. float_of_int (1 lsl n)))
+      (Subsets.profiles (Array.make n 2))
+  in
+  Game.create ~name:(Printf.sprintf "majority-coordination-%d" n) ~n
+    ~type_counts:(Array.make n 2) ~type_dist ~action_counts:(Array.make n 2)
+    ~utility:(fun ~types ~actions ->
+      let m = majority_bit types in
+      let u = if all_equal actions m then 1.0 else 0.0 in
+      Array.make n u)
+    ()
+
+(* Chicken: action 0 = Dare, action 1 = Chicken. *)
+let chicken () =
+  Game.complete_information ~name:"chicken" ~n:2 ~action_counts:[| 2; 2 |]
+    ~utility:(fun actions ->
+      match (actions.(0), actions.(1)) with
+      | 0, 0 -> [| 0.0; 0.0 |]
+      | 0, 1 -> [| 7.0; 2.0 |]
+      | 1, 0 -> [| 2.0; 7.0 |]
+      | 1, 1 -> [| 6.0; 6.0 |]
+      | _ -> assert false)
+    ()
+
+(* Majority-match: u_i = 1 iff player i's action equals the majority
+   action (ties resolved towards 0). Unlike plain coordination, a single
+   deviator cannot hurt the others, so t-immunity is achievable. *)
+let majority_match ~n =
+  Game.complete_information ~name:(Printf.sprintf "majority-match-%d" n) ~n
+    ~action_counts:(Array.make n 2)
+    ~utility:(fun actions ->
+      let ones = Array.fold_left ( + ) 0 actions in
+      let maj = if 2 * ones > n then 1 else 0 in
+      Array.map (fun a -> if a = maj then 1.0 else 0.0) actions)
+    ()
+
+let chicken_correlated () =
+  let third = 1.0 /. 3.0 in
+  Dist.of_list [ ([| 0; 1 |], third); ([| 1; 0 |], third); ([| 1; 1 |], third) ]
+
+let bot_action = 2
+
+let punishment_pitfall ~n ~k =
+  if n <= 3 * k then invalid_arg "Catalog.punishment_pitfall: need n > 3k";
+  Game.complete_information ~name:(Printf.sprintf "punishment-pitfall-%d-%d" n k) ~n
+    ~action_counts:(Array.make n 3)
+    ~utility:(fun actions ->
+      let bots = Array.fold_left (fun acc a -> if a = bot_action then acc + 1 else acc) 0 actions in
+      let all_in v =
+        Array.for_all (fun a -> a = v || a = bot_action) actions
+      in
+      let u =
+        if bots >= k + 1 then 1.1
+        else if all_in 0 then 1.0
+        else if all_in 1 then 2.0
+        else 0.0
+      in
+      Array.make n u)
+    ()
+
+let byzantine_agreement ~n =
+  let type_dist =
+    List.map
+      (fun profile -> (profile, 1.0 /. float_of_int (1 lsl n)))
+      (Subsets.profiles (Array.make n 2))
+  in
+  Game.create ~name:(Printf.sprintf "byzantine-agreement-%d" n) ~n
+    ~type_counts:(Array.make n 2) ~type_dist ~action_counts:(Array.make n 2)
+    ~utility:(fun ~types ~actions ->
+      let m = majority_bit types in
+      let u = if all_equal actions m then 1.0 else 0.0 in
+      Array.make n u)
+    ()
+
+let exchange () =
+  let type_dist =
+    [ ([| 0; 0 |], 0.25); ([| 0; 1 |], 0.25); ([| 1; 0 |], 0.25); ([| 1; 1 |], 0.25) ]
+  in
+  Game.create ~name:"exchange" ~n:2 ~type_counts:[| 2; 2 |] ~type_dist
+    ~action_counts:[| 2; 2 |]
+    ~utility:(fun ~types:_ ~actions ->
+      match (actions.(0), actions.(1)) with
+      | 1, 1 -> [| 1.0; 1.0 |]
+      | 1, 0 -> [| -1.0; 2.0 |]
+      | 0, 1 -> [| 2.0; -1.0 |]
+      | 0, 0 -> [| 0.0; 0.0 |]
+      | _ -> assert false)
+    ()

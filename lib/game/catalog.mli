@@ -1,0 +1,62 @@
+(** Concrete games used across examples, tests and experiments.
+
+    Each entry documents the mediated equilibrium the experiments
+    implement via cheap talk, and (where applicable) the punishment
+    strategy the paper's Theorems 4.4/4.5 rely on. *)
+
+(** n-player coordination: all players get 1 if everyone plays the same
+    bit, 0 otherwise. The mediator flips a fair coin and recommends it to
+    everyone; expected mediated payoff 1. Both all-0 and all-1 are Nash,
+    so the coin is a genuine correlation device. *)
+val coordination : n:int -> Game.t
+
+(** Majority-coordination (Bayesian): each player's type is a uniform iid
+    bit; everyone gets 1 if all actions equal the majority of the realised
+    types (ties broken towards 0), else 0. No player knows the majority, so
+    the mediator (a {!Circuit.majority}-style computation) is essential.
+    [n] should be odd to avoid ties. *)
+val majority_coordination : n:int -> Game.t
+
+(** Majority-match: everyone who plays the majority action gets 1 (ties
+    resolve to 0). The mediator's coin makes everyone match; a lone
+    deviator only hurts itself, so the profile is t-immune — the game used
+    by the immunity experiments. *)
+val majority_match : n:int -> Game.t
+
+(** Chicken with the classic payoffs (per player: Dare=0, Chicken=1):
+    (D,D)=(0,0), (D,C)=(7,2), (C,D)=(2,7), (C,C)=(6,6). The mediator
+    implements the correlated equilibrium mixing uniformly over
+    {(D,C),(C,D),(C,C)}, giving each player 5 — strictly better than the
+    symmetric Nash payoff. Recommendations must stay private. *)
+val chicken : unit -> Game.t
+
+(** The correlated distribution of {!chicken}'s mediated equilibrium, as a
+    distribution over action profiles. *)
+val chicken_correlated : unit -> Dist.t
+
+(** The Section 6.4 counterexample. Actions are {0, 1, bot=2}. If at least
+    k+1 players play bot, everyone gets 1.1; if at most k play bot and the
+    rest all play 0 (resp. all play 1), everyone gets 1 (resp. 2);
+    otherwise 0. The mediator's strategy gives expected payoff 1.5, and
+    "everyone plays bot" is a k-punishment — yet naive punishment-wills
+    fail because the mediator leaks a+b·i. Requires n > 3k. *)
+val punishment_pitfall : n:int -> k:int -> Game.t
+
+val bot_action : int
+(** The index of the bot action in {!punishment_pitfall} (= 2). *)
+
+(** Byzantine agreement as a game: each player's type is its input bit;
+    all players who output the majority input value get 1 when every
+    player outputs that value, else everyone gets 0. With a mediator this
+    is the trivial "send inputs, receive majority" protocol from the
+    paper's introduction. [n] should be odd. *)
+val byzantine_agreement : n:int -> Game.t
+
+(** Exchange game for the Even-Goldreich-Lempel comparison (E7): each of
+    the two players holds a secret bit (its type); actions are
+    {withhold=0, release=1}. Both release: both get 1. One releases:
+    the releaser gets -1, the other 2. Neither: 0. "Withhold" is the
+    1-punishment relative to the mediated release-coordination profile
+    only when paired with the mediator's escrow; the game exists to
+    measure message-vs-epsilon trade-offs, not as an equilibrium claim. *)
+val exchange : unit -> Game.t

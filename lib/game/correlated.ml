@@ -1,0 +1,149 @@
+type witness = {
+  player : int;
+  told : int;
+  better : int;
+  gain : float;
+}
+
+let pp_witness fmt w =
+  Format.fprintf fmt "player %d told %d profits %+.4f by playing %d" w.player w.told w.gain
+    w.better
+
+let require_complete_information (g : Game.t) =
+  if Array.exists (fun c -> c > 1) g.Game.type_counts then
+    invalid_arg "Correlated: complete-information games only";
+  Array.make g.Game.n 0
+
+let value (g : Game.t) ~dist =
+  let types = require_complete_information g in
+  let totals = Array.make g.Game.n 0.0 in
+  List.iter
+    (fun (actions, p) ->
+      let u = g.Game.utility ~types ~actions in
+      Array.iteri (fun i ui -> totals.(i) <- totals.(i) +. (p *. ui)) u)
+    (Dist.support dist);
+  totals
+
+let tol = 1e-9
+
+let check_obedience ?(eps = 0.0) (g : Game.t) ~dist =
+  let types = require_complete_information g in
+  let support = Dist.support dist in
+  let n = g.Game.n in
+  let result = ref (Ok ()) in
+  for i = 0 to n - 1 do
+    if !result = Ok () then
+      for told = 0 to g.Game.action_counts.(i) - 1 do
+        if !result = Ok () then begin
+          (* conditional distribution over others' actions given i is told [told] *)
+          let slice = List.filter (fun (a, _) -> a.(i) = told) support in
+          let mass = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 slice in
+          if mass > tol then begin
+            let payoff play =
+              List.fold_left
+                (fun acc (a, p) ->
+                  let a' = Array.copy a in
+                  a'.(i) <- play;
+                  acc +. (p /. mass *. (g.Game.utility ~types ~actions:a').(i)))
+                0.0 slice
+            in
+            let obey = payoff told in
+            for better = 0 to g.Game.action_counts.(i) - 1 do
+              if !result = Ok () && better <> told then begin
+                let dev = payoff better in
+                let violated =
+                  if eps = 0.0 then dev > obey +. tol else dev >= obey +. eps -. tol
+                in
+                if violated then
+                  result := Error { player = i; told; better; gain = dev -. obey }
+              end
+            done
+          end
+        end
+      done
+  done;
+  !result
+
+let is_product dist ~n ~action_counts =
+  let support = Dist.support dist in
+  let marginal i a =
+    List.fold_left (fun acc (prof, p) -> if prof.(i) = a then acc +. p else acc) 0.0 support
+  in
+  let product_prob prof =
+    let acc = ref 1.0 in
+    Array.iteri (fun i a -> acc := !acc *. marginal i a) prof;
+    !acc
+  in
+  let ok = ref true in
+  let check prof = if abs_float (Dist.prob dist prof -. product_prob prof) > 1e-9 then ok := false in
+  List.iter check (Subsets.profiles action_counts);
+  ignore n;
+  !ok
+
+type bayes_witness = {
+  b_player : int;
+  true_type : int;
+  reported : int;
+  b_gain : float;
+}
+
+let pp_bayes_witness fmt w =
+  Format.fprintf fmt "player %d with type %d gains %+.4f by reporting %d (and disobeying)"
+    w.b_player w.true_type w.b_gain w.reported
+
+(* Conditional distribution over co-players' types given player i's type. *)
+let type_posterior (g : Game.t) i xi =
+  let slice = List.filter (fun (types, _) -> types.(i) = xi) g.Game.type_dist in
+  let mass = List.fold_left (fun acc (_, p) -> acc +. p) 0.0 slice in
+  if mass <= 0.0 then [] else List.map (fun (types, p) -> (types, p /. mass)) slice
+
+let check_communication_equilibrium ?(eps = 0.0) (g : Game.t) ~mediator =
+  let n = g.Game.n in
+  let result = ref (Ok ()) in
+  (* Expected utility for player i of true type xi when it reports
+     [report] and then maps each recommendation a to [decode a]; everyone
+     else is truthful and obedient. *)
+  let payoff i xi ~report ~decode =
+    List.fold_left
+      (fun acc (types, p_types) ->
+        let reported = Array.copy types in
+        reported.(i) <- report;
+        let d = mediator ~types:reported in
+        acc
+        +. p_types
+           *. List.fold_left
+                (fun acc (recs, p_rec) ->
+                  let actions = Array.copy recs in
+                  actions.(i) <- decode recs.(i);
+                  acc +. (p_rec *. (g.Game.utility ~types ~actions).(i)))
+                0.0 (Dist.support d))
+      0.0 (type_posterior g i xi)
+  in
+  for i = 0 to n - 1 do
+    for xi = 0 to g.Game.type_counts.(i) - 1 do
+      if !result = Ok () && type_posterior g i xi <> [] then begin
+        let truthful = payoff i xi ~report:xi ~decode:(fun a -> a) in
+        let acts = List.init g.Game.action_counts.(i) (fun a -> a) in
+        (* all decode maps: recommendation -> action *)
+        let decode_maps =
+          Subsets.cartesian (List.map (fun _ -> acts) acts)
+          |> List.map (fun image a -> List.nth image a)
+        in
+        for report = 0 to g.Game.type_counts.(i) - 1 do
+          List.iter
+            (fun decode ->
+              if !result = Ok () then begin
+                let dev = payoff i xi ~report ~decode in
+                let violated =
+                  if eps = 0.0 then dev > truthful +. tol else dev >= truthful +. eps -. tol
+                in
+                if violated then
+                  result :=
+                    Error { b_player = i; true_type = xi; reported = report; b_gain = dev -. truthful }
+              end)
+            decode_maps
+        done
+      end
+    done
+  done;
+  !result

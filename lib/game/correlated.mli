@@ -1,0 +1,65 @@
+(** Correlated equilibria: the equilibrium notion the mediated strategy
+    profiles instantiate.
+
+    Every theorem in the paper starts from "~σ + σd is a (k,t)-robust
+    equilibrium in the mediator game". For complete-information games the
+    k = 1, t = 0 core of that premise is exactly that the mediator's
+    recommendation distribution is a {e correlated equilibrium}: no player
+    can profit by deviating from its recommendation, conditioned on what
+    the recommendation tells it about the others. This module checks the
+    obedience constraints over a {!Dist.t}, so specs can certify their
+    premise before the compiler ever runs. *)
+
+type witness = {
+  player : int;
+  told : int;  (** the recommendation received *)
+  better : int;  (** the profitable disobedience *)
+  gain : float;
+}
+
+val pp_witness : Format.formatter -> witness -> unit
+
+val check_obedience :
+  ?eps:float -> Game.t -> dist:Dist.t -> (unit, witness) result
+(** For a complete-information game (single type profile): is the given
+    distribution over action profiles a correlated equilibrium? Checks,
+    for every player i, every recommendation a with positive marginal and
+    every alternative a', that E[u_i | told a, play a'] <= E[u_i | told a,
+    play a] + eps. [eps = 0.] is the exact notion.
+    @raise Invalid_argument for games with non-trivial type spaces. *)
+
+val value : Game.t -> dist:Dist.t -> float array
+(** Expected payoff per player under the correlated distribution. *)
+
+val is_product : Dist.t -> n:int -> action_counts:int array -> bool
+(** True when the distribution factorises into independent per-player
+    marginals — i.e. the correlation device is doing nothing a mixed
+    profile could not. Chicken's correlated equilibrium is NOT a product;
+    that gap is why the mediator (and hence the paper) matters. *)
+
+(** {1 Bayesian games: communication equilibria}
+
+    With private types the premise is a {e communication equilibrium}:
+    reporting your type truthfully and then obeying the recommendation
+    must beat every (misreport, disobedience-map) double deviation. *)
+
+type bayes_witness = {
+  b_player : int;
+  true_type : int;
+  reported : int;  (** the profitable misreport (may equal the true type) *)
+  b_gain : float;
+}
+
+val pp_bayes_witness : Format.formatter -> bayes_witness -> unit
+
+val check_communication_equilibrium :
+  ?eps:float ->
+  Game.t ->
+  mediator:(types:int array -> Dist.t) ->
+  (unit, bayes_witness) result
+(** [mediator ~types] is the mediator's recommendation distribution given
+    the reported type profile. Checks every player, every true type, every
+    report and every decode map from recommendations to actions: truthful
+    obedience must be within [eps] of the best double deviation.
+    Exponential in the per-player action count (decode maps); intended for
+    the small catalog games. *)

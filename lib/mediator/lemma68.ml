@@ -1,0 +1,74 @@
+let log10_factorial x =
+  if x < 0 then invalid_arg "Lemma68.log10_factorial";
+  if x <= 1_000_000 then begin
+    let acc = ref 0.0 in
+    for i = 2 to x do
+      acc := !acc +. log10 (float_of_int i)
+    done;
+    !acc
+  end
+  else begin
+    (* Stirling: ln x! ~ x ln x - x + 0.5 ln(2 pi x) *)
+    let xf = float_of_int x in
+    (xf *. log xf) -. xf +. (0.5 *. log (2.0 *. Float.pi *. xf)) |> fun ln -> ln /. log 10.0
+  end
+
+let log10_pattern_bound ~n ~r =
+  let len = 4 * r * n in
+  log10 (float_of_int (max 1 len))
+  +. log10_factorial len
+  -. (float_of_int (2 * n) *. log10_factorial r)
+
+let log10_class_bound ~n ~r =
+  (* up to 2rn messages may stay undelivered: a factor of at most 2^(2rn) *)
+  (float_of_int (2 * r * n) *. log10 2.0) +. log10_pattern_bound ~n ~r
+
+let log10_r_closed_form ~n ~r =
+  let x = float_of_int (4 * r * n) in
+  x *. log10 x
+
+let min_padding_rounds ~n ~r =
+  let target = log10_class_bound ~n ~r in
+  let rec go rr =
+    if rr > 1_000_000_000 then rr
+    else if log10_factorial (rr * n) >= target then rr
+    else go (rr + 1 + (rr / 8))
+  in
+  (* coarse search up, then refine down *)
+  let hi = go 1 in
+  let rec refine lo hi =
+    if lo >= hi then hi
+    else
+      let mid = (lo + hi) / 2 in
+      if log10_factorial (mid * n) >= target then refine lo mid else refine (mid + 1) hi
+  in
+  refine 1 hi
+
+(* Exact pattern count: a state is (sent, delivered) per channel, where
+   channels are player->mediator and mediator->player for each player.
+   Patterns = all event sequences; an S event on channel c is enabled when
+   sent(c) < r, a D event when delivered(c) < sent(c). Distinct sequences
+   are counted as distinct patterns, so the count is the number of paths
+   from the initial state (including the empty path). *)
+let count_patterns_exact ~n ~r =
+  if n * r > 6 then invalid_arg "Lemma68.count_patterns_exact: too large (cap n*r <= 6)";
+  let channels = 2 * n in
+  let memo : (int list, int) Hashtbl.t = Hashtbl.create 4096 in
+  let rec paths (state : (int * int) list) =
+    let key = List.concat_map (fun (s, d) -> [ s; d ]) state in
+    match Hashtbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+        let total = ref 1 (* the empty continuation *) in
+        List.iteri
+          (fun c (s, d) ->
+            let bump f =
+              List.mapi (fun c' sd -> if c' = c then f sd else sd) state
+            in
+            if s < r then total := !total + paths (bump (fun (s, d) -> (s + 1, d)));
+            if d < s then total := !total + paths (bump (fun (s, d) -> (s, d + 1))))
+          state;
+        Hashtbl.replace memo key !total;
+        !total
+  in
+  paths (List.init channels (fun _ -> (0, 0)))

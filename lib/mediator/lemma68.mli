@@ -1,0 +1,45 @@
+(** The counting argument of Lemma 6.8.
+
+    To implement (rather than weakly implement) a mediator strategy, the
+    minimally informative mediator must be able to reproduce the effect of
+    {e every} deterministic scheduler equivalence class. The paper counts:
+
+    - message patterns — sequences of (s,i,j,k)/(d,i,j,k) events where the
+      mediator exchanges at most r messages with each player — of which
+      there are at most (4rn)·(4rn)!/(r!)^{2n};
+    - scheduler equivalence classes: at most a factor 2^(2rn) more
+      (choices of which sent messages stay undelivered);
+    - and the number R of padding rounds the mediator needs so that the
+      (Rn)! orders of its received messages cover every class:
+      R = (4rn)^(4rn) always suffices.
+
+    Factorials of these sizes overflow everything, so the bounds are
+    computed in log10. For tiny (n, r) we also enumerate the message
+    patterns {e exactly} (dynamic programming over channel states), which
+    pins the formula down as a real upper bound — the closest a program
+    can get to checking a counting lemma. *)
+
+val log10_factorial : int -> float
+(** log10 (x!) via the log-gamma function. *)
+
+val log10_pattern_bound : n:int -> r:int -> float
+(** log10 of (4rn)·(4rn)!/(r!)^{2n} — the paper's bound on the number of
+    message patterns of length <= 4rn. *)
+
+val log10_class_bound : n:int -> r:int -> float
+(** log10 of the scheduler-equivalence-class bound
+    2^(2rn)·(4rn)·(4rn)!/(r!)^{2n}. *)
+
+val log10_r_closed_form : n:int -> r:int -> float
+(** log10 of the paper's closed-form padding round count (4rn)^(4rn). *)
+
+val min_padding_rounds : n:int -> r:int -> int
+(** The least R such that (Rn)! is at least the class bound — the actual
+    requirement in the construction (far below the closed form). Computed
+    by searching over log-factorials. *)
+
+val count_patterns_exact : n:int -> r:int -> int
+(** Exact number of message patterns (event sequences of any length) for a
+    mediator exchanging at most [r] messages each way with each of [n]
+    players. Exponential; intended for n, r <= 2-ish.
+    @raise Invalid_argument when the state space exceeds a safety cap. *)

@@ -1,0 +1,78 @@
+module Gf = Field.Gf
+module Dist = Games.Dist
+
+let exact_action_dist (spec : Spec.t) ~types =
+  let c = spec.Spec.circuit in
+  let moduli = c.Circuit.random_moduli in
+  if not (Array.for_all (fun m -> m > 0) moduli) then None
+  else begin
+    let n = spec.Spec.game.Games.Game.n in
+    let inputs = Array.init n (fun i -> spec.Spec.encode_type ~player:i types.(i)) in
+    let slots = Array.to_list (Array.map (fun m -> List.init m (fun v -> v)) moduli) in
+    let vectors = Games.Subsets.cartesian slots in
+    let total = float_of_int (List.length vectors) in
+    let entries =
+      List.map
+        (fun vec ->
+          let random = Array.of_list (List.map Gf.of_int vec) in
+          let outs = Circuit.eval c ~inputs ~random in
+          let actions = Array.mapi (fun i v -> spec.Spec.decode_action ~player:i v) outs in
+          (actions, 1.0 /. total))
+        vectors
+    in
+    Some (Dist.of_list entries)
+  end
+
+let run_once ~spec ~types ~rounds ~wait_for ~scheduler ~seed =
+  let rng = Random.State.make [| 0xABCD; seed |] in
+  let procs = Protocol.game_processes ~spec ~types ~rounds ~wait_for ~rng () in
+  let n = spec.Spec.game.Games.Game.n in
+  Sim.Runner.run (Sim.Runner.config ~mediator:n ~scheduler procs)
+
+let actions_of_outcome ~spec ~types (o : int Sim.Types.outcome) =
+  let n = spec.Spec.game.Games.Game.n in
+  Array.init n (fun i ->
+      match o.Sim.Types.moves.(i) with
+      | Some a -> a
+      | None -> (
+          match spec.Spec.default_move with
+          | Some d -> d ~player:i ~type_:types.(i)
+          | None -> 0))
+
+let empirical_action_dist ~spec ~types ~rounds ~wait_for ~samples ~scheduler_of ~seed =
+  let emp = Dist.Empirical.create () in
+  for s = 0 to samples - 1 do
+    let o =
+      run_once ~spec ~types ~rounds ~wait_for ~scheduler:(scheduler_of (seed + s))
+        ~seed:(seed + s)
+    in
+    Dist.Empirical.add emp (actions_of_outcome ~spec ~types o)
+  done;
+  Dist.Empirical.to_dist emp
+
+let draw_types (game : Games.Game.t) rng =
+  let u = Random.State.float rng 1.0 in
+  let rec pick acc = function
+    | [] -> fst (List.hd game.Games.Game.type_dist)
+    | (types, p) :: rest -> if u < acc +. p then types else pick (acc +. p) rest
+  in
+  pick 0.0 game.Games.Game.type_dist
+
+let expected_utilities ~spec ~rounds ~wait_for ~samples ~scheduler_of ~seed =
+  let game = spec.Spec.game in
+  let n = game.Games.Game.n in
+  let totals = Array.make n 0.0 in
+  let rng = Random.State.make [| 0xBEEF; seed |] in
+  for s = 0 to samples - 1 do
+    let types = draw_types game rng in
+    let o =
+      run_once ~spec ~types ~rounds ~wait_for ~scheduler:(scheduler_of (seed + s))
+        ~seed:(seed + s)
+    in
+    let actions = actions_of_outcome ~spec ~types o in
+    let u = game.Games.Game.utility ~types ~actions in
+    for i = 0 to n - 1 do
+      totals.(i) <- totals.(i) +. u.(i)
+    done
+  done;
+  Array.map (fun x -> x /. float_of_int samples) totals

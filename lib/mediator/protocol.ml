@@ -1,0 +1,123 @@
+module Gf = Field.Gf
+open Sim.Types
+
+type msg =
+  | To_mediator of { round : int; input : Gf.t }
+  | Round of int
+  | Stop of Gf.t
+
+let pp_msg fmt = function
+  | To_mediator { round; input } -> Format.fprintf fmt "to-mediator(%d,%a)" round Gf.pp input
+  | Round r -> Format.fprintf fmt "round(%d)" r
+  | Stop v -> Format.fprintf fmt "stop(%a)" Gf.pp v
+
+let honest_player ~spec ~me ~type_ ~mediator_pid ~will =
+  let input = spec.Spec.encode_type ~player:me type_ in
+  {
+    start = (fun () -> [ Send (mediator_pid, To_mediator { round = 0; input }) ]);
+    receive =
+      (fun ~src m ->
+        if src <> mediator_pid then []
+        else
+          match m with
+          | Round r -> [ Send (mediator_pid, To_mediator { round = r; input }) ]
+          | Stop v -> [ Move (spec.Spec.decode_action ~player:me v); Halt ]
+          | To_mediator _ -> []);
+    will = (fun () -> will);
+  }
+
+type mediator_state = {
+  (* received.(i).(r) = the input player i attached to its round-r message *)
+  received : Gf.t option array array;
+  mutable arrivals : (int * int) list;  (* (player, round), reverse order *)
+  mutable stopped : bool;
+}
+
+let mediator_process ?(strong = false) ~spec ~n ~rounds ~wait_for ~rng () =
+  if rounds < 1 then invalid_arg "Protocol.mediator_process: rounds >= 1";
+  let st =
+    {
+      received = Array.init n (fun _ -> Array.make rounds None);
+      arrivals = [];
+      stopped = false;
+    }
+  in
+  (* Strong implementation (Lemma 6.8): the order in which the mediator's
+     R*n messages arrived selects which outcome class it simulates — here,
+     the arrival order deterministically seeds the mediator's randomness,
+     so the scheduler's choices span the full outcome set. *)
+  let base_seed = Random.State.bits rng in
+  (* A player's message set is valid and complete when all rounds carry the
+     same input value. *)
+  let complete i =
+    match st.received.(i).(0) with
+    | None -> false
+    | Some v0 ->
+        Array.for_all
+          (function Some v -> Gf.equal v v0 | None -> false)
+          st.received.(i)
+  in
+  let complete_count () =
+    let c = ref 0 in
+    for i = 0 to n - 1 do
+      if complete i then incr c
+    done;
+    !c
+  in
+  let stop_batch () =
+    st.stopped <- true;
+    let inputs =
+      Array.init n (fun i ->
+          match st.received.(i).(0) with
+          | Some v when complete i -> v
+          | _ -> Gf.zero (* arbitrary extension of the received profile *))
+    in
+    let random =
+      if strong then
+        Circuit.sample_randomness spec.Spec.circuit
+          (Random.State.make [| base_seed; Hashtbl.hash st.arrivals |])
+      else Circuit.sample_randomness spec.Spec.circuit rng
+    in
+    let outs = Circuit.eval spec.Spec.circuit ~inputs ~random in
+    List.init n (fun i -> Send (i, Stop outs.(i))) @ [ Halt ]
+  in
+  {
+    start = (fun () -> []);
+    receive =
+      (fun ~src m ->
+        if st.stopped || src < 0 || src >= n then []
+        else
+          match m with
+          | To_mediator { round; input } ->
+              if round < 0 || round >= rounds then []
+              else begin
+                (match st.received.(src).(round) with
+                | Some _ -> () (* first message binds *)
+                | None ->
+                    st.received.(src).(round) <- Some input;
+                    st.arrivals <- (src, round) :: st.arrivals);
+                let reply =
+                  if round + 1 <= rounds - 1 then [ Send (src, Round (round + 1)) ] else []
+                in
+                if complete_count () >= wait_for then reply @ stop_batch () else reply
+              end
+          | Round _ | Stop _ -> []);
+    will = (fun () -> None);
+  }
+
+let game_processes ?(strong = false) ~spec ~types ~rounds ~wait_for ~rng ?wills () =
+  let n = spec.Spec.game.Games.Game.n in
+  if Array.length types <> n then invalid_arg "Protocol.game_processes: types arity";
+  let will_of =
+    match wills with
+    | Some f -> f
+    | None -> (
+        fun i ->
+          match spec.Spec.punishment with
+          | Some p -> Some (p ~player:i ~type_:types.(i))
+          | None -> None)
+  in
+  Array.init (n + 1) (fun pid ->
+      if pid < n then
+        honest_player ~spec ~me:pid ~type_:types.(pid) ~mediator_pid:n ~will:(will_of pid)
+      else mediator_process ~strong ~spec ~n ~rounds ~wait_for ~rng ())

@@ -1,0 +1,154 @@
+module Gf = Field.Gf
+module B = Circuit.Builder
+
+type t = {
+  name : string;
+  game : Games.Game.t;
+  circuit : Circuit.t;
+  stages : int array array option;
+  encode_type : player:int -> int -> Gf.t;
+  decode_action : player:int -> Gf.t -> int;
+  punishment : (player:int -> type_:int -> int) option;
+  default_move : (player:int -> type_:int -> int) option;
+}
+
+let create ?punishment ?default_move ?stages ~name ~game ~circuit ~encode_type ~decode_action () =
+  if circuit.Circuit.n_inputs <> game.Games.Game.n then
+    invalid_arg "Spec.create: circuit inputs must match player count";
+  if Array.length circuit.Circuit.outputs <> game.Games.Game.n then
+    invalid_arg "Spec.create: circuit outputs must match player count";
+  (match stages with
+  | None -> ()
+  | Some st ->
+      if Array.length st = 0 then invalid_arg "Spec.create: empty stages";
+      Array.iter
+        (fun outs ->
+          if Array.length outs <> game.Games.Game.n then
+            invalid_arg "Spec.create: each stage needs one output per player")
+        st);
+  { name; game; circuit; stages; encode_type; decode_action; punishment; default_move }
+
+let encode_bit ~player:_ type_ = Gf.of_int type_
+let decode_int ~player:_ v = Gf.to_int v
+
+(* A wire holding the sum of per-player mod-m contributions lies in
+   [0, n*(m-1)]; reduce it to the uniform value mod m via a table. *)
+let reduced_random b ~n ~modulus =
+  let wire = B.random b ~modulus () in
+  B.table_lookup b ~wire
+    ~domain:((n * (modulus - 1)) + 1)
+    (fun s -> Gf.of_int (s mod modulus))
+
+let coordination ~n =
+  let game = Games.Catalog.coordination ~n in
+  let b = B.create ~n_inputs:n in
+  let bit = reduced_random b ~n ~modulus:2 in
+  let circuit = B.finish b ~outputs:(Array.make n bit) in
+  create ~name:(Printf.sprintf "coordination-%d" n) ~game ~circuit ~encode_type:encode_bit
+    ~decode_action:decode_int ()
+
+let majority_match ~n =
+  let game = Games.Catalog.majority_match ~n in
+  let b = B.create ~n_inputs:n in
+  let bit = reduced_random b ~n ~modulus:2 in
+  let circuit = B.finish b ~outputs:(Array.make n bit) in
+  create ~name:(Printf.sprintf "majority-match-%d" n) ~game ~circuit ~encode_type:encode_bit
+    ~decode_action:decode_int ()
+
+let majority_coordination ~n =
+  let game = Games.Catalog.majority_coordination ~n in
+  create ~name:(Printf.sprintf "majority-coordination-%d" n) ~game
+    ~circuit:(Circuit.majority ~n_inputs:n) ~encode_type:encode_bit ~decode_action:decode_int ()
+
+let byzantine_agreement ~n =
+  let game = Games.Catalog.byzantine_agreement ~n in
+  create ~name:(Printf.sprintf "byzantine-agreement-%d" n) ~game
+    ~circuit:(Circuit.majority ~n_inputs:n) ~encode_type:encode_bit ~decode_action:decode_int ()
+
+let chicken_bystanders_game ~n =
+  if n < 2 then invalid_arg "Spec.chicken_bystanders_game: need n >= 2";
+  let action_counts = Array.init n (fun i -> if i < 2 then 2 else 1) in
+  Games.Game.complete_information ~name:(Printf.sprintf "chicken+%d" (n - 2)) ~n ~action_counts
+    ~utility:(fun actions ->
+      let driver_payoffs =
+        match (actions.(0), actions.(1)) with
+        | 0, 0 -> (0.0, 0.0)
+        | 0, 1 -> (7.0, 2.0)
+        | 1, 0 -> (2.0, 7.0)
+        | 1, 1 -> (6.0, 6.0)
+        | _ -> assert false
+      in
+      Array.init n (fun i ->
+          if i = 0 then fst driver_payoffs
+          else if i = 1 then snd driver_payoffs
+          else 1.0))
+    ()
+
+let chicken_with_bystanders ~n =
+  let game = chicken_bystanders_game ~n in
+  let b = B.create ~n_inputs:n in
+  let u = reduced_random b ~n ~modulus:3 in
+  (* u = 0 -> (D,C); 1 -> (C,D); 2 -> (C,C) *)
+  let rec0 = B.table_lookup b ~wire:u ~domain:3 (fun s -> Gf.of_int [| 0; 1; 1 |].(s)) in
+  let rec1 = B.table_lookup b ~wire:u ~domain:3 (fun s -> Gf.of_int [| 1; 0; 1 |].(s)) in
+  let zero = B.const b Gf.zero in
+  let outputs = Array.init n (fun i -> if i = 0 then rec0 else if i = 1 then rec1 else zero) in
+  let circuit = B.finish b ~outputs in
+  create ~name:(Printf.sprintf "chicken-bystanders-%d" n) ~game ~circuit ~encode_type:encode_bit
+    ~decode_action:decode_int ()
+
+let pitfall_punishment ~player:_ ~type_:_ = Games.Catalog.bot_action
+
+let pitfall_minimal ~n ~k =
+  let game = Games.Catalog.punishment_pitfall ~n ~k in
+  let b = B.create ~n_inputs:n in
+  let bit = reduced_random b ~n ~modulus:2 in
+  let circuit = B.finish b ~outputs:(Array.make n bit) in
+  create ~punishment:pitfall_punishment ~name:(Printf.sprintf "pitfall-minimal-%d-%d" n k) ~game
+    ~circuit ~encode_type:encode_bit ~decode_action:decode_int ()
+
+let pitfall_naive ~n ~k =
+  let game = Games.Catalog.punishment_pitfall ~n ~k in
+  let b = B.create ~n_inputs:n in
+  (* Raw mod-2 sum wires for the two mediator coins a and b. *)
+  let b_raw = B.random b ~modulus:2 () in
+  let a_raw = B.random b ~modulus:2 () in
+  let domain = n + 1 in
+  let b_bit = B.table_lookup b ~wire:b_raw ~domain (fun s -> Gf.of_int (s mod 2)) in
+  (* leak_i = (a + b*i) mod 2 = (a_raw + (i mod 2)*b_raw) mod 2, with the
+     raw sum still in a small domain *)
+  let leaks =
+    Array.init n (fun i ->
+        let s = if i mod 2 = 0 then a_raw else B.add b a_raw b_raw in
+        B.table_lookup b ~wire:s ~domain:((2 * n) + 1) (fun v -> Gf.of_int (v mod 2)))
+  in
+  let b_gates = Array.make n b_bit in
+  let circuit = B.finish b ~outputs:b_gates in
+  (* Two mediator messages: first the leak, then the recommendation. *)
+  create ~punishment:pitfall_punishment
+    ~stages:[| leaks; b_gates |]
+    ~name:(Printf.sprintf "pitfall-naive-%d-%d" n k)
+    ~game ~circuit ~encode_type:encode_bit ~decode_action:decode_int ()
+
+let eval_stage_outputs spec ~inputs ~random =
+  let c = spec.circuit in
+  let gate_values = Array.make (Array.length c.Circuit.gates) Gf.zero in
+  let pos = ref 0 in
+  let interp g earlier =
+    let v =
+      match g with
+      | Circuit.Input i -> inputs.(i)
+      | Circuit.Random j -> random.(j)
+      | Circuit.Const v -> v
+      | Circuit.Add (a, b) -> Gf.add earlier.(a) earlier.(b)
+      | Circuit.Sub (a, b) -> Gf.sub earlier.(a) earlier.(b)
+      | Circuit.Mul (a, b) -> Gf.mul earlier.(a) earlier.(b)
+      | Circuit.Scale (v, a) -> Gf.mul v earlier.(a)
+    in
+    gate_values.(!pos) <- v;
+    incr pos;
+    v
+  in
+  ignore (Circuit.eval_with c interp);
+  let stages = match spec.stages with None -> [| c.Circuit.outputs |] | Some st -> st in
+  Array.map (fun outs -> Array.map (fun g -> gate_values.(g)) outs) stages

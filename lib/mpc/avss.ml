@@ -1,0 +1,182 @@
+module Gf = Field.Gf
+module Poly = Field.Poly
+module Bipoly = Field.Bipoly
+
+type msg =
+  | Row of Poly.t
+  | Point of Gf.t
+  | Ready
+
+let pp_msg fmt = function
+  | Row p -> Format.fprintf fmt "Row(%a)" Poly.pp p
+  | Point v -> Format.fprintf fmt "Point(%a)" Gf.pp v
+  | Ready -> Format.fprintf fmt "Ready"
+
+type t = {
+  n : int;
+  deg : int; (* sharing degree: privacy threshold (k+t in the compiler) *)
+  faults : int; (* max Byzantine players the quorums must absorb *)
+  me : int;
+  dealer : int;
+  mutable row : Poly.t option;
+  mutable row_received : bool; (* a Row message was already processed *)
+  mutable points_sent : bool;
+  points : (int, Gf.t) Hashtbl.t; (* src -> claimed f_src(me) = f_me(src) *)
+  mutable readied : bool;
+  ready_from : (int, unit) Hashtbl.t;
+  mutable accepted_share : Gf.t option;
+}
+
+type reaction = {
+  sends : (int * msg) list;
+  accepted : Gf.t option;
+}
+
+let nothing = { sends = []; accepted = None }
+
+let create ~n ~degree ~faults ~me ~dealer =
+  if n <= 3 * faults then invalid_arg "Avss.create: need n > 3*faults";
+  if n < degree + (2 * faults) + 1 then
+    invalid_arg "Avss.create: need n >= degree + 2*faults + 1";
+  if me < 0 || me >= n || dealer < 0 || dealer >= n then invalid_arg "Avss.create: pid range";
+  {
+    n;
+    deg = degree;
+    faults;
+    me;
+    dealer;
+    row = None;
+    row_received = false;
+    points_sent = false;
+    points = Hashtbl.create 8;
+    readied = false;
+    ready_from = Hashtbl.create 8;
+    accepted_share = None;
+  }
+
+let share s = s.accepted_share
+let is_accepted s = Option.is_some s.accepted_share
+
+let others s = List.filter (fun i -> i <> s.me) (List.init s.n (fun i -> i))
+
+(* Points from others claimed to equal our row at their index (1-based
+   evaluation points: player i evaluates at i+1). *)
+let point_of _s i = Gf.of_int (i + 1)
+
+let matching_points s row =
+  Hashtbl.fold
+    (fun src p acc -> if Gf.equal (Poly.eval row (point_of s src)) p then acc + 1 else acc)
+    s.points 0
+  + 1 (* our own point trivially matches *)
+
+let send_points s row =
+  if s.points_sent then []
+  else begin
+    s.points_sent <- true;
+    List.map (fun j -> (j, Point (Poly.eval row (point_of s j)))) (others s)
+  end
+
+let send_ready s =
+  if s.readied then []
+  else begin
+    s.readied <- true;
+    Hashtbl.replace s.ready_from s.me ();
+    List.map (fun j -> (j, Ready)) (others s)
+  end
+
+let ready_count s = Hashtbl.length s.ready_from
+
+(* Attempt to recover our row from cross points: the points (j, p_j) we
+   received lie on our row. Adopt a decoded row only when it is certified
+   against >= 2t+1 of the points (so at least t+1 honest points pin it). *)
+let try_recover_row s =
+  match s.row with
+  | Some _ -> None
+  | None ->
+      let pts = Hashtbl.fold (fun src p acc -> (point_of s src, p) :: acc) s.points [] in
+      let r = List.length pts in
+      let rec try_e e =
+        if e > s.faults || s.deg + s.faults + 1 + e > r then None
+        else
+          match Shamir.decode ~degree:s.deg ~max_errors:e pts with
+          | Some row -> Some row
+          | None -> try_e (e + 1)
+      in
+      try_e 0
+
+(* Progress rules shared by all handlers. *)
+let progress s =
+  let sends = ref [] in
+  (match s.row with
+  | None -> (
+      (* Row recovery becomes possible as points accumulate, and is only
+         attempted once the instance shows signs of life (some READY). *)
+      if ready_count s >= 1 then
+        match try_recover_row s with
+        | Some row ->
+            s.row <- Some row;
+            sends := send_points s row @ !sends
+        | None -> ())
+  | Some _ -> ());
+  (match s.row with
+  | Some row ->
+      let m = matching_points s row in
+      if m >= s.deg + s.faults + 1 then sends := send_ready s @ !sends
+      else if m >= s.deg + 1 && ready_count s >= s.faults + 1 then
+        (* READY amplification: enough corroboration plus t+1 announcements *)
+        sends := send_ready s @ !sends
+  | None -> ());
+  let accepted =
+    match (s.accepted_share, s.row) with
+    | None, Some row when ready_count s >= (2 * s.faults) + 1 ->
+        let sh = Poly.eval row Gf.zero in
+        s.accepted_share <- Some sh;
+        Some sh
+    | _ -> None
+  in
+  { sends = !sends; accepted }
+
+let deal s rng ~secret =
+  if s.me <> s.dealer then invalid_arg "Avss.deal: not the dealer";
+  if s.row_received then invalid_arg "Avss.deal: already dealt";
+  let b = Bipoly.random_symmetric rng ~degree:s.deg ~secret in
+  s.row_received <- true;
+  let my_row = Bipoly.row b (point_of s s.me) in
+  s.row <- Some my_row;
+  let row_sends =
+    List.map (fun j -> (j, Row (Bipoly.row b (point_of s j)))) (others s)
+  in
+  let pt_sends = send_points s my_row in
+  let r = progress s in
+  { r with sends = row_sends @ pt_sends @ r.sends }
+
+let handle s ~src m =
+  match m with
+  | Row row ->
+      if src <> s.dealer || s.row_received then nothing
+      else begin
+        s.row_received <- true;
+        if Poly.degree row > s.deg then nothing
+        else begin
+          (match s.row with
+          | Some _ -> () (* already recovered; keep the recovered row *)
+          | None -> s.row <- Some row);
+          let sends =
+            match s.row with Some r -> send_points s r | None -> []
+          in
+          let r = progress s in
+          { r with sends = sends @ r.sends }
+        end
+      end
+  | Point p ->
+      if Hashtbl.mem s.points src then nothing
+      else begin
+        Hashtbl.replace s.points src p;
+        progress s
+      end
+  | Ready ->
+      if Hashtbl.mem s.ready_from src then nothing
+      else begin
+        Hashtbl.replace s.ready_from src ();
+        progress s
+      end

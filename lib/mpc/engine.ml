@@ -1,0 +1,441 @@
+module Gf = Field.Gf
+module Aba = Agreement.Aba
+module Coin = Agreement.Coin
+
+type session_id =
+  | Input_share of int
+  | Rand_share of int * int
+  | Mul_share of int * int
+
+type vote_id =
+  | Input_vote of int
+  | Mul_vote of int * int
+
+type msg =
+  | Share_msg of session_id * Avss.msg
+  | Vote_msg of vote_id * Aba.msg
+  | Output_msg of int * Gf.t (* stage, share of the recipient's stage output *)
+
+let pp_session fmt = function
+  | Input_share d -> Format.fprintf fmt "input[%d]" d
+  | Rand_share (d, k) -> Format.fprintf fmt "rand[%d,%d]" d k
+  | Mul_share (g, d) -> Format.fprintf fmt "mul[%d,%d]" g d
+
+let pp_vote fmt = function
+  | Input_vote d -> Format.fprintf fmt "vote-in[%d]" d
+  | Mul_vote (g, d) -> Format.fprintf fmt "vote-mul[%d,%d]" g d
+
+let pp_msg fmt = function
+  | Share_msg (sid, m) -> Format.fprintf fmt "%a:%a" pp_session sid Avss.pp_msg m
+  | Vote_msg (vid, m) -> Format.fprintf fmt "%a:%a" pp_vote vid Aba.pp_msg m
+  | Output_msg (stage, v) -> Format.fprintf fmt "output-share(%d,%a)" stage Gf.pp v
+
+type mul_state = {
+  mutable started : bool;
+  mutable reduced : bool;
+}
+
+type t = {
+  n : int;
+  deg : int; (* sharing degree (privacy threshold) *)
+  faults : int; (* Byzantine fault bound *)
+  me : int;
+  circuit : Circuit.t;
+  input : Gf.t;
+  rng : Random.State.t;
+  coin_seed : int;
+  sessions : (session_id, Avss.t) Hashtbl.t;
+  votes : (vote_id, Aba.t) Hashtbl.t;
+  proposed : (vote_id, unit) Hashtbl.t;
+  mutable core : int list option;
+  rand_shares : Gf.t option array;
+  gate_shares : Gf.t option array;
+  muls : (int, mul_state) Hashtbl.t;
+  mul_gate_ids : int list;
+  stages : int array array; (* per stage: one output gate per player *)
+  stage_sent : bool array;
+  output_points : (int * int, Gf.t) Hashtbl.t; (* (stage, src) -> share of MY stage output *)
+  stage_results : Gf.t option array;
+  mutable result : Gf.t option;
+}
+
+type reaction = {
+  sends : (int * msg) list;
+  result : Gf.t option;
+}
+
+let create ?stages ~n ~degree ~faults ~me ~circuit ~input ~rng ~coin_seed () =
+  if n <= 3 * faults then invalid_arg "Engine.create: need n > 3*faults";
+  if n < degree + (2 * faults) + 1 then
+    invalid_arg "Engine.create: need n >= degree + 2*faults + 1";
+  if Circuit.mul_count circuit > 0 && n < (2 * degree) + faults + 1 then
+    invalid_arg "Engine.create: multiplication needs n >= 2*degree + faults + 1";
+  if circuit.Circuit.n_inputs <> n then invalid_arg "Engine.create: circuit needs n inputs";
+  let stages = match stages with None -> [| circuit.Circuit.outputs |] | Some s -> s in
+  if Array.length stages = 0 then invalid_arg "Engine.create: need at least one stage";
+  Array.iter
+    (fun st ->
+      if Array.length st <> n then invalid_arg "Engine.create: each stage needs n outputs";
+      Array.iter
+        (fun g ->
+          if g < 0 || g >= Array.length circuit.Circuit.gates then
+            invalid_arg "Engine.create: stage references missing gate")
+        st)
+    stages;
+  {
+    n;
+    deg = degree;
+    faults;
+    me;
+    circuit;
+    input;
+    rng;
+    coin_seed;
+    sessions = Hashtbl.create 32;
+    votes = Hashtbl.create 32;
+    proposed = Hashtbl.create 32;
+    core = None;
+    rand_shares = Array.make circuit.Circuit.n_random None;
+    gate_shares = Array.make (Array.length circuit.Circuit.gates) None;
+    muls = Hashtbl.create 8;
+    mul_gate_ids =
+      List.filter
+        (fun i ->
+          match circuit.Circuit.gates.(i) with Circuit.Mul _ -> true | _ -> false)
+        (List.init (Array.length circuit.Circuit.gates) (fun i -> i));
+    stages;
+    stage_sent = Array.make (Array.length stages) false;
+    output_points = Hashtbl.create 8;
+    stage_results = Array.make (Array.length stages) None;
+    result = None;
+  }
+
+let dealer_of = function
+  | Input_share d | Rand_share (d, _) | Mul_share (_, d) -> d
+
+(* A stable per-vote instance number so every player derives the same
+   common coin for the same agreement. *)
+let instance_of e = function
+  | Input_vote d -> d
+  | Mul_vote (g, d) -> e.n + (g * e.n) + d
+
+let session e sid =
+  match Hashtbl.find_opt e.sessions sid with
+  | Some s -> s
+  | None ->
+      let s = Avss.create ~n:e.n ~degree:e.deg ~faults:e.faults ~me:e.me ~dealer:(dealer_of sid) in
+      Hashtbl.replace e.sessions sid s;
+      s
+
+let vote e vid =
+  match Hashtbl.find_opt e.votes vid with
+  | Some v -> v
+  | None ->
+      let coin = Coin.optimistic ~seed:e.coin_seed ~instance:(instance_of e vid) in
+      let v = Aba.create ~n:e.n ~f:e.faults ~me:e.me ~coin in
+      Hashtbl.replace e.votes vid v;
+      v
+
+let wrap_share sid sends = List.map (fun (dst, m) -> (dst, Share_msg (sid, m))) sends
+let wrap_vote vid sends = List.map (fun (dst, m) -> (dst, Vote_msg (vid, m))) sends
+
+let propose e vid value =
+  if Hashtbl.mem e.proposed vid then []
+  else begin
+    Hashtbl.replace e.proposed vid ();
+    wrap_vote vid (Aba.propose (vote e vid) value).Aba.sends
+  end
+
+let decision_of e vid =
+  match Hashtbl.find_opt e.votes vid with None -> None | Some v -> Aba.decision v
+
+let session_accepted e sid =
+  match Hashtbl.find_opt e.sessions sid with
+  | None -> false
+  | Some s -> Avss.is_accepted s
+
+let session_share e sid =
+  match Hashtbl.find_opt e.sessions sid with None -> None | Some s -> Avss.share s
+
+(* Dealer d's input bundle: its input sharing plus every randomness
+   contribution. *)
+let bundle e d =
+  Input_share d :: List.init e.circuit.Circuit.n_random (fun k -> Rand_share (d, k))
+
+let bundle_accepted e d = List.for_all (session_accepted e) (bundle e d)
+
+let mul_gates e = e.mul_gate_ids
+
+let mul_state e g =
+  match Hashtbl.find_opt e.muls g with
+  | Some st -> st
+  | None ->
+      let st = { started = false; reduced = false } in
+      Hashtbl.replace e.muls g st;
+      st
+
+(* --- the cascade: run all progress rules to a local fixpoint --- *)
+
+let input_votes e = List.init e.n (fun d -> Input_vote d)
+let gate_votes e g = List.init e.n (fun d -> Mul_vote (g, d))
+
+let count_yes e vids =
+  List.fold_left
+    (fun acc vid -> if decision_of e vid = Some true then acc + 1 else acc)
+    0 vids
+
+let all_decided e vids =
+  List.for_all (fun vid -> Option.is_some (decision_of e vid)) vids
+
+let settle e =
+  let chunks = ref [] in
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    let step sends =
+      match sends with
+      | [] -> ()
+      | _ ->
+          progressed := true;
+          chunks := sends :: !chunks
+    in
+
+    (* Propose YES for input dealers whose whole bundle we accepted. *)
+    for d = 0 to e.n - 1 do
+      if (not (Hashtbl.mem e.proposed (Input_vote d))) && bundle_accepted e d then
+        step (propose e (Input_vote d) true)
+    done;
+
+    (* Input close-out: n-f accepted dealers seen -> vote NO on the rest. *)
+    if count_yes e (input_votes e) >= e.n - e.faults then
+      List.iter
+        (fun vid -> if not (Hashtbl.mem e.proposed vid) then step (propose e vid false))
+        (input_votes e);
+
+    (* Input completion: all votes decided and accepted bundles in hand. *)
+    (match e.core with
+    | Some _ -> ()
+    | None ->
+        if all_decided e (input_votes e) then begin
+          let yes =
+            List.filter (fun d -> decision_of e (Input_vote d) = Some true)
+              (List.init e.n (fun d -> d))
+          in
+          if List.for_all (bundle_accepted e) yes then begin
+            e.core <- Some yes;
+            (* Randomness wires: sum of the core's contributions. *)
+            for k = 0 to e.circuit.Circuit.n_random - 1 do
+              let sum =
+                List.fold_left
+                  (fun s d ->
+                    match session_share e (Rand_share (d, k)) with
+                    | Some v -> Gf.add s v
+                    | None -> s)
+                  Gf.zero yes
+              in
+              e.rand_shares.(k) <- Some sum
+            done;
+            progressed := true
+          end
+        end);
+
+    (* Gate evaluation (only once the core is known). *)
+    (match e.core with
+    | None -> ()
+    | Some core ->
+        Array.iteri
+          (fun gi gate ->
+            if Option.is_none e.gate_shares.(gi) then begin
+              let value v = e.gate_shares.(gi) <- Some v; progressed := true in
+              let ready j = e.gate_shares.(j) in
+              match gate with
+              | Circuit.Input d ->
+                  if List.mem d core then begin
+                    match session_share e (Input_share d) with
+                    | Some v -> value v
+                    | None -> ()
+                  end
+                  else value Gf.zero (* excluded dealer: default input 0 *)
+              | Circuit.Random k -> (
+                  match e.rand_shares.(k) with Some v -> value v | None -> ())
+              | Circuit.Const c ->
+                  (* constants are a valid degree-0 sharing of themselves *)
+                  value c
+              | Circuit.Add (a, b) -> (
+                  match (ready a, ready b) with
+                  | Some va, Some vb -> value (Gf.add va vb)
+                  | _ -> ())
+              | Circuit.Sub (a, b) -> (
+                  match (ready a, ready b) with
+                  | Some va, Some vb -> value (Gf.sub va vb)
+                  | _ -> ())
+              | Circuit.Scale (c, a) -> (
+                  match ready a with Some va -> value (Gf.mul c va) | None -> ())
+              | Circuit.Mul (a, b) -> (
+                  let st = mul_state e gi in
+                  match (ready a, ready b) with
+                  | Some va, Some vb ->
+                      if not st.started then begin
+                        st.started <- true;
+                        (* Reshare our degree-2t product share. *)
+                        let sid = Mul_share (gi, e.me) in
+                        let r =
+                          Avss.deal (session e sid) e.rng ~secret:(Gf.mul va vb)
+                        in
+                        step (wrap_share sid r.Avss.sends)
+                      end
+                  | _ -> ())
+            end)
+          e.circuit.Circuit.gates;
+
+        (* Multiplication reductions in flight. *)
+        List.iter
+          (fun gi ->
+            let st = mul_state e gi in
+            if st.started && not st.reduced then begin
+              (* Vote YES for contributors whose resharing we accepted. *)
+              for d = 0 to e.n - 1 do
+                let vid = Mul_vote (gi, d) in
+                if
+                  (not (Hashtbl.mem e.proposed vid))
+                  && session_accepted e (Mul_share (gi, d))
+                then step (propose e vid true)
+              done;
+              (* Close-out once enough contributors for a degree-2d
+                 interpolation are in. *)
+              if count_yes e (gate_votes e gi) >= (2 * e.deg) + 1 then
+                List.iter
+                  (fun vid ->
+                    if not (Hashtbl.mem e.proposed vid) then step (propose e vid false))
+                  (gate_votes e gi);
+              (* Reduction: all votes decided, all YES resharings in hand. *)
+              if all_decided e (gate_votes e gi) then begin
+                let contributors =
+                  List.filter
+                    (fun d -> decision_of e (Mul_vote (gi, d)) = Some true)
+                    (List.init e.n (fun d -> d))
+                in
+                if
+                  List.length contributors >= (2 * e.deg) + 1
+                  && List.for_all
+                       (fun d -> session_accepted e (Mul_share (gi, d)))
+                       contributors
+                then begin
+                  let lambda =
+                    Shamir.lagrange_at_zero (List.map (fun d -> d + 1) contributors)
+                  in
+                  let share =
+                    List.fold_left
+                      (fun s d ->
+                        let coeff = List.assoc (d + 1) lambda in
+                        match session_share e (Mul_share (gi, d)) with
+                        | Some v -> Gf.add s (Gf.mul coeff v)
+                        | None -> s)
+                      Gf.zero contributors
+                  in
+                  st.reduced <- true;
+                  e.gate_shares.(gi) <- Some share;
+                  progressed := true
+                end
+              end
+            end)
+          (mul_gates e));
+
+    (* Output dispatch, stage by stage: stage s output shares go out only
+       once our own stage s-1 value is reconstructed (the mediator's s-th
+       message follows its (s-1)-th). *)
+    Array.iteri
+      (fun si outs ->
+        if
+          (not e.stage_sent.(si))
+          && (si = 0 || Option.is_some e.stage_results.(si - 1))
+          && Array.for_all (fun gi -> Option.is_some e.gate_shares.(gi)) outs
+        then begin
+          e.stage_sent.(si) <- true;
+          let sends =
+            List.filter_map
+              (fun o ->
+                match e.gate_shares.(outs.(o)) with
+                | Some v ->
+                    if o = e.me then begin
+                      Hashtbl.replace e.output_points (si, e.me) v;
+                      None
+                    end
+                    else Some (o, Output_msg (si, v))
+                | None -> None)
+              (List.init e.n (fun o -> o))
+          in
+          step sends
+        end)
+      e.stages;
+
+    (* Stage reconstruction via online error correction. *)
+    Array.iteri
+      (fun si r ->
+        match r with
+        | Some _ -> ()
+        | None ->
+            let points =
+              Hashtbl.fold
+                (fun (s, src) v acc -> if s = si then (src + 1, v) :: acc else acc)
+                e.output_points []
+            in
+            (* Reveals are robust up to the sharing degree: rational
+               players may corrupt their shares even when the fault budget
+               is lower, and n >= 3*degree + 1 regimes must absorb that
+               (Theorem 4.4's cotermination argument). *)
+            (match Shamir.online_decode ~t:e.deg ~max_faults:(max e.deg e.faults) points with
+            | Some v ->
+                e.stage_results.(si) <- Some v;
+                if si = Array.length e.stages - 1 then e.result <- Some v;
+                progressed := true
+            | None -> ()))
+      e.stage_results
+  done;
+  List.concat (List.rev !chunks)
+
+let start (e : t) =
+  let sends = ref [] in
+  (* Deal our input and randomness contributions. *)
+  let deal sid secret =
+    let r = Avss.deal (session e sid) e.rng ~secret in
+    sends := !sends @ wrap_share sid r.Avss.sends
+  in
+  deal (Input_share e.me) e.input;
+  for k = 0 to e.circuit.Circuit.n_random - 1 do
+    (* Contributions respect the slot's distribution: a mod-m slot sums
+       per-player values drawn uniformly in [0, m). *)
+    let m = e.circuit.Circuit.random_moduli.(k) in
+    let v = if m > 0 then Gf.of_int (Random.State.int e.rng m) else Gf.random e.rng in
+    deal (Rand_share (e.me, k)) v
+  done;
+  let before = e.result in
+  let more = settle e in
+  let result = match (before, e.result) with None, Some v -> Some v | _ -> None in
+  { sends = !sends @ more; result }
+
+let handle (e : t) ~src m =
+  let before = e.result in
+  let sends =
+    match m with
+    | Share_msg (sid, sub) ->
+        let r = Avss.handle (session e sid) ~src sub in
+        wrap_share sid r.Avss.sends
+    | Vote_msg (vid, sub) ->
+        let r = Aba.handle (vote e vid) ~src sub in
+        wrap_vote vid r.Aba.sends
+    | Output_msg (stage, v) ->
+        if
+          stage >= 0
+          && stage < Array.length e.stages
+          && not (Hashtbl.mem e.output_points (stage, src))
+        then Hashtbl.replace e.output_points (stage, src) v;
+        []
+  in
+  let more = settle e in
+  let result = match (before, e.result) with None, Some v -> Some v | _ -> None in
+  { sends = sends @ more; result }
+
+let result (e : t) = e.result
+let stage_results (e : t) = Array.copy e.stage_results
+let input_core e = e.core

@@ -1,0 +1,149 @@
+module Gf = Field.Gf
+module Poly = Field.Poly
+module Linalg = Field.Linalg
+
+type share = { index : int; value : Gf.t }
+
+let pp_share fmt s = Format.fprintf fmt "(%d ↦ %a)" s.index Gf.pp s.value
+let share_equal a b = a.index = b.index && Gf.equal a.value b.value
+
+type poly_sharing = { poly : Poly.t; shares : share array }
+
+let shares_of_poly ~n poly =
+  Array.init n (fun i ->
+      let index = i + 1 in
+      { index; value = Poly.eval poly (Gf.of_int index) })
+
+let share_poly rng ~n ~t ~secret =
+  if t < 0 || t >= n then invalid_arg "Shamir.share: need 0 <= t < n";
+  let poly = Poly.random_with_secret rng ~degree:t ~secret in
+  { poly; shares = shares_of_poly ~n poly }
+
+let share rng ~n ~t ~secret = (share_poly rng ~n ~t ~secret).shares
+
+let distinct_indices shares =
+  let seen = Hashtbl.create 16 in
+  List.for_all
+    (fun s ->
+      if Hashtbl.mem seen s.index then false
+      else begin
+        Hashtbl.add seen s.index ();
+        true
+      end)
+    shares
+
+let reconstruct ~t shares =
+  if List.length shares < t + 1 || not (distinct_indices shares) then None
+  else
+    let pts =
+      List.filteri (fun i _ -> i <= t) shares
+      |> List.map (fun s -> (Gf.of_int s.index, s.value))
+    in
+    let f = Poly.interpolate pts in
+    Some (Poly.eval f Gf.zero)
+
+(* Berlekamp-Welch. Unknowns: E(x) = x^e + e_{e-1} x^{e-1} + ... + e_0
+   (monic, degree exactly e = max_errors) and Q(x) of degree <= degree + e.
+   Constraint per point: Q(x_i) = y_i * E(x_i), i.e.
+     sum_j q_j x_i^j - y_i * sum_{j<e} e_j x_i^j = y_i * x_i^e.
+   Solve the linear system; decode P = Q / E when the division is exact. *)
+let decode ~degree ~max_errors points =
+  if degree < 0 || max_errors < 0 then invalid_arg "Shamir.decode";
+  let m = List.length points in
+  if m < degree + 1 + (2 * max_errors) then None
+  else begin
+    let e = max_errors in
+    let nq = degree + e + 1 (* q_0 .. q_{degree+e} *) in
+    let ne = e (* e_0 .. e_{e-1} *) in
+    let rows =
+      List.map
+        (fun (x, y) ->
+          let row = Array.make (nq + ne) Gf.zero in
+          let xp = ref Gf.one in
+          for j = 0 to nq - 1 do
+            row.(j) <- !xp;
+            xp := Gf.mul !xp x
+          done;
+          let xp = ref Gf.one in
+          for j = 0 to ne - 1 do
+            row.(nq + j) <- Gf.neg (Gf.mul y !xp);
+            xp := Gf.mul !xp x
+          done;
+          (row, Gf.mul y (Gf.pow x e)))
+        points
+    in
+    let a = Array.of_list (List.map fst rows) in
+    let b = Array.of_list (List.map snd rows) in
+    match Linalg.solve a b with
+    | None -> None
+    | Some sol ->
+        let q = Poly.of_coeffs (Array.sub sol 0 nq) in
+        let e_coeffs = Array.make (ne + 1) Gf.zero in
+        Array.blit sol nq e_coeffs 0 ne;
+        e_coeffs.(ne) <- Gf.one;
+        let epoly = Poly.of_coeffs e_coeffs in
+        let p, r = Poly.divmod q epoly in
+        if not (Poly.is_zero r) || Poly.degree p > degree then None
+        else begin
+          (* Certify: p must disagree with at most max_errors points. *)
+          let errors =
+            List.fold_left
+              (fun acc (x, y) -> if Gf.equal (Poly.eval p x) y then acc else acc + 1)
+              0 points
+          in
+          if errors <= max_errors then Some p else None
+        end
+  end
+
+let reconstruct_robust ~t ~max_errors shares =
+  if not (distinct_indices shares) then None
+  else
+    let pts = List.map (fun s -> (Gf.of_int s.index, s.value)) shares in
+    match decode ~degree:t ~max_errors pts with
+    | None -> None
+    | Some p -> Some (Poly.eval p Gf.zero)
+
+let verify_consistent ~t shares =
+  match shares with
+  | [] -> true
+  | _ ->
+      if not (distinct_indices shares) then false
+      else
+        let pts = List.map (fun s -> (Gf.of_int s.index, s.value)) shares in
+        let sample = List.filteri (fun i _ -> i <= t) pts in
+        let f = Poly.interpolate sample in
+        Poly.degree f <= t
+        && List.for_all (fun (x, y) -> Gf.equal (Poly.eval f x) y) pts
+
+let lagrange_at_zero indices =
+  let rec dup = function
+    | [] -> false
+    | x :: rest -> List.mem x rest || dup rest
+  in
+  if dup indices then invalid_arg "Shamir.lagrange_at_zero: duplicate index";
+  List.map
+    (fun j ->
+      let gj = Gf.of_int j in
+      let coeff =
+        List.fold_left
+          (fun acc m ->
+            if m = j then acc
+            else
+              let gm = Gf.of_int m in
+              Gf.mul acc (Gf.div gm (Gf.sub gm gj)))
+          Gf.one indices
+      in
+      (j, coeff))
+    indices
+
+let online_decode ~t ~max_faults points =
+  let r = List.length points in
+  let pts = List.map (fun (i, v) -> (Gf.of_int i, v)) points in
+  let rec try_e e =
+    if e > max_faults || (2 * t) + 1 + e > r then None
+    else
+      match decode ~degree:t ~max_errors:e pts with
+      | Some p -> Some (Poly.eval p Gf.zero)
+      | None -> try_e (e + 1)
+  in
+  try_e 0

@@ -1,0 +1,63 @@
+(** Shamir secret sharing over {!Field.Gf} with robust (Reed-Solomon)
+    reconstruction.
+
+    A degree-t sharing assigns player i (1-indexed evaluation point i) the
+    value f(i) of a random polynomial f with f(0) = secret and deg f <= t.
+    Any t+1 correct shares reconstruct; with Berlekamp-Welch decoding,
+    reconstruction tolerates up to e corrupted shares out of m provided
+    m >= (t + 1) + 2e — the property that gives asynchronous MPC its n > 4t
+    resilience (BCG) in the paper's Theorem 5.4. *)
+
+type share = { index : int; value : Field.Gf.t }
+(** The share of player [index] (1-based evaluation point). *)
+
+val pp_share : Format.formatter -> share -> unit
+val share_equal : share -> share -> bool
+
+type poly_sharing = { poly : Field.Poly.t; shares : share array }
+(** A full sharing: the dealer's polynomial plus every player's share. *)
+
+val share : Random.State.t -> n:int -> t:int -> secret:Field.Gf.t -> share array
+(** [share rng ~n ~t ~secret] produces shares for players 1..n with
+    threshold degree [t]. @raise Invalid_argument unless 0 <= t < n. *)
+
+val share_poly : Random.State.t -> n:int -> t:int -> secret:Field.Gf.t -> poly_sharing
+(** Like {!share} but also returns the underlying polynomial. *)
+
+val shares_of_poly : n:int -> Field.Poly.t -> share array
+(** Evaluate an existing polynomial at points 1..n. *)
+
+val reconstruct : t:int -> share list -> Field.Gf.t option
+(** Plain Lagrange reconstruction from at least t+1 shares, assuming all of
+    them are correct. Returns [None] if fewer than t+1 shares are given or
+    indices are duplicated. Wrong shares yield a wrong (undetected) secret:
+    use {!reconstruct_robust} against active adversaries. *)
+
+val decode :
+  degree:int -> max_errors:int -> (Field.Gf.t * Field.Gf.t) list -> Field.Poly.t option
+(** Berlekamp-Welch: recover the unique polynomial of degree <= [degree]
+    agreeing with all but at most [max_errors] of the points, or [None] if
+    no such polynomial exists or there are too few points
+    (needs >= degree + 1 + 2*max_errors points). *)
+
+val reconstruct_robust : t:int -> max_errors:int -> share list -> Field.Gf.t option
+(** Robust reconstruction: decodes the degree-t polynomial tolerating up to
+    [max_errors] corrupted shares, then returns f(0). *)
+
+val verify_consistent : t:int -> share list -> bool
+(** True iff the shares all lie on a single polynomial of degree <= t. *)
+
+val lagrange_at_zero : int list -> (int * Field.Gf.t) list
+(** [lagrange_at_zero indices] gives, for each (1-based) evaluation point j
+    in [indices], the Lagrange coefficient λ_j such that f(0) = Σ λ_j·f(j)
+    for any polynomial of degree < |indices|. Used by the GRR degree
+    reduction in the MPC engine. @raise Invalid_argument on duplicates. *)
+
+val online_decode :
+  t:int -> max_faults:int -> (int * Field.Gf.t) list -> Field.Gf.t option
+(** Online error correction (BCG): given the shares received {e so far}
+    (as (1-based index, value) pairs), return the secret as soon as it is
+    certain — i.e. some degree-t polynomial agrees with all but e of the
+    points for an e with [received >= 2*t + 1 + e] (so at least t+1 honest
+    points pin the polynomial, assuming at most [max_faults] <= t corrupt
+    shares overall). Returns [None] if no certification is possible yet. *)

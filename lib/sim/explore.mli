@@ -1,0 +1,35 @@
+(** Exhaustive exploration of small asynchronous executions.
+
+    The paper's statements quantify over {e all} environment strategies.
+    Monte-Carlo sampling covers large protocols; for small ones this
+    module enumerates every delivery interleaving outright (depth-first
+    over the scheduler's choices, replaying the deterministic processes
+    from scratch down each branch) — bounded model checking of the
+    simulator semantics and of protocol invariants.
+
+    The number of interleavings explodes factorially, so exploration is
+    only meaningful for protocols with at most a dozen or so messages;
+    [max_histories] caps the search and the result says whether the
+    enumeration was exhaustive. *)
+
+type 'a result = {
+  outcomes : 'a Types.outcome list;  (** one per complete history explored *)
+  histories : int;
+  exhaustive : bool;  (** false if the cap stopped the search *)
+}
+
+val explore :
+  ?max_histories:int ->
+  ?max_steps:int ->
+  make:(unit -> ('m, 'a) Types.process array) ->
+  unit ->
+  'a result
+(** Enumerate all delivery orders of the protocol built by [make] (which
+    must return freshly-initialised processes on every call — process
+    state is mutable and each branch replays from the start).
+    [max_histories] defaults to 10_000; [max_steps] bounds each history's
+    length (default 200). *)
+
+val all_outcomes_agree : ('a Types.outcome -> 'b) -> 'a result -> bool
+(** True when the projection of every explored outcome is identical —
+    confluence of the protocol under scheduling. *)

@@ -1,0 +1,248 @@
+open Types
+
+type ('m, 'a) config = {
+  processes : ('m, 'a) process array;
+  scheduler : Scheduler.t;
+  mediator : int option;
+  max_steps : int;
+  starvation_bound : int;
+}
+
+let config ?mediator ?max_steps ?starvation_bound ~scheduler processes =
+  let n = Array.length processes in
+  let max_steps = match max_steps with Some m -> m | None -> 200_000 in
+  let starvation_bound =
+    match starvation_bound with Some b -> b | None -> 64 + (4 * n * n)
+  in
+  { processes; scheduler; mediator; max_steps; starvation_bound }
+
+(* A pending item is either a start signal or a real message. *)
+type ('m, _) item = {
+  node : Pending_set.node;
+  payload : 'm option; (* None = start signal *)
+  enqueued_at_decision : int;
+}
+
+let run (cfg : ('m, 'a) config) : 'a outcome =
+  let n = Array.length cfg.processes in
+  let halted = Array.make n false in
+  let started = Array.make n false in
+  let moves = Array.make n None in
+  let trace = ref [] in
+  let pattern = ref [] in
+  let emit ev = trace := ev :: !trace in
+  let emit_pat p = pattern := p :: !pattern in
+  let pending_set = Pending_set.create () in
+  let items : (int, ('m, 'a) item) Hashtbl.t = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let next_batch = ref 0 in
+  let seq : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let messages_sent = ref 0 in
+  let messages_delivered = ref 0 in
+  let steps = ref 0 in
+  let decisions = ref 0 in
+  let delivered_batches : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+
+  let next_seq src dst =
+    let key = (src, dst) in
+    let k = try Hashtbl.find seq key with Not_found -> 0 in
+    Hashtbl.replace seq key (k + 1);
+    k + 1
+  in
+
+  let enqueue ~src ~dst ~payload ~batch =
+    let id = !next_id in
+    incr next_id;
+    let s = next_seq src dst in
+    let view = { id; src; dst; seq = s; sent_step = !steps; batch } in
+    let node = Pending_set.append pending_set view in
+    Hashtbl.replace items id { node; payload; enqueued_at_decision = !decisions };
+    match payload with
+    | None -> ()
+    | Some _ ->
+        incr messages_sent;
+        emit (Sent { src; dst; seq = s });
+        emit_pat (Scheduler.P_sent { src; dst; seq = s })
+  in
+
+  let rec apply_effects pid batch effects =
+    match effects with
+    | [] -> ()
+    | Send (dst, m) :: rest ->
+        if dst >= 0 && dst < n then enqueue ~src:pid ~dst ~payload:(Some m) ~batch;
+        apply_effects pid batch rest
+    | Move a :: rest ->
+        (match moves.(pid) with
+        | Some _ -> () (* at most one action in the underlying game *)
+        | None ->
+            moves.(pid) <- Some a;
+            emit (Moved { who = pid; action = a });
+            emit_pat (Scheduler.P_moved pid));
+        apply_effects pid batch rest
+    | Halt :: rest ->
+        if not halted.(pid) then begin
+          halted.(pid) <- true;
+          emit (Halted pid);
+          emit_pat (Scheduler.P_halted pid)
+        end;
+        apply_effects pid batch rest
+
+  and activate_start pid =
+    if (not started.(pid)) && not halted.(pid) then begin
+      started.(pid) <- true;
+      emit (Started pid);
+      emit_pat (Scheduler.P_started pid);
+      let batch = !next_batch in
+      incr next_batch;
+      apply_effects pid batch (cfg.processes.(pid).start ())
+    end
+  in
+
+  (* Start signals for every process, in pid order. *)
+  for pid = 0 to n - 1 do
+    enqueue ~src:env_pid ~dst:pid ~payload:None ~batch:(-1)
+  done;
+
+  let deliver id =
+    match Hashtbl.find_opt items id with
+    | None -> ()
+    | Some item ->
+        Hashtbl.remove items id;
+        Pending_set.remove pending_set item.node;
+        let { src; dst; seq = s; batch; _ } = Pending_set.view_of item.node in
+        (match item.payload with
+        | None -> activate_start dst
+        | Some m ->
+            incr messages_delivered;
+            emit (Delivered { src; dst; seq = s });
+            emit_pat (Scheduler.P_delivered { src; dst; seq = s });
+            if batch >= 0 then Hashtbl.replace delivered_batches batch ();
+            if not halted.(dst) then begin
+              activate_start dst;
+              if not halted.(dst) then begin
+                let b = !next_batch in
+                incr next_batch;
+                apply_effects dst b (cfg.processes.(dst).receive ~src m)
+              end
+            end)
+  in
+
+  let drop_all_remaining () =
+    (* Mediator-batch atomicity: finish partially delivered mediator
+       batches before dropping the rest. *)
+    let is_mediator src = match cfg.mediator with Some m -> src = m | None -> false in
+    let must_finish (v : pending_view) =
+      is_mediator v.src && v.batch >= 0 && Hashtbl.mem delivered_batches v.batch
+    in
+    let rec finish () =
+      match Pending_set.find pending_set must_finish with
+      | Some v ->
+          deliver v.id;
+          incr steps;
+          finish ()
+      | None -> ()
+    in
+    finish ();
+    let rec drop () =
+      if not (Pending_set.is_empty pending_set) then begin
+        let v = Pending_set.oldest pending_set in
+        (match Hashtbl.find_opt items v.id with
+        | None -> ()
+        | Some item ->
+            Hashtbl.remove items v.id;
+            Pending_set.remove pending_set item.node;
+            (match item.payload with
+            | None -> ()
+            | Some _ ->
+                emit (Dropped { src = v.src; dst = v.dst; seq = v.seq });
+                emit_pat (Scheduler.P_dropped { src = v.src; dst = v.dst; seq = v.seq })));
+        drop ()
+      end
+    in
+    drop ()
+  in
+
+  let termination = ref Quiescent in
+  let running = ref true in
+  while !running do
+    if Pending_set.is_empty pending_set then begin
+      termination := (if Array.for_all (fun h -> h) halted then All_halted else Quiescent);
+      running := false
+    end
+    else if !steps >= cfg.max_steps then begin
+      termination := Cutoff;
+      running := false
+    end
+    else begin
+      incr decisions;
+      (* Fairness: force-deliver the oldest message once it is starved past
+         the bound ([enqueued_at_decision] is monotone in send order, so
+         the oldest pending message is always the most-starved one). *)
+      let starving =
+        if cfg.scheduler.relaxed then None
+        else begin
+          let v = Pending_set.oldest pending_set in
+          match Hashtbl.find_opt items v.id with
+          | Some it when !decisions - it.enqueued_at_decision > cfg.starvation_bound -> Some v
+          | _ -> None
+        end
+      in
+      match starving with
+      | Some v ->
+          deliver v.id;
+          incr steps
+      | None -> (
+          let decision =
+            try
+              cfg.scheduler.choose ~step:!steps ~history:!pattern ~pending:pending_set
+            with _ -> Deliver (Pending_set.oldest pending_set).id
+          in
+          match decision with
+          | Deliver id when Hashtbl.mem items id ->
+              deliver id;
+              incr steps
+          | Deliver _ ->
+              (* invalid id: fall back to oldest *)
+              deliver (Pending_set.oldest pending_set).id;
+              incr steps
+          | Stop_delivery ->
+              if cfg.scheduler.relaxed then begin
+                drop_all_remaining ();
+                termination := Deadlocked;
+                running := false
+              end
+              else begin
+                (* Non-relaxed schedulers may not stop: force oldest. *)
+                deliver (Pending_set.oldest pending_set).id;
+                incr steps
+              end)
+    end
+  done;
+  {
+    moves;
+    termination = !termination;
+    messages_sent = !messages_sent;
+    messages_delivered = !messages_delivered;
+    steps = !steps;
+    trace = List.rev !trace;
+    halted;
+  }
+
+let moves_with_wills processes (o : 'a outcome) =
+  Array.mapi
+    (fun pid mv -> match mv with Some _ -> mv | None -> processes.(pid).will ())
+    o.moves
+
+let moves_with_defaults ~default (o : 'a outcome) =
+  Array.mapi (fun pid mv -> match mv with Some a -> a | None -> default pid) o.moves
+
+let message_pattern (o : 'a outcome) =
+  List.filter_map
+    (function
+      | Sent { src; dst; seq } -> Some (Scheduler.P_sent { src; dst; seq })
+      | Delivered { src; dst; seq } -> Some (Scheduler.P_delivered { src; dst; seq })
+      | Dropped { src; dst; seq } -> Some (Scheduler.P_dropped { src; dst; seq })
+      | Moved { who; _ } -> Some (Scheduler.P_moved who)
+      | Halted p -> Some (Scheduler.P_halted p)
+      | Started p -> Some (Scheduler.P_started p))
+    o.trace

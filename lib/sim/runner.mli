@@ -1,0 +1,46 @@
+(** The asynchronous game driver.
+
+    Runs an array of processes (players 0..n-1, plus optionally a mediator
+    as the last process) against a scheduler, producing an {!Types.outcome}
+    that records moves, termination class, message counts and the full
+    pattern trace.
+
+    The driver enforces the paper's two environment constraints for
+    non-relaxed schedulers: every message is eventually delivered and every
+    live process is eventually activated — via the starvation bound: any
+    message pending for more than [starvation_bound] scheduling decisions
+    is force-delivered (oldest first), overriding the scheduler. Relaxed
+    schedulers may issue [Stop_delivery]; the driver then completes any
+    partially delivered same-batch group of mediator messages (the
+    atomicity rule of Section 5) before dropping the rest. *)
+
+type ('m, 'a) config = {
+  processes : ('m, 'a) Types.process array;
+  scheduler : Scheduler.t;
+  mediator : int option;  (** pid of the mediator process, if any *)
+  max_steps : int;  (** cutoff guarding against livelock; default 200_000 *)
+  starvation_bound : int;  (** fairness bound; default 64 + 4*(n^2) *)
+}
+
+val config :
+  ?mediator:int ->
+  ?max_steps:int ->
+  ?starvation_bound:int ->
+  scheduler:Scheduler.t ->
+  ('m, 'a) Types.process array ->
+  ('m, 'a) config
+
+val run : ('m, 'a) config -> 'a Types.outcome
+(** Execute one complete history. *)
+
+val moves_with_wills :
+  ('m, 'a) Types.process array -> 'a Types.outcome -> 'a option array
+(** The Aumann-Hart reading of an unfinished history: players that never
+    moved get the action named by their [will] (if any). *)
+
+val moves_with_defaults : default:(int -> 'a) -> 'a Types.outcome -> 'a array
+(** The default-move reading: players that never moved get
+    [default pid], which is part of the game description. *)
+
+val message_pattern : 'a Types.outcome -> Scheduler.pattern_event list
+(** Chronological (s/d,i,j,k) pattern of the run, as in Lemma 6.8. *)

@@ -1,0 +1,80 @@
+(** Environment strategies ("schedulers").
+
+    The paper resolves all non-probabilistic uncertainty by an environment
+    strategy that picks which pending message is delivered next. A
+    scheduler here sees only message {e patterns} — (src, dst, seq)
+    triples, never payloads — matching the secure-channel assumption and
+    the visibility used in the counting argument of Lemma 6.8.
+
+    A scheduler value carries internal state; create a fresh one per run
+    (the constructors are factories). *)
+
+type pattern_event =
+  | P_sent of { src : int; dst : int; seq : int }
+  | P_delivered of { src : int; dst : int; seq : int }
+  | P_dropped of { src : int; dst : int; seq : int }
+  | P_moved of int
+  | P_halted of int
+  | P_started of int
+
+type t = {
+  name : string;
+  relaxed : bool;
+      (** Relaxed schedulers (mediator game only, Section 5) may stop
+          delivering; non-relaxed schedulers must eventually deliver
+          everything (the driver enforces this with a starvation bound). *)
+  choose : step:int -> history:pattern_event list -> pending:Pending_set.t -> Types.decision;
+      (** [history] is reverse-chronological. [pending] is always
+          non-empty when called. *)
+}
+
+val fifo : unit -> t
+(** Deliver in send order: the "synchronous-like" friendly scheduler. *)
+
+val lifo : unit -> t
+(** Deliver newest first (maximally reordering). *)
+
+val random : Random.State.t -> t
+(** Uniform among pending messages. *)
+
+val random_seeded : int -> t
+(** [random] with a private state seeded from an int. *)
+
+val delay_player : victim:int -> Random.State.t -> t
+(** Postpones every message to or from [victim] for as long as any other
+    message is pending (the driver's starvation bound keeps it fair). The
+    classic "eclipse one player" asynchronous adversary. *)
+
+val delay_pair : a:int -> b:int -> Random.State.t -> t
+(** Postpones traffic between [a] and [b] specifically. *)
+
+val adaptive_laggard : Random.State.t -> t
+(** Adaptive adversary: postpones all traffic from whichever player has
+    sent the most messages so far — "slow down the leader". Decides from
+    the pattern history alone. *)
+
+val prioritise : players:int list -> Random.State.t -> t
+(** Delivers messages sent by the listed players before anything else —
+    the scheduler arm of a colluding adversary (Section 6.1). *)
+
+val round_robin : unit -> t
+(** Cycles over destination processes, delivering the oldest message for
+    each in turn. *)
+
+val relaxed_stop_after : int -> t
+(** FIFO delivery for [k] deliveries, then stops delivery forever — the
+    canonical relaxed scheduler that creates a deadlock (Lemma 6.10). *)
+
+val relaxed_random : stop_prob:float -> Random.State.t -> t
+(** FIFO delivery, but before each delivery stops forever with probability
+    [stop_prob]. *)
+
+val custom :
+  name:string ->
+  relaxed:bool ->
+  (step:int -> history:pattern_event list -> pending:Pending_set.t -> Types.decision) ->
+  t
+
+val standard_library : Random.State.t -> t list
+(** The non-relaxed schedulers used when quantifying "for all σe" in
+    experiments: fifo, lifo, random, round-robin and delay variants. *)

@@ -1,0 +1,73 @@
+(** Shared types for the asynchronous simulator. *)
+
+type pid = int
+(** Player identifier. Players are 0..n-1; the mediator (when present) is
+    pid [n]; the environment/start signal uses pid [-1] as source. *)
+
+let env_pid : pid = -1
+
+(** Effects a process can emit in reaction to its start signal or to a
+    delivered message. [Move] performs the process's one-shot action in the
+    underlying game; [Halt] stops the process (no further deliveries). *)
+type ('m, 'a) effect =
+  | Send of pid * 'm
+  | Move of 'a
+  | Halt
+
+(** A reactive process. State lives inside the closures. [will] is the
+    Aumann-Hart "will": the action the player wants executed if the
+    cheap-talk phase ends (deadlock or cutoff) before it moved; [None]
+    means no instruction (the game's default-move map applies, if any). *)
+type ('m, 'a) process = {
+  start : unit -> ('m, 'a) effect list;
+  receive : src:pid -> 'm -> ('m, 'a) effect list;
+  will : unit -> 'a option;
+}
+
+(** What a scheduler is allowed to see about a pending message: its
+    pattern, never its payload (channels are secure). [seq] is k in the
+    paper's (s,i,j,k) notation: this is the k-th message from [src] to
+    [dst]. [batch] tags messages emitted by one process activation; the
+    relaxed-scheduler rule (Section 5) requires same-batch mediator
+    messages to be dropped all-or-none. *)
+type pending_view = {
+  id : int;
+  src : pid;
+  dst : pid;
+  seq : int;
+  sent_step : int;
+  batch : int;
+}
+
+(** Trace events: exactly the message-pattern alphabet of Lemma 6.8 plus
+    move/halt markers. *)
+type 'a trace_event =
+  | Sent of { src : pid; dst : pid; seq : int }
+  | Delivered of { src : pid; dst : pid; seq : int }
+  | Dropped of { src : pid; dst : pid; seq : int }
+  | Moved of { who : pid; action : 'a }
+  | Halted of pid
+  | Started of pid
+
+type decision =
+  | Deliver of int  (** id of the pending message to deliver next *)
+  | Stop_delivery
+      (** Relaxed schedulers only: never deliver anything else (modulo the
+          mediator-batch atomicity rule, which the driver enforces). *)
+
+(** How a run ended. *)
+type termination =
+  | All_halted  (** every live process halted; no messages pending *)
+  | Quiescent  (** no pending messages but some processes never halted *)
+  | Deadlocked  (** a relaxed scheduler stopped delivery *)
+  | Cutoff  (** step limit reached with messages still pending (livelock) *)
+
+type 'a outcome = {
+  moves : 'a option array;  (** per-player move in the underlying game *)
+  termination : termination;
+  messages_sent : int;
+  messages_delivered : int;
+  steps : int;
+  trace : 'a trace_event list;  (** chronological *)
+  halted : bool array;
+}

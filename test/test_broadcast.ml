@@ -1,0 +1,144 @@
+(* Tests for Bracha reliable broadcast inside the asynchronous simulator:
+   validity, agreement under equivocation, crash tolerance. *)
+
+open Sim.Types
+module Rbc = Broadcast.Rbc
+
+let to_effects sends = List.map (fun (dst, m) -> Send (dst, m)) sends
+
+(* An honest player in a single-broadcast network. Delivery is recorded as
+   the player's "move". *)
+let honest ~n ~f ~me ~sender ~value =
+  let session = Rbc.create ~n ~f ~me ~sender in
+  {
+    start =
+      (fun () ->
+        if me = sender then
+          match value with
+          | Some v -> to_effects (Rbc.broadcast session v).Rbc.sends
+          | None -> []
+        else []);
+    receive =
+      (fun ~src m ->
+        let r = Rbc.handle session ~src m in
+        to_effects r.Rbc.sends
+        @ (match r.Rbc.output with Some v -> [ Move v ] | None -> []));
+    will = (fun () -> None);
+  }
+
+let silent = { start = (fun () -> []); receive = (fun ~src:_ _ -> []); will = (fun () -> None) }
+
+(* A Byzantine sender that tells half the players [a] and the rest [b],
+   echoing inconsistently as well. *)
+let equivocating_sender ~n ~a ~b =
+  {
+    start =
+      (fun () ->
+        List.init (n - 1) (fun j ->
+            let dst = j + 1 in
+            Send (dst, Rbc.Initial (if dst mod 2 = 0 then a else b))));
+    receive = (fun ~src:_ _ -> []);
+    will = (fun () -> None);
+  }
+
+let run ?(sched = Sim.Scheduler.fifo ()) procs =
+  Sim.Runner.run (Sim.Runner.config ~scheduler:sched procs)
+
+let test_validity_all_schedulers () =
+  let n = 4 and f = 1 in
+  let rng = Random.State.make [| 7 |] in
+  List.iter
+    (fun sched ->
+      let procs =
+        Array.init n (fun me -> honest ~n ~f ~me ~sender:0 ~value:(Some 42))
+      in
+      let o = run ~sched procs in
+      Array.iteri
+        (fun i mv ->
+          Alcotest.(check (option int))
+            (Printf.sprintf "player %d delivers under %s" i sched.Sim.Scheduler.name)
+            (Some 42) mv)
+        o.moves)
+    (Sim.Scheduler.standard_library rng)
+
+let test_crash_tolerance () =
+  (* One non-sender player is silent; the rest still deliver. *)
+  let n = 4 and f = 1 in
+  let procs = Array.init n (fun me -> honest ~n ~f ~me ~sender:0 ~value:(Some 9)) in
+  procs.(3) <- silent;
+  let o = run procs in
+  for i = 0 to 2 do
+    Alcotest.(check (option int)) (Printf.sprintf "player %d" i) (Some 9) o.moves.(i)
+  done
+
+let test_crashed_sender_no_delivery () =
+  let n = 4 and f = 1 in
+  let procs = Array.init n (fun me -> honest ~n ~f ~me ~sender:0 ~value:None) in
+  procs.(0) <- silent;
+  let o = run procs in
+  Array.iter (fun mv -> Alcotest.(check (option int)) "no delivery" None mv) o.moves
+
+let test_equivocation_agreement () =
+  (* Under an equivocating sender, honest players that deliver must all
+     deliver the same value — across many schedulers. *)
+  let n = 4 and f = 1 in
+  let seeds = List.init 30 (fun i -> i) in
+  List.iter
+    (fun seed ->
+      let procs = Array.init n (fun me -> honest ~n ~f ~me ~sender:0 ~value:None) in
+      procs.(0) <- equivocating_sender ~n ~a:1 ~b:2;
+      let o = run ~sched:(Sim.Scheduler.random_seeded seed) procs in
+      let delivered = List.filter_map (fun x -> x) (Array.to_list o.moves) in
+      match delivered with
+      | [] -> ()
+      | v :: rest ->
+          List.iter (fun w -> Alcotest.(check int) "agreement" v w) rest)
+    seeds
+
+let test_duplicate_votes_ignored () =
+  (* A Byzantine player that echoes the same value many times must not be
+     double counted: with n=4, f=1, a single echoing player plus the
+     sender cannot reach the n-f echo quorum alone. *)
+  let n = 4 and f = 1 in
+  let spammer =
+    {
+      start =
+        (fun () -> List.concat (List.init 5 (fun _ -> [ Send (3, Rbc.Echo 5); Send (3, Rbc.Ready 5) ])));
+      receive = (fun ~src:_ _ -> []);
+      will = (fun () -> None);
+    }
+  in
+  let procs = Array.init n (fun me -> honest ~n ~f ~me ~sender:0 ~value:None) in
+  procs.(0) <- silent;
+  (* no real broadcast *)
+  procs.(1) <- spammer;
+  procs.(2) <- silent;
+  let o = run procs in
+  Alcotest.(check (option int)) "spam does not deliver" None o.moves.(3)
+
+let test_create_validation () =
+  Alcotest.check_raises "n <= 3f rejected" (Invalid_argument "Rbc.create: need n > 3f")
+    (fun () -> ignore (Rbc.create ~n:3 ~f:1 ~me:0 ~sender:0))
+
+let test_message_complexity () =
+  (* Bracha RB is O(n^2) messages: for n=7 it should stay well under 3*n^2. *)
+  let n = 7 and f = 2 in
+  let procs = Array.init n (fun me -> honest ~n ~f ~me ~sender:0 ~value:(Some 1)) in
+  let o = run procs in
+  Alcotest.(check bool) "O(n^2) messages" true (o.messages_sent <= 3 * n * n);
+  Array.iter (fun mv -> Alcotest.(check (option int)) "delivered" (Some 1) mv) o.moves
+
+let () =
+  Alcotest.run "broadcast"
+    [
+      ( "rbc",
+        [
+          Alcotest.test_case "validity (all schedulers)" `Quick test_validity_all_schedulers;
+          Alcotest.test_case "crash tolerance" `Quick test_crash_tolerance;
+          Alcotest.test_case "crashed sender" `Quick test_crashed_sender_no_delivery;
+          Alcotest.test_case "equivocation agreement" `Quick test_equivocation_agreement;
+          Alcotest.test_case "duplicate votes" `Quick test_duplicate_votes_ignored;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "message complexity" `Quick test_message_complexity;
+        ] );
+    ]

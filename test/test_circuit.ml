@@ -1,0 +1,114 @@
+(* Tests for the arithmetic-circuit mediator model. *)
+
+module Gf = Field.Gf
+
+let gf_testable = Alcotest.testable Gf.pp Gf.equal
+
+let ints l = Array.of_list (List.map Gf.of_int l)
+
+let test_identity () =
+  let c = Circuit.identity_selector ~n_inputs:3 in
+  let out = Circuit.eval c ~inputs:(ints [ 4; 5; 6 ]) ~random:[||] in
+  Alcotest.(check (list int))
+    "identity passes inputs through" [ 4; 5; 6 ]
+    (Array.to_list (Array.map Gf.to_int out))
+
+let test_sum () =
+  let c = Circuit.sum ~n_inputs:4 in
+  let out = Circuit.eval c ~inputs:(ints [ 1; 2; 3; 4 ]) ~random:[||] in
+  Array.iter (fun o -> Alcotest.check gf_testable "sum = 10" (Gf.of_int 10) o) out
+
+let test_majority () =
+  let c = Circuit.majority ~n_inputs:5 in
+  let check inputs expect =
+    let out = Circuit.eval c ~inputs:(ints inputs) ~random:[||] in
+    Array.iter (fun o -> Alcotest.check gf_testable "majority" (Gf.of_int expect) o) out
+  in
+  check [ 0; 0; 0; 0; 0 ] 0;
+  check [ 1; 1; 1; 0; 0 ] 1;
+  check [ 1; 1; 0; 0; 0 ] 0;
+  check [ 1; 1; 1; 1; 1 ] 1
+
+let test_majority_has_muls () =
+  let c = Circuit.majority ~n_inputs:5 in
+  Alcotest.(check bool) "nonlinear circuit" true (Circuit.mul_count c > 0);
+  Alcotest.(check bool) "depth positive" true (Circuit.depth c > 0)
+
+let test_coin_plus_input () =
+  let c = Circuit.coin_plus_input ~n_inputs:2 in
+  let out = Circuit.eval c ~inputs:(ints [ 10; 20 ]) ~random:(ints [ 7 ]) in
+  Alcotest.check gf_testable "out0" (Gf.of_int 17) out.(0);
+  Alcotest.check gf_testable "out1" (Gf.of_int 27) out.(1)
+
+let test_validation () =
+  let bad () =
+    ignore
+      (Circuit.create ~n_inputs:1 ~n_random:0
+         ~gates:[| Circuit.Add (0, 1) |]
+         ~outputs:[| 0 |] ())
+  in
+  Alcotest.check_raises "forward reference rejected"
+    (Invalid_argument "Circuit.create: gate references a non-earlier gate") bad;
+  let bad_input () =
+    ignore (Circuit.create ~n_inputs:1 ~n_random:0 ~gates:[| Circuit.Input 3 |] ~outputs:[| 0 |] ())
+  in
+  Alcotest.check_raises "input range checked"
+    (Invalid_argument "Circuit.create: input index out of range") bad_input
+
+let test_eval_arity () =
+  let c = Circuit.sum ~n_inputs:2 in
+  Alcotest.check_raises "input arity" (Invalid_argument "Circuit.eval: wrong input arity")
+    (fun () -> ignore (Circuit.eval c ~inputs:(ints [ 1 ]) ~random:[||]))
+
+let prop_random_circuit_evaluates =
+  QCheck.Test.make ~name:"random circuits evaluate" ~count:100 QCheck.pos_int (fun seed ->
+      let rng = Random.State.make [| seed; 31 |] in
+      let n_inputs = 1 + Random.State.int rng 4 in
+      let n_random = Random.State.int rng 3 in
+      let n_gates = n_inputs + 1 + Random.State.int rng 30 in
+      let c =
+        Circuit.random_circuit rng ~n_inputs ~n_random ~n_gates ~n_outputs:(1 + Random.State.int rng 4)
+      in
+      let inputs = Array.init n_inputs (fun _ -> Gf.random rng) in
+      let random = Array.init n_random (fun _ -> Gf.random rng) in
+      let out = Circuit.eval c ~inputs ~random in
+      Array.length out > 0 && Circuit.size c = n_gates)
+
+let prop_eval_with_matches_eval =
+  QCheck.Test.make ~name:"eval_with generic interpreter agrees" ~count:50 QCheck.pos_int
+    (fun seed ->
+      let rng = Random.State.make [| seed; 37 |] in
+      let c = Circuit.random_circuit rng ~n_inputs:3 ~n_random:1 ~n_gates:20 ~n_outputs:2 in
+      let inputs = Array.init 3 (fun _ -> Gf.random rng) in
+      let random = [| Gf.random rng |] in
+      let direct = Circuit.eval c ~inputs ~random in
+      let via_generic =
+        Circuit.eval_with c (fun g earlier ->
+            match g with
+            | Circuit.Input i -> inputs.(i)
+            | Circuit.Random j -> random.(j)
+            | Circuit.Const v -> v
+            | Circuit.Add (a, b) -> Gf.add earlier.(a) earlier.(b)
+            | Circuit.Sub (a, b) -> Gf.sub earlier.(a) earlier.(b)
+            | Circuit.Mul (a, b) -> Gf.mul earlier.(a) earlier.(b)
+            | Circuit.Scale (v, a) -> Gf.mul v earlier.(a))
+      in
+      Array.for_all2 Gf.equal direct via_generic)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "circuit"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "identity" `Quick test_identity;
+          Alcotest.test_case "sum" `Quick test_sum;
+          Alcotest.test_case "majority" `Quick test_majority;
+          Alcotest.test_case "majority nonlinear" `Quick test_majority_has_muls;
+          Alcotest.test_case "coin plus input" `Quick test_coin_plus_input;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "eval arity" `Quick test_eval_arity;
+        ] );
+      ("props", qsuite [ prop_random_circuit_evaluates; prop_eval_with_matches_eval ]);
+    ]

@@ -1,0 +1,210 @@
+(* Unit and property tests for the field substrate: Gf, Poly, Bipoly, Linalg. *)
+
+module Gf = Field.Gf
+module Poly = Field.Poly
+module Bipoly = Field.Bipoly
+module Linalg = Field.Linalg
+
+let gf_testable = Alcotest.testable Gf.pp Gf.equal
+
+let gf_gen = QCheck.map Gf.of_int (QCheck.int_bound (Gf.p - 1))
+let gf_nonzero_gen = QCheck.map (fun x -> Gf.of_int (1 + (x mod (Gf.p - 1)))) QCheck.pos_int
+
+let check_gf = Alcotest.check gf_testable
+
+(* --- Gf unit tests --- *)
+
+let test_gf_basics () =
+  check_gf "0+0" Gf.zero (Gf.add Gf.zero Gf.zero);
+  check_gf "1*1" Gf.one (Gf.mul Gf.one Gf.one);
+  check_gf "p reduces to 0" Gf.zero (Gf.of_int Gf.p);
+  check_gf "negative reduces" (Gf.of_int (Gf.p - 1)) (Gf.of_int (-1));
+  check_gf "sub wraps" (Gf.of_int (Gf.p - 2)) (Gf.sub (Gf.of_int 3) (Gf.of_int 5));
+  check_gf "neg 0" Gf.zero (Gf.neg Gf.zero)
+
+let test_gf_inverse () =
+  let rng = Random.State.make [| 42 |] in
+  for _ = 1 to 200 do
+    let x = Gf.random_nonzero rng in
+    check_gf "x * x^-1 = 1" Gf.one (Gf.mul x (Gf.inv x))
+  done;
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Gf.inv Gf.zero))
+
+let test_gf_pow () =
+  check_gf "x^0" Gf.one (Gf.pow (Gf.of_int 7) 0);
+  check_gf "x^1" (Gf.of_int 7) (Gf.pow (Gf.of_int 7) 1);
+  check_gf "2^10" (Gf.of_int 1024) (Gf.pow (Gf.of_int 2) 10);
+  (* Fermat: x^(p-1) = 1 *)
+  check_gf "fermat" Gf.one (Gf.pow (Gf.of_int 123456) (Gf.p - 1))
+
+(* --- Gf properties --- *)
+
+let prop_add_comm =
+  QCheck.Test.make ~name:"gf add commutative" (QCheck.pair gf_gen gf_gen) (fun (a, b) ->
+      Gf.equal (Gf.add a b) (Gf.add b a))
+
+let prop_mul_assoc =
+  QCheck.Test.make ~name:"gf mul associative" (QCheck.triple gf_gen gf_gen gf_gen)
+    (fun (a, b, c) -> Gf.equal (Gf.mul a (Gf.mul b c)) (Gf.mul (Gf.mul a b) c))
+
+let prop_distrib =
+  QCheck.Test.make ~name:"gf distributivity" (QCheck.triple gf_gen gf_gen gf_gen)
+    (fun (a, b, c) ->
+      Gf.equal (Gf.mul a (Gf.add b c)) (Gf.add (Gf.mul a b) (Gf.mul a c)))
+
+let prop_inv =
+  QCheck.Test.make ~name:"gf inverse" gf_nonzero_gen (fun a ->
+      Gf.equal (Gf.mul a (Gf.inv a)) Gf.one)
+
+let prop_sub_add =
+  QCheck.Test.make ~name:"gf sub then add" (QCheck.pair gf_gen gf_gen) (fun (a, b) ->
+      Gf.equal (Gf.add (Gf.sub a b) b) a)
+
+(* --- Poly --- *)
+
+let poly_of_ints l = Poly.of_coeffs (Array.of_list (List.map Gf.of_int l))
+
+let test_poly_eval () =
+  (* f(x) = 3 + 2x + x^2 *)
+  let f = poly_of_ints [ 3; 2; 1 ] in
+  check_gf "f(0)" (Gf.of_int 3) (Poly.eval f Gf.zero);
+  check_gf "f(1)" (Gf.of_int 6) (Poly.eval f Gf.one);
+  check_gf "f(2)" (Gf.of_int 11) (Poly.eval f (Gf.of_int 2));
+  Alcotest.(check int) "degree" 2 (Poly.degree f);
+  Alcotest.(check int) "zero degree" (-1) (Poly.degree Poly.zero)
+
+let test_poly_normalise () =
+  let f = poly_of_ints [ 1; 2; 0; 0 ] in
+  Alcotest.(check int) "trailing zeros stripped" 1 (Poly.degree f);
+  Alcotest.(check bool) "zero poly is_zero" true (Poly.is_zero (poly_of_ints [ 0; 0 ]))
+
+let test_poly_arith () =
+  let f = poly_of_ints [ 1; 1 ] (* 1 + x *) in
+  let g = poly_of_ints [ 1; Gf.p - 1 ] (* 1 - x *) in
+  let prod = Poly.mul f g in
+  (* (1+x)(1-x) = 1 - x^2 *)
+  Alcotest.(check bool) "mul" true (Poly.equal prod (poly_of_ints [ 1; 0; Gf.p - 1 ]));
+  Alcotest.(check bool) "add cancels" true (Poly.equal (Poly.add f g) (poly_of_ints [ 2 ]))
+
+let test_poly_divmod () =
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 100 do
+    let a = Poly.random rng ~degree:(Random.State.int rng 8) in
+    let b = Poly.random rng ~degree:(Random.State.int rng 5) in
+    if not (Poly.is_zero b) then begin
+      let q, r = Poly.divmod a b in
+      Alcotest.(check bool) "a = qb + r" true (Poly.equal a (Poly.add (Poly.mul q b) r));
+      Alcotest.(check bool) "deg r < deg b" true (Poly.degree r < Poly.degree b)
+    end
+  done
+
+let test_poly_interpolate () =
+  let f = poly_of_ints [ 5; 0; 3; 9 ] in
+  let pts = List.init 4 (fun i -> (Gf.of_int (i + 1), Poly.eval f (Gf.of_int (i + 1)))) in
+  let g = Poly.interpolate pts in
+  Alcotest.(check bool) "interpolation recovers poly" true (Poly.equal f g);
+  Alcotest.check_raises "duplicate x rejected"
+    (Invalid_argument "Poly.interpolate: duplicate x coordinate") (fun () ->
+      ignore (Poly.interpolate [ (Gf.one, Gf.one); (Gf.one, Gf.zero) ]))
+
+let prop_interpolate_roundtrip =
+  QCheck.Test.make ~name:"poly interpolate roundtrip" (QCheck.int_bound 1000) (fun seed ->
+      let rng = Random.State.make [| seed; 13 |] in
+      let d = Random.State.int rng 6 in
+      let f = Poly.random rng ~degree:d in
+      let pts = List.init (d + 1) (fun i -> (Gf.of_int (i + 1), Poly.eval f (Gf.of_int (i + 1)))) in
+      Poly.equal f (Poly.interpolate pts))
+
+(* --- Bipoly --- *)
+
+let test_bipoly_consistency () =
+  let rng = Random.State.make [| 99 |] in
+  let secret = Gf.of_int 4242 in
+  let b = Bipoly.random_symmetric rng ~degree:3 ~secret in
+  Alcotest.(check bool) "symmetric" true (Bipoly.is_symmetric b);
+  check_gf "secret at origin" secret (Bipoly.secret b);
+  for i = 1 to 5 do
+    for j = 1 to 5 do
+      let gi = Gf.of_int i and gj = Gf.of_int j in
+      check_gf "row/eval agree" (Bipoly.eval b gi gj) (Poly.eval (Bipoly.row b gj) gi);
+      check_gf "col/eval agree" (Bipoly.eval b gi gj) (Poly.eval (Bipoly.col b gi) gj);
+      check_gf "symmetry of eval" (Bipoly.eval b gi gj) (Bipoly.eval b gj gi)
+    done
+  done
+
+let test_bipoly_row_secret () =
+  (* The univariate polynomial y -> B(0,y) shares the secret: its value at 0. *)
+  let rng = Random.State.make [| 5 |] in
+  let b = Bipoly.random_symmetric rng ~degree:2 ~secret:(Gf.of_int 77) in
+  check_gf "col at x=0 evaluated at 0" (Gf.of_int 77) (Poly.eval (Bipoly.col b Gf.zero) Gf.zero)
+
+(* --- Linalg --- *)
+
+let test_linalg_solve () =
+  let m x = Gf.of_int x in
+  (* 2x + y = 5; x - y = 1  => x = 2, y = 1 *)
+  let a = [| [| m 2; m 1 |]; [| m 1; Gf.neg (m 1) |] |] in
+  let b = [| m 5; m 1 |] in
+  (match Linalg.solve a b with
+  | None -> Alcotest.fail "system should be solvable"
+  | Some x ->
+      check_gf "x" (m 2) x.(0);
+      check_gf "y" (m 1) x.(1));
+  (* Inconsistent: x + y = 1; x + y = 2 *)
+  let a2 = [| [| m 1; m 1 |]; [| m 1; m 1 |] |] in
+  let b2 = [| m 1; m 2 |] in
+  Alcotest.(check bool) "inconsistent" true (Linalg.solve a2 b2 = None)
+
+let test_linalg_rank () =
+  let m x = Gf.of_int x in
+  Alcotest.(check int) "full rank" 2 (Linalg.rank [| [| m 1; m 0 |]; [| m 0; m 1 |] |]);
+  Alcotest.(check int) "rank 1" 1 (Linalg.rank [| [| m 1; m 2 |]; [| m 2; m 4 |] |]);
+  Alcotest.(check int) "rank 0" 0 (Linalg.rank [| [| m 0; m 0 |] |])
+
+let prop_linalg_solution_valid =
+  QCheck.Test.make ~name:"linalg solve satisfies system" (QCheck.int_bound 10_000)
+    (fun seed ->
+      let rng = Random.State.make [| seed; 3 |] in
+      let rows = 1 + Random.State.int rng 6 in
+      let cols = 1 + Random.State.int rng 6 in
+      let a = Array.init rows (fun _ -> Array.init cols (fun _ -> Gf.random rng)) in
+      let x0 = Array.init cols (fun _ -> Gf.random rng) in
+      let b = Linalg.mat_vec a x0 in
+      match Linalg.solve a b with
+      | None -> false (* constructed to be consistent *)
+      | Some x -> Array.for_all2 Gf.equal (Linalg.mat_vec a x) b)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "field"
+    [
+      ( "gf",
+        [
+          Alcotest.test_case "basics" `Quick test_gf_basics;
+          Alcotest.test_case "inverse" `Quick test_gf_inverse;
+          Alcotest.test_case "pow" `Quick test_gf_pow;
+        ] );
+      ( "gf-props",
+        qsuite [ prop_add_comm; prop_mul_assoc; prop_distrib; prop_inv; prop_sub_add ] );
+      ( "poly",
+        [
+          Alcotest.test_case "eval" `Quick test_poly_eval;
+          Alcotest.test_case "normalise" `Quick test_poly_normalise;
+          Alcotest.test_case "arith" `Quick test_poly_arith;
+          Alcotest.test_case "divmod" `Quick test_poly_divmod;
+          Alcotest.test_case "interpolate" `Quick test_poly_interpolate;
+        ] );
+      ("poly-props", qsuite [ prop_interpolate_roundtrip ]);
+      ( "bipoly",
+        [
+          Alcotest.test_case "consistency" `Quick test_bipoly_consistency;
+          Alcotest.test_case "row secret" `Quick test_bipoly_row_secret;
+        ] );
+      ( "linalg",
+        [
+          Alcotest.test_case "solve" `Quick test_linalg_solve;
+          Alcotest.test_case "rank" `Quick test_linalg_rank;
+        ] );
+      ("linalg-props", qsuite [ prop_linalg_solution_valid ]);
+    ]

@@ -1,0 +1,407 @@
+(* Tests for the game-theory layer: expected utilities, outcome
+   distributions, and the solution-concept checkers of Definitions 3.1-3.6
+   and 4.3. *)
+
+module Game = Games.Game
+module Dist = Games.Dist
+module Catalog = Games.Catalog
+module Subsets = Games.Subsets
+module Correlated = Games.Correlated
+
+let feq = Alcotest.float 1e-9
+
+(* --- Subsets --- *)
+
+let test_subsets () =
+  Alcotest.(check int) "C(4,2)" 6 (List.length (Subsets.subsets_exact ~n:4 ~size:2));
+  Alcotest.(check int) "upto 2 of 4" (4 + 6) (List.length (Subsets.subsets_upto ~n:4 ~max_size:2));
+  Alcotest.(check int) "profiles 2x3" 6 (List.length (Subsets.profiles [| 2; 3 |]));
+  let pairs = Subsets.disjoint_pairs ~n:3 ~max_k:1 ~max_t:1 in
+  (* K in {0},{1},{2}; T in {} or singleton disjoint: 3 * (1 + 2) = 9 *)
+  Alcotest.(check int) "disjoint pairs" 9 (List.length pairs)
+
+(* --- Dist --- *)
+
+let test_dist_l1 () =
+  let a = Dist.of_list [ ([| 0 |], 0.5); ([| 1 |], 0.5) ] in
+  let b = Dist.of_list [ ([| 0 |], 1.0) ] in
+  Alcotest.check feq "l1" 1.0 (Dist.l1 a b);
+  Alcotest.check feq "tv" 0.5 (Dist.tv a b);
+  Alcotest.check feq "self distance" 0.0 (Dist.l1 a a)
+
+let test_dist_product () =
+  let d = Dist.product [| [ (0, 0.5); (1, 0.5) ]; [ (1, 1.0) ] |] in
+  Alcotest.check feq "p(0,1)" 0.5 (Dist.prob d [| 0; 1 |]);
+  Alcotest.check feq "p(1,1)" 0.5 (Dist.prob d [| 1; 1 |]);
+  Alcotest.check feq "p(0,0)" 0.0 (Dist.prob d [| 0; 0 |])
+
+let test_dist_empirical () =
+  let e = Dist.Empirical.create () in
+  Dist.Empirical.add e [| 0 |];
+  Dist.Empirical.add e [| 0 |];
+  Dist.Empirical.add e [| 1 |];
+  let d = Dist.Empirical.to_dist e in
+  Alcotest.check feq "p(0)" (2.0 /. 3.0) (Dist.prob d [| 0 |]);
+  Alcotest.(check int) "count" 3 (Dist.Empirical.count e)
+
+(* --- expected utilities --- *)
+
+let test_coordination_utilities () =
+  let g = Catalog.coordination ~n:3 in
+  let all_zero = Array.make 3 (Game.pure 0) in
+  let u = Game.expected_utilities g all_zero in
+  Alcotest.check feq "all-0 coordinates" 1.0 u.(0);
+  let mixed = Array.make 3 (Game.uniform 2) in
+  let u = Game.expected_utilities g mixed in
+  (* P(all equal) = 2 / 8 *)
+  Alcotest.check feq "uniform play" 0.25 u.(0)
+
+let test_chicken_utilities () =
+  let g = Catalog.chicken () in
+  (* mixed Nash: each dares with prob 1/3 *)
+  let nash _ = [ (0, 1.0 /. 3.0); (1, 2.0 /. 3.0) ] in
+  let u = Game.expected_utilities g [| nash; nash |] in
+  (* E[u] = (1/9)*0 + (2/9)*7 + (2/9)*2 + (4/9)*6 = (14+4+24)/9 = 42/9 *)
+  Alcotest.check feq "mixed nash payoff" (42.0 /. 9.0) u.(0)
+
+let test_outcome_dist () =
+  let g = Catalog.chicken () in
+  let d = Game.outcome_dist g [| Game.pure 0; Game.pure 1 |] ~types:[| 0; 0 |] in
+  Alcotest.check feq "deterministic outcome" 1.0 (Dist.prob d [| 0; 1 |])
+
+(* --- equilibrium checkers --- *)
+
+let test_chicken_nash () =
+  let g = Catalog.chicken () in
+  let nash _ = [ (0, 1.0 /. 3.0); (1, 2.0 /. 3.0) ] in
+  (match Game.check_k_resilient ~k:1 g [| nash; nash |] with
+  | Ok () -> ()
+  | Error w -> Alcotest.failf "mixed nash rejected: %a" Game.pp_witness w);
+  (* (C,C) is not Nash: deviating to Dare gains 1 *)
+  match Game.check_k_resilient ~k:1 g [| Game.pure 1; Game.pure 1 |] with
+  | Ok () -> Alcotest.fail "(C,C) wrongly accepted"
+  | Error w ->
+      Alcotest.(check (list int)) "deviator" [ 0 ] w.coalition;
+      Alcotest.(check bool) "gain is 1" true (List.exists (fun (_, gain) -> abs_float (gain -. 1.0) < 1e-9) w.gains)
+
+let test_coordination_resilient () =
+  let g = Catalog.coordination ~n:3 in
+  let all_zero = Array.make 3 (Game.pure 0) in
+  (* No coalition can beat payoff 1 (the maximum). *)
+  match Game.check_k_resilient ~k:3 g all_zero with
+  | Ok () -> ()
+  | Error w -> Alcotest.failf "coordination rejected: %a" Game.pp_witness w
+
+let test_eps_resilience () =
+  let g = Catalog.chicken () in
+  let profile = [| Game.pure 1; Game.pure 1 |] in
+  (* (C,C): deviation gains exactly 1, so it is eps-resilient for eps > 1
+     but not for eps <= 1. *)
+  (match Game.check_k_resilient ~eps:1.5 ~k:1 g profile with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "eps=1.5 should accept");
+  match Game.check_k_resilient ~eps:0.5 ~k:1 g profile with
+  | Ok () -> Alcotest.fail "eps=0.5 should reject"
+  | Error _ -> ()
+
+(* A game where a deviator can hurt others: 3 players, player 0's action
+   destroys everyone's payoff. *)
+let fragile_game () =
+  Game.complete_information ~name:"fragile" ~n:3 ~action_counts:[| 2; 2; 2 |]
+    ~utility:(fun actions -> if actions.(0) = 1 then [| 0.0; 0.0; 0.0 |] else [| 1.0; 1.0; 1.0 |])
+    ()
+
+let test_t_immunity () =
+  let g = fragile_game () in
+  let profile = Array.make 3 (Game.pure 0) in
+  (match Game.check_t_immune ~t:1 g profile with
+  | Ok () -> Alcotest.fail "fragile game wrongly immune"
+  | Error w -> Alcotest.(check (list int)) "culprit" [ 0 ] w.coalition);
+  (* Coordination is not 1-immune either (a deviator breaks matching);
+     a constant-payoff game is. *)
+  let constant =
+    Game.complete_information ~name:"constant" ~n:3 ~action_counts:[| 2; 2; 2 |]
+      ~utility:(fun _ -> [| 1.0; 1.0; 1.0 |])
+      ()
+  in
+  match Game.check_t_immune ~t:2 constant (Array.make 3 (Game.pure 0)) with
+  | Ok () -> ()
+  | Error w -> Alcotest.failf "constant game not immune: %a" Game.pp_witness w
+
+let test_robustness_constant_game () =
+  let constant =
+    Game.complete_information ~name:"constant" ~n:4 ~action_counts:(Array.make 4 2)
+      ~utility:(fun _ -> Array.make 4 1.0)
+      ()
+  in
+  match Game.check_robust ~k:1 ~t:1 constant (Array.make 4 (Game.pure 0)) with
+  | Ok () -> ()
+  | Error w -> Alcotest.failf "constant game not robust: %a" Game.pp_witness w
+
+let test_robustness_fragile_game () =
+  let g = fragile_game () in
+  match Game.check_robust ~k:1 ~t:1 g (Array.make 3 (Game.pure 0)) with
+  | Ok () -> Alcotest.fail "fragile game wrongly robust"
+  | Error _ -> ()
+
+(* --- punishment (Definition 4.3) --- *)
+
+let test_punishment_pitfall_game () =
+  let n = 4 and k = 1 in
+  let g = Catalog.punishment_pitfall ~n ~k in
+  (* The mediated equilibrium plays b uniform: everyone 0 or everyone 1,
+     payoff (1+2)/2 = 1.5. "All bot" is a k-punishment w.r.t. it. *)
+  let bot = Array.make n (Game.pure Catalog.bot_action) in
+  (match
+     Game.check_punishment ~m:k g ~punishment:bot
+       ~target:(fun ~player:_ ~coalition:_ ~types_of:_ -> 1.5)
+   with
+  | Ok () -> ()
+  | Error w -> Alcotest.failf "bot should punish: %a" Game.pp_witness w);
+  (* It is NOT a punishment w.r.t. a lower target of 1.0: deviators still
+     get 1.1 from the bot avalanche. *)
+  match
+    Game.check_punishment ~m:k g ~punishment:bot
+      ~target:(fun ~player:_ ~coalition:_ ~types_of:_ -> 1.0)
+  with
+  | Ok () -> Alcotest.fail "target 1.0 should fail"
+  | Error _ -> ()
+
+let test_conditional_utilities () =
+  let g = Catalog.majority_coordination ~n:3 in
+  (* conditioning on player 0 having type 1 *)
+  let all_one = Array.make 3 (Game.pure 1) in
+  let u = Game.expected_utility_given g all_one ~coalition:[ 0 ] ~types_of:[| 1 |] in
+  (* With x0=1, majority is 1 iff at least one of x1,x2 is 1: prob 3/4. *)
+  Alcotest.check feq "conditional payoff" 0.75 u.(0)
+
+let test_strong_resilience () =
+  (* Chicken's mixed Nash is 1-resilient but not 2-resilient: the grand
+     coalition jointly moving to (C,C) gains 6 - 4.67 each. Coordination's
+     all-0 profile pays everyone the maximum, so it is even STRONGLY
+     k-resilient for every k. *)
+  let g = Catalog.chicken () in
+  let nash _ = [ (0, 1.0 /. 3.0); (1, 2.0 /. 3.0) ] in
+  (match Game.check_k_resilient ~k:2 g [| nash; nash |] with
+  | Ok () -> Alcotest.fail "2-resilience should fail (joint move to (C,C))"
+  | Error w ->
+      Alcotest.(check (list int)) "grand coalition" [ 0; 1 ] w.coalition);
+  let coord = Catalog.coordination ~n:3 in
+  match Game.check_k_resilient ~strong:true ~k:3 coord (Array.make 3 (Game.pure 0)) with
+  | Ok () -> ()
+  | Error w -> Alcotest.failf "coordination should be strongly resilient: %a" Game.pp_witness w
+
+let test_exchange_game_shape () =
+  let g = Catalog.exchange () in
+  let u = g.Game.utility ~types:[| 0; 0 |] ~actions:[| 1; 1 |] in
+  Alcotest.check feq "both release" 1.0 u.(0);
+  let u = g.Game.utility ~types:[| 0; 1 |] ~actions:[| 1; 0 |] in
+  Alcotest.check feq "exposed releaser" (-1.0) u.(0);
+  Alcotest.check feq "free rider" 2.0 u.(1);
+  (* withholding is the unique equilibrium of the one-shot game: release
+     is not 1-resilient *)
+  match Game.check_k_resilient ~k:1 g [| Game.pure 1; Game.pure 1 |] with
+  | Ok () -> Alcotest.fail "all-release wrongly an equilibrium"
+  | Error _ -> ()
+
+(* --- correlated equilibria (the theorems' premise) --- *)
+
+let test_chicken_correlated_is_equilibrium () =
+  let g = Catalog.chicken () in
+  let d = Catalog.chicken_correlated () in
+  (match Correlated.check_obedience g ~dist:d with
+  | Ok () -> ()
+  | Error w -> Alcotest.failf "chicken CE rejected: %a" Correlated.pp_witness w);
+  let v = Correlated.value g ~dist:d in
+  Alcotest.check feq "value 5 each" 5.0 v.(0);
+  Alcotest.check feq "value 5 each" 5.0 v.(1);
+  (* and it is genuinely correlated: no product distribution achieves it *)
+  Alcotest.(check bool) "not a product" false
+    (Correlated.is_product d ~n:2 ~action_counts:[| 2; 2 |])
+
+let test_uniform_chicken_not_equilibrium () =
+  let g = Catalog.chicken () in
+  let quarter = 0.25 in
+  let d =
+    Dist.of_list
+      [ ([| 0; 0 |], quarter); ([| 0; 1 |], quarter); ([| 1; 0 |], quarter); ([| 1; 1 |], quarter) ]
+  in
+  match Correlated.check_obedience g ~dist:d with
+  | Ok () -> Alcotest.fail "uniform chicken wrongly accepted"
+  | Error w ->
+      (* told Chicken, a player prefers to keep Chicken? No: told Dare the
+         opponent is 50/50, u(D) = 3.5 > ... the violation is told-D vs
+         told-C directions; just check the gain is the known 0.5 *)
+      Alcotest.(check bool) "positive gain" true (w.Correlated.gain > 0.0)
+
+let test_coordination_dist_is_equilibrium () =
+  let g = Catalog.coordination ~n:3 in
+  let half = 0.5 in
+  let d = Dist.of_list [ (Array.make 3 0, half); (Array.make 3 1, half) ] in
+  (match Correlated.check_obedience g ~dist:d with
+  | Ok () -> ()
+  | Error w -> Alcotest.failf "coordination coin rejected: %a" Correlated.pp_witness w);
+  Alcotest.(check bool) "coin is not a product" false
+    (Correlated.is_product d ~n:3 ~action_counts:(Array.make 3 2))
+
+let test_pitfall_dist_is_equilibrium () =
+  let n = 4 and k = 1 in
+  let g = Catalog.punishment_pitfall ~n ~k in
+  let half = 0.5 in
+  let d = Dist.of_list [ (Array.make n 0, half); (Array.make n 1, half) ] in
+  (match Correlated.check_obedience g ~dist:d with
+  | Ok () -> ()
+  | Error w -> Alcotest.failf "pitfall equilibrium rejected: %a" Correlated.pp_witness w);
+  let v = Correlated.value g ~dist:d in
+  Alcotest.check feq "value 1.5" 1.5 v.(0)
+
+let test_mediated_specs_are_equilibria () =
+  (* close the loop: the exact mediated distribution of each catalog spec
+     is a correlated equilibrium of its own underlying game *)
+  List.iter
+    (fun spec ->
+      let g = spec.Mediator.Spec.game in
+      let types = Array.make g.Game.n 0 in
+      match Mediator.Measure.exact_action_dist spec ~types with
+      | None -> Alcotest.failf "%s: randomness not enumerable" spec.Mediator.Spec.name
+      | Some d -> (
+          match Correlated.check_obedience g ~dist:d with
+          | Ok () -> ()
+          | Error w ->
+              Alcotest.failf "%s premise fails: %a" spec.Mediator.Spec.name
+                Correlated.pp_witness w))
+    [
+      Mediator.Spec.coordination ~n:5;
+      Mediator.Spec.majority_match ~n:5;
+      Mediator.Spec.chicken_with_bystanders ~n:5;
+      Mediator.Spec.pitfall_minimal ~n:4 ~k:1;
+    ]
+
+let test_communication_equilibrium_majority () =
+  (* truthful reporting + obedience to the majority recommendation is a
+     communication equilibrium of the Bayesian majority game *)
+  let spec = Mediator.Spec.majority_coordination ~n:3 in
+  let g = spec.Mediator.Spec.game in
+  let mediator ~types =
+    match Mediator.Measure.exact_action_dist spec ~types with
+    | Some d -> d
+    | None -> Alcotest.fail "not enumerable"
+  in
+  match Correlated.check_communication_equilibrium g ~mediator with
+  | Ok () -> ()
+  | Error w -> Alcotest.failf "majority premise fails: %a" Correlated.pp_bayes_witness w
+
+let test_communication_equilibrium_rejects () =
+  (* a mediator that recommends the MINORITY value invites disobedience *)
+  let g = Catalog.majority_coordination ~n:3 in
+  let mediator ~types =
+    let ones = Array.fold_left ( + ) 0 types in
+    let minority = if 2 * ones > 3 then 0 else 1 in
+    Dist.deterministic (Array.make 3 minority)
+  in
+  match Correlated.check_communication_equilibrium g ~mediator with
+  | Ok () -> Alcotest.fail "minority mediator wrongly accepted"
+  | Error w -> Alcotest.(check bool) "positive gain" true (w.Correlated.b_gain > 0.0)
+
+let gen_dist =
+  (* random distribution over profiles of a 2x2 action space *)
+  QCheck.map
+    (fun seed ->
+      let rng = Random.State.make [| seed; 55 |] in
+      let entries =
+        List.filter_map
+          (fun profile ->
+            let w = Random.State.float rng 1.0 in
+            if w < 0.1 then None else Some (profile, w))
+          (Subsets.profiles [| 2; 2 |])
+      in
+      match entries with
+      | [] -> Dist.deterministic [| 0; 0 |]
+      | _ -> Dist.normalise (Dist.of_list entries))
+    QCheck.pos_int
+
+let prop_l1_metric =
+  QCheck.Test.make ~name:"dist l1 is a metric (symmetry, triangle, range)" ~count:100
+    (QCheck.triple gen_dist gen_dist gen_dist) (fun (a, b, c) ->
+      let dab = Dist.l1 a b and dba = Dist.l1 b a in
+      let dac = Dist.l1 a c and dcb = Dist.l1 c b in
+      abs_float (dab -. dba) < 1e-9
+      && dab >= -1e-9
+      && dab <= 2.0 +. 1e-9
+      && dab <= dac +. dcb +. 1e-9)
+
+let prop_map_profiles_preserves_mass =
+  QCheck.Test.make ~name:"map_profiles preserves mass" ~count:100 gen_dist (fun d ->
+      let projected = Dist.map_profiles (fun a -> [| a.(0) |]) d in
+      abs_float (Dist.mass projected -. Dist.mass d) < 1e-9)
+
+let prop_obedient_mixture =
+  QCheck.Test.make ~name:"mixtures of all-same profiles are coordination equilibria"
+    ~count:50 (QCheck.float_bound_exclusive 1.0) (fun p ->
+      let p = max 0.05 p in
+      let g = Catalog.coordination ~n:3 in
+      let d =
+        Dist.of_list [ (Array.make 3 0, p); (Array.make 3 1, 1.0 -. p) ]
+      in
+      match Correlated.check_obedience g ~dist:d with Ok () -> true | Error _ -> false)
+
+let prop_outcome_dist_normalised =
+  QCheck.Test.make ~name:"outcome distributions are normalised" ~count:50 QCheck.pos_int
+    (fun seed ->
+      let rng = Random.State.make [| seed; 41 |] in
+      let n = 2 + Random.State.int rng 3 in
+      let g = Catalog.coordination ~n in
+      let profile = Array.init n (fun _ -> Game.uniform 2) in
+      let types = Array.make n 0 in
+      abs_float (Dist.mass (Game.outcome_dist g profile ~types) -. 1.0) < 1e-9)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "games"
+    [
+      ("subsets", [ Alcotest.test_case "combinatorics" `Quick test_subsets ]);
+      ( "dist",
+        [
+          Alcotest.test_case "l1" `Quick test_dist_l1;
+          Alcotest.test_case "product" `Quick test_dist_product;
+          Alcotest.test_case "empirical" `Quick test_dist_empirical;
+        ] );
+      ( "utilities",
+        [
+          Alcotest.test_case "coordination" `Quick test_coordination_utilities;
+          Alcotest.test_case "chicken" `Quick test_chicken_utilities;
+          Alcotest.test_case "outcome dist" `Quick test_outcome_dist;
+          Alcotest.test_case "conditional" `Quick test_conditional_utilities;
+        ] );
+      ( "checkers",
+        [
+          Alcotest.test_case "chicken nash" `Quick test_chicken_nash;
+          Alcotest.test_case "coordination resilient" `Quick test_coordination_resilient;
+          Alcotest.test_case "eps resilience" `Quick test_eps_resilience;
+          Alcotest.test_case "t-immunity" `Quick test_t_immunity;
+          Alcotest.test_case "robust constant" `Quick test_robustness_constant_game;
+          Alcotest.test_case "robust fragile" `Quick test_robustness_fragile_game;
+          Alcotest.test_case "punishment pitfall" `Quick test_punishment_pitfall_game;
+          Alcotest.test_case "strong resilience" `Quick test_strong_resilience;
+          Alcotest.test_case "exchange game" `Quick test_exchange_game_shape;
+        ] );
+      ( "correlated",
+        [
+          Alcotest.test_case "chicken CE" `Quick test_chicken_correlated_is_equilibrium;
+          Alcotest.test_case "uniform chicken rejected" `Quick test_uniform_chicken_not_equilibrium;
+          Alcotest.test_case "coordination coin" `Quick test_coordination_dist_is_equilibrium;
+          Alcotest.test_case "pitfall premise" `Quick test_pitfall_dist_is_equilibrium;
+          Alcotest.test_case "mediated specs premise" `Quick test_mediated_specs_are_equilibria;
+          Alcotest.test_case "communication eq (majority)" `Quick test_communication_equilibrium_majority;
+          Alcotest.test_case "communication eq rejects" `Quick test_communication_equilibrium_rejects;
+        ] );
+      ( "props",
+        qsuite
+          [
+            prop_outcome_dist_normalised;
+            prop_l1_metric;
+            prop_map_profiles_preserves_mass;
+            prop_obedient_mixture;
+          ] );
+    ]

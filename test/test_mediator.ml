@@ -1,0 +1,325 @@
+(* Tests for the mediator-game framework: canonical protocol runs, exact
+   and empirical outcome distributions, relaxed-scheduler deadlocks. *)
+
+module Gf = Field.Gf
+module Dist = Games.Dist
+module Spec = Mediator.Spec
+module Protocol = Mediator.Protocol
+module Measure = Mediator.Measure
+
+let feq = Alcotest.float 1e-9
+
+let run_spec ?(rounds = 2) ?(scheduler = Sim.Scheduler.fifo ()) ?(seed = 0) spec types =
+  let wait_for = spec.Spec.game.Games.Game.n in
+  Measure.run_once ~spec ~types ~rounds ~wait_for ~scheduler ~seed
+
+let test_coordination_run () =
+  let n = 4 in
+  let spec = Spec.coordination ~n in
+  let o = run_spec spec (Array.make n 0) in
+  let actions = Array.sub (Array.map (Option.value ~default:(-1)) o.Sim.Types.moves) 0 n in
+  Alcotest.(check bool) "some bit" true (actions.(0) = 0 || actions.(0) = 1);
+  Array.iter (fun a -> Alcotest.(check int) "all equal" actions.(0) a) actions;
+  Alcotest.(check bool) "all halted incl mediator" true
+    (Array.for_all (fun h -> h) o.Sim.Types.halted)
+
+let test_coordination_exact_dist () =
+  let n = 4 in
+  let spec = Spec.coordination ~n in
+  match Measure.exact_action_dist spec ~types:(Array.make n 0) with
+  | None -> Alcotest.fail "expected enumerable randomness"
+  | Some d ->
+      Alcotest.check feq "all-0 has mass 1/2" 0.5 (Dist.prob d (Array.make n 0));
+      Alcotest.check feq "all-1 has mass 1/2" 0.5 (Dist.prob d (Array.make n 1))
+
+let test_coordination_empirical_matches_exact () =
+  let n = 4 in
+  let spec = Spec.coordination ~n in
+  let types = Array.make n 0 in
+  let exact = Option.get (Measure.exact_action_dist spec ~types) in
+  let empirical =
+    Measure.empirical_action_dist ~spec ~types ~rounds:2 ~wait_for:n ~samples:400
+      ~scheduler_of:(fun s -> Sim.Scheduler.random_seeded s)
+      ~seed:11
+  in
+  Alcotest.(check bool) "l1 small" true (Dist.l1 exact empirical < 0.15)
+
+let test_majority_run () =
+  let n = 5 in
+  let spec = Spec.majority_coordination ~n in
+  let types = [| 1; 1; 0; 1; 0 |] in
+  let o = run_spec spec types in
+  for i = 0 to n - 1 do
+    Alcotest.(check (option int)) (Printf.sprintf "player %d plays majority" i) (Some 1)
+      o.Sim.Types.moves.(i)
+  done
+
+let test_chicken_exact_dist () =
+  let n = 5 in
+  let spec = Spec.chicken_with_bystanders ~n in
+  match Measure.exact_action_dist spec ~types:(Array.make n 0) with
+  | None -> Alcotest.fail "expected enumerable randomness"
+  | Some d ->
+      (* project on the two drivers *)
+      let proj = Dist.map_profiles (fun a -> [| a.(0); a.(1) |]) d in
+      let expected = Games.Catalog.chicken_correlated () in
+      Alcotest.check feq "matches correlated equilibrium" 0.0 (Dist.l1 proj expected)
+
+let test_chicken_payoff () =
+  let n = 5 in
+  let spec = Spec.chicken_with_bystanders ~n in
+  let u =
+    Measure.expected_utilities ~spec ~rounds:2 ~wait_for:n ~samples:600
+      ~scheduler_of:(fun s -> Sim.Scheduler.random_seeded s)
+      ~seed:3
+  in
+  (* correlated equilibrium value is 5 per driver *)
+  Alcotest.(check bool) "driver 0 close to 5" true (abs_float (u.(0) -. 5.0) < 0.5);
+  Alcotest.(check bool) "driver 1 close to 5" true (abs_float (u.(1) -. 5.0) < 0.5)
+
+let test_canonical_message_counts () =
+  (* rounds = R: each player sends R messages; the mediator sends R-1
+     round prompts and one STOP per player. Total = n*R + n*(R-1) + n. *)
+  let n = 4 in
+  let rounds = 3 in
+  let spec = Spec.coordination ~n in
+  let o =
+    Measure.run_once ~spec ~types:(Array.make n 0) ~rounds ~wait_for:n
+      ~scheduler:(Sim.Scheduler.fifo ()) ~seed:5
+  in
+  Alcotest.(check int) "message count" (n * ((2 * rounds) - 1) + n) o.Sim.Types.messages_sent
+
+let test_pitfall_naive_leak () =
+  let n = 4 and k = 1 in
+  let spec = Spec.pitfall_naive ~n ~k in
+  let types = Array.make n 0 in
+  (* Evaluate both stages in the clear; check the leak structure: players
+     0 and 2 (even) leak a; players 1 and 3 leak a+b. So leak_0 = leak_2,
+     leak_1 = leak_3, and b = leak_0 XOR leak_1 — the coalition's decoder. *)
+  let inputs = Array.init n (fun i -> spec.Spec.encode_type ~player:i types.(i)) in
+  let rng = Random.State.make [| 99 |] in
+  for _ = 1 to 50 do
+    let random = Circuit.sample_randomness spec.Spec.circuit rng in
+    let stages = Spec.eval_stage_outputs spec ~inputs ~random in
+    Alcotest.(check int) "two stages" 2 (Array.length stages);
+    let leaks = Array.map Gf.to_int stages.(0) in
+    let recs = Array.map Gf.to_int stages.(1) in
+    let b = recs.(0) in
+    Array.iter (fun b' -> Alcotest.(check int) "same recommendation" b b') recs;
+    Alcotest.(check int) "even leaks equal" leaks.(0) leaks.(2);
+    Alcotest.(check int) "odd leaks equal" leaks.(1) leaks.(3);
+    Alcotest.(check int) "b = l0 xor l1" b (leaks.(0) lxor leaks.(1))
+  done
+
+let test_pitfall_minimal_no_leak () =
+  (* The minimally informative mediator's output is just the bit. *)
+  let n = 4 and k = 1 in
+  let spec = Spec.pitfall_minimal ~n ~k in
+  let inputs = Array.make n Gf.zero in
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 20 do
+    let random = Circuit.sample_randomness spec.Spec.circuit rng in
+    let outs = Circuit.eval spec.Spec.circuit ~inputs ~random in
+    Array.iter
+      (fun v -> Alcotest.(check bool) "output is a bare bit" true (Gf.to_int v < 2))
+      outs
+  done
+
+let test_relaxed_deadlock_applies_wills () =
+  (* A relaxed scheduler that stops before any STOP is delivered: honest
+     players never move; their wills carry the punishment (bot). *)
+  let n = 4 and k = 1 in
+  let spec = Spec.pitfall_minimal ~n ~k in
+  let types = Array.make n 0 in
+  let rng = Random.State.make [| 1 |] in
+  let procs = Protocol.game_processes ~spec ~types ~rounds:2 ~wait_for:n ~rng () in
+  let o =
+    Sim.Runner.run
+      (Sim.Runner.config ~mediator:n ~scheduler:(Sim.Scheduler.relaxed_stop_after (n + 2)) procs)
+  in
+  Alcotest.(check bool) "deadlocked" true (o.Sim.Types.termination = Sim.Types.Deadlocked);
+  let willed = Sim.Runner.moves_with_wills procs o in
+  for i = 0 to n - 1 do
+    match o.Sim.Types.moves.(i) with
+    | Some _ -> ()
+    | None ->
+        Alcotest.(check (option int))
+          (Printf.sprintf "player %d will = bot" i)
+          (Some Games.Catalog.bot_action) willed.(i)
+  done
+
+let test_stop_batch_atomicity () =
+  (* If a relaxed scheduler lets one STOP through, the whole batch must be
+     delivered: either nobody moves or everybody moves. *)
+  let n = 4 in
+  let spec = Spec.coordination ~n in
+  let types = Array.make n 0 in
+  List.iter
+    (fun stop_after ->
+      let rng = Random.State.make [| stop_after |] in
+      let procs = Protocol.game_processes ~spec ~types ~rounds:1 ~wait_for:n ~rng () in
+      let o =
+        Sim.Runner.run
+          (Sim.Runner.config ~mediator:n
+             ~scheduler:(Sim.Scheduler.relaxed_stop_after stop_after)
+             procs)
+      in
+      let movers =
+        List.length
+          (List.filter Option.is_some (Array.to_list (Array.sub o.Sim.Types.moves 0 n)))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "all-or-none at %d (got %d movers)" stop_after movers)
+        true
+        (movers = 0 || movers = n))
+    (List.init 14 (fun i -> i + 1))
+
+let test_mediator_ignores_garbage () =
+  (* A Byzantine player floods the mediator with out-of-range rounds,
+     conflicting inputs and nonsense replies; the mediator must still
+     serve the honest players. *)
+  let n = 4 in
+  let spec = Spec.coordination ~n in
+  let types = Array.make n 0 in
+  let rng = Random.State.make [| 3 |] in
+  let procs = Protocol.game_processes ~spec ~types ~rounds:2 ~wait_for:(n - 1) ~rng () in
+  let byz =
+    Sim.Types.
+      {
+        start =
+          (fun () ->
+            [
+              Send (n, Protocol.To_mediator { round = -1; input = Gf.of_int 5 });
+              Send (n, Protocol.To_mediator { round = 99; input = Gf.of_int 5 });
+              Send (n, Protocol.To_mediator { round = 0; input = Gf.of_int 0 });
+              Send (n, Protocol.To_mediator { round = 0; input = Gf.of_int 1 });
+              (* nonsense: a player sending mediator-only message kinds *)
+              Send (0, Protocol.Round 7);
+              Send (1, Protocol.Stop Gf.one);
+            ]);
+        receive = (fun ~src:_ _ -> []);
+        will = (fun () -> None);
+      }
+  in
+  procs.(3) <- byz;
+  let o =
+    Sim.Runner.run
+      (Sim.Runner.config ~mediator:n ~scheduler:(Sim.Scheduler.random_seeded 7) procs)
+  in
+  (* honest players 0..2 all move on the same bit *)
+  let honest = [ 0; 1; 2 ] in
+  let moves = List.map (fun i -> o.Sim.Types.moves.(i)) honest in
+  (match moves with
+  | Some a :: rest ->
+      Alcotest.(check bool) "bit" true (a = 0 || a = 1);
+      List.iter (fun m -> Alcotest.(check (option int)) "coordinated" (Some a) m) rest
+  | _ -> Alcotest.fail "honest player did not move")
+
+let test_strong_mediator_order_selects_outcome () =
+  (* Lemma 6.8's strong mode: the mediator's outcome is a deterministic
+     function of the arrival order of the players' messages. Same seeds +
+     same scheduler => identical outcome; and across the exhaustively
+     explored interleavings (Sim.Explore) the order choices reach BOTH
+     coin values — the scheduler genuinely selects the outcome class. *)
+  let n = 3 in
+  let spec = Spec.coordination ~n in
+  let types = Array.make n 0 in
+  let make () =
+    let rng = Random.State.make [| 2024 |] in
+    Protocol.game_processes ~strong:true ~spec ~types ~rounds:2 ~wait_for:n ~rng ()
+  in
+  (* determinism per order *)
+  let o1 = Sim.Runner.run (Sim.Runner.config ~mediator:n ~scheduler:(Sim.Scheduler.fifo ()) (make ())) in
+  let o2 = Sim.Runner.run (Sim.Runner.config ~mediator:n ~scheduler:(Sim.Scheduler.fifo ()) (make ())) in
+  Alcotest.(check bool) "deterministic given order" true (o1.Sim.Types.moves = o2.Sim.Types.moves);
+  (* coverage across interleavings *)
+  let r = Sim.Explore.explore ~max_histories:3000 ~make () in
+  let outcomes = Hashtbl.create 4 in
+  List.iter
+    (fun (o : int Sim.Types.outcome) ->
+      match o.Sim.Types.moves.(0) with
+      | Some a -> Hashtbl.replace outcomes a ()
+      | None -> ())
+    r.Sim.Explore.outcomes;
+  Alcotest.(check bool) "both coin values reachable by order choice" true
+    (Hashtbl.mem outcomes 0 && Hashtbl.mem outcomes 1)
+
+(* --- Lemma 6.8 counting --- *)
+
+let test_lemma68_factorial () =
+  Alcotest.(check (float 1e-6)) "log10 5!" (log10 120.0) (Mediator.Lemma68.log10_factorial 5);
+  Alcotest.(check (float 1e-6)) "log10 0!" 0.0 (Mediator.Lemma68.log10_factorial 0);
+  (* Stirling kicks in above 10^6; check continuity at a large value *)
+  let big = 2_000_000 in
+  let stirling = Mediator.Lemma68.log10_factorial big in
+  Alcotest.(check bool) "stirling positive and huge" true (stirling > 1.0e7)
+
+let test_lemma68_exact_vs_bound () =
+  (* the exact pattern count must stay below the paper's bound *)
+  List.iter
+    (fun (n, r) ->
+      let exact = float_of_int (Mediator.Lemma68.count_patterns_exact ~n ~r) in
+      let bound = Mediator.Lemma68.log10_pattern_bound ~n ~r in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d r=%d: exact 10^%.2f <= bound 10^%.2f" n r (log10 exact) bound)
+        true
+        (log10 exact <= bound +. 1e-9))
+    [ (1, 1); (1, 2); (2, 1); (3, 1); (2, 2) ]
+
+let test_lemma68_exact_small_case () =
+  (* n=1, r=1: two channels with one message each. A pattern interleaves
+     per-channel prefixes of S;D — summing binomial interleavings over the
+     9 prefix pairs gives 1+1+1+2+1+1+3+3+6 = 19. Locks the DP. *)
+  Alcotest.(check int) "n=1 r=1 pattern count" 19
+    (Mediator.Lemma68.count_patterns_exact ~n:1 ~r:1)
+
+let test_lemma68_padding_rounds () =
+  let r_min = Mediator.Lemma68.min_padding_rounds ~n:7 ~r:1 in
+  Alcotest.(check bool) "R small in practice" true (r_min > 0 && r_min < 100);
+  (* (R*n)! really does exceed the class bound, (R-1) does not *)
+  let classes = Mediator.Lemma68.log10_class_bound ~n:7 ~r:1 in
+  Alcotest.(check bool) "R sufficient" true
+    (Mediator.Lemma68.log10_factorial (r_min * 7) >= classes);
+  if r_min > 1 then
+    Alcotest.(check bool) "R minimal" true
+      (Mediator.Lemma68.log10_factorial ((r_min - 1) * 7) < classes)
+
+let () =
+  Alcotest.run "mediator"
+    [
+      ( "runs",
+        [
+          Alcotest.test_case "coordination run" `Quick test_coordination_run;
+          Alcotest.test_case "majority run" `Quick test_majority_run;
+          Alcotest.test_case "canonical message counts" `Quick test_canonical_message_counts;
+        ] );
+      ( "distributions",
+        [
+          Alcotest.test_case "coordination exact" `Quick test_coordination_exact_dist;
+          Alcotest.test_case "empirical matches exact" `Quick
+            test_coordination_empirical_matches_exact;
+          Alcotest.test_case "chicken correlated" `Quick test_chicken_exact_dist;
+          Alcotest.test_case "chicken payoff" `Quick test_chicken_payoff;
+        ] );
+      ( "pitfall",
+        [
+          Alcotest.test_case "naive leak structure" `Quick test_pitfall_naive_leak;
+          Alcotest.test_case "minimal no leak" `Quick test_pitfall_minimal_no_leak;
+        ] );
+      ( "relaxed",
+        [
+          Alcotest.test_case "deadlock applies wills" `Quick test_relaxed_deadlock_applies_wills;
+          Alcotest.test_case "stop batch atomicity" `Quick test_stop_batch_atomicity;
+        ] );
+      ( "strong",
+        [ Alcotest.test_case "order selects outcome" `Quick test_strong_mediator_order_selects_outcome ] );
+      ( "robustness",
+        [ Alcotest.test_case "garbage to mediator" `Quick test_mediator_ignores_garbage ] );
+      ( "lemma68",
+        [
+          Alcotest.test_case "log factorial" `Quick test_lemma68_factorial;
+          Alcotest.test_case "exact vs bound" `Quick test_lemma68_exact_vs_bound;
+          Alcotest.test_case "exact small case" `Quick test_lemma68_exact_small_case;
+          Alcotest.test_case "padding rounds" `Quick test_lemma68_padding_rounds;
+        ] );
+    ]

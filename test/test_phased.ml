@@ -1,0 +1,227 @@
+(* Tests for multi-phase protocols (Phased), the §6.4 two-segment
+   construction (Pitfall), staged output reveal, and the empirical
+   bisimulation checker (Bisim). *)
+
+module Gf = Field.Gf
+module Phased = Cheaptalk.Phased
+module Pitfall = Cheaptalk.Pitfall
+module Compile = Cheaptalk.Compile
+module Bisim = Cheaptalk.Bisim
+module Spec = Mediator.Spec
+
+let run ?(sched = Sim.Scheduler.fifo ()) ?(max_steps = 2_000_000) procs =
+  Sim.Runner.run (Sim.Runner.config ~max_steps ~scheduler:sched procs)
+
+(* --- Phased: two independent sum circuits, phase-2 input derived from
+   phase-1 output --- *)
+
+let test_phased_carried_state () =
+  let n = 4 in
+  let circuits = [| Circuit.sum ~n_inputs:n; Circuit.sum ~n_inputs:n |] in
+  let cfg = Phased.config ~n ~degree:1 ~faults:1 ~circuits ~coin_seed:5 in
+  let results = Array.make n None in
+  let procs =
+    Array.init n (fun me ->
+        let input_of ~phase ~prev =
+          match phase with
+          | 0 -> Gf.of_int (me + 1)
+          | _ -> (
+              (* phase 1 input = phase 0 output + me: carried state *)
+              match prev.(0) with
+              | Some v -> Gf.add v (Gf.of_int me)
+              | None -> Gf.zero)
+        in
+        let p =
+          Phased.honest cfg ~me ~input_of ~seed:3
+            ~act:(fun outs -> Gf.to_int outs.(1) mod 1000)
+            ~will:None
+        in
+        {
+          p with
+          Sim.Types.receive =
+            (fun ~src m ->
+              let effs = p.Sim.Types.receive ~src m in
+              List.iter
+                (function Sim.Types.Move a -> results.(me) <- Some a | _ -> ())
+                effs;
+              effs);
+        })
+  in
+  let o = run procs in
+  ignore o;
+  (* phase 0: sum of (1..n) = 10; phase 1: each inputs 10+me, sum = 4*10 + 6 = 46 *)
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check (option int)) (Printf.sprintf "player %d" i) (Some 46) r)
+    results
+
+let test_phased_stall_blocks () =
+  let n = 4 in
+  let circuits = [| Circuit.sum ~n_inputs:n; Circuit.sum ~n_inputs:n |] in
+  (* faults = 0: a stalled player blocks phase 2 for everyone *)
+  let cfg = Phased.config ~n ~degree:1 ~faults:0 ~circuits ~coin_seed:7 in
+  let sessions =
+    Array.init n (fun me ->
+        Phased.create_session cfg ~me
+          ~input_of:(fun ~phase:_ ~prev:_ -> Gf.of_int (me + 1))
+          ~seed:9)
+  in
+  let procs =
+    Array.init n (fun me ->
+        let s = sessions.(me) in
+        let to_effects sends = List.map (fun (d, m) -> Sim.Types.Send (d, m)) sends in
+        Sim.Types.
+          {
+            start = (fun () -> to_effects (Phased.start s));
+            receive =
+              (fun ~src m ->
+                let sends = Phased.handle s ~src m in
+                (* player 2 stalls as soon as its phase-0 output lands *)
+                if me = 2 && Option.is_some (Phased.outputs s).(0) then Phased.stall s;
+                to_effects sends);
+            will = (fun () -> None);
+          })
+  in
+  let o = run procs in
+  Alcotest.(check bool) "not all halted" true (o.Sim.Types.termination <> Sim.Types.All_halted);
+  (* nobody finished phase 1 *)
+  Array.iteri
+    (fun i s ->
+      if i <> 2 then
+        Alcotest.(check bool)
+          (Printf.sprintf "player %d blocked in phase 1" i)
+          true
+          (Option.is_none (Phased.outputs s).(1)))
+    sessions
+
+(* --- Pitfall circuits --- *)
+
+let test_pitfall_phase0_decode () =
+  (* phase-0 output packs leak + 3*share; leak must be a bit and the
+     shares must interpolate the recommendation bit *)
+  let n = 7 and k = 2 in
+  let circuits = Pitfall.circuits ~n ~degree:k in
+  let rng = Random.State.make [| 15 |] in
+  for _ = 1 to 25 do
+    let inputs = Array.make n Gf.zero in
+    let random = Circuit.sample_randomness circuits.(0) rng in
+    let outs = Circuit.eval circuits.(0) ~inputs ~random in
+    let decoded = Array.map Pitfall.phase0_decode outs in
+    Array.iter (fun (leak, _) -> Alcotest.(check bool) "leak is a bit" true (leak < 2)) decoded;
+    (* interpolate b from the shares via the phase-1 circuit *)
+    let shares = Array.map snd decoded in
+    let b = (Circuit.eval circuits.(1) ~inputs:shares ~random:[||]).(0) in
+    Alcotest.(check bool) "b is a bit" true (Gf.to_int b < 2);
+    (* the leaks encode b: leak_0 xor leak_1 = b *)
+    let l0 = fst decoded.(0) and l1 = fst decoded.(1) in
+    Alcotest.(check int) "b = l0 xor l1" (Gf.to_int b) (l0 lxor l1)
+  done
+
+let test_pitfall_honest_end_to_end () =
+  let n = 7 and k = 2 in
+  let cfg = Pitfall.config ~n ~k ~coin_seed:77 in
+  let procs = Array.init n (fun me -> Pitfall.honest_player ~config:cfg ~me ~type_:0 ~seed:4) in
+  let o = run ~sched:(Sim.Scheduler.random_seeded 4) procs in
+  Alcotest.(check bool) "all halted" true (o.Sim.Types.termination = Sim.Types.All_halted);
+  let moves = Array.map (Option.value ~default:(-1)) o.Sim.Types.moves in
+  Alcotest.(check bool) "bit action" true (moves.(0) = 0 || moves.(0) = 1);
+  Array.iter (fun a -> Alcotest.(check int) "coordinated" moves.(0) a) moves
+
+(* --- staged output reveal in the engine --- *)
+
+let test_staged_reveal_order () =
+  (* two stages: second reveals only after the first is reconstructed.
+     We check the trace: every stage-1 Output_msg send comes after its
+     sender reconstructed stage 0 — indirectly, by checking that honest
+     runs produce consistent per-stage values. *)
+  let n = 4 in
+  let b = Circuit.Builder.create ~n_inputs:n in
+  let r1 = Circuit.Builder.random b ~modulus:2 () in
+  let r1v = Circuit.Builder.table_lookup b ~wire:r1 ~domain:(n + 1) (fun s -> Gf.of_int (s mod 2)) in
+  let two = Circuit.Builder.scale b (Gf.of_int 2) r1v in
+  let circuit = Circuit.Builder.finish b ~outputs:(Array.make n two) in
+  let stages = [| Array.make n r1v; Array.make n two |] in
+  let results = Array.make n [||] in
+  let procs =
+    Array.init n (fun me ->
+        let e =
+          Mpc.Engine.create ~stages ~n ~degree:1 ~faults:1 ~me ~circuit ~input:Gf.zero
+            ~rng:(Random.State.make [| 21; me |])
+            ~coin_seed:13 ()
+        in
+        let emit (r : Mpc.Engine.reaction) =
+          (match r.Mpc.Engine.result with
+          | Some _ -> results.(me) <- Mpc.Engine.stage_results e
+          | None -> ());
+          List.map (fun (d, m) -> Sim.Types.Send (d, m)) r.Mpc.Engine.sends
+        in
+        Sim.Types.
+          {
+            start = (fun () -> emit (Mpc.Engine.start e));
+            receive = (fun ~src m -> emit (Mpc.Engine.handle e ~src m));
+            will = (fun () -> None);
+          })
+  in
+  let _o = run ~sched:(Sim.Scheduler.random_seeded 2) procs in
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check int) (Printf.sprintf "player %d has 2 stages" i) 2 (Array.length r);
+      match (r.(0), r.(1)) with
+      | Some s0, Some s1 ->
+          Alcotest.(check int) "stage1 = 2 * stage0" (2 * Gf.to_int s0) (Gf.to_int s1)
+      | _ -> Alcotest.fail "missing stage results")
+    results
+
+(* --- Bisim --- *)
+
+let test_bisim_honest_match () =
+  let spec = Spec.majority_match ~n:5 in
+  let plan = Compile.plan_exn ~spec ~theorem:Compile.T41 ~k:0 ~t:1 () in
+  let types = Array.make 5 0 in
+  let ct = [ Bisim.honest_ct (fun s -> Sim.Scheduler.random_seeded s) ] in
+  let med = [ Bisim.honest_med ] in
+  let results =
+    Bisim.emulation_radius plan ~types ~rounds:2 ~ct_family:ct ~med_family:med ~samples:60
+      ~seed:33
+  in
+  match results with
+  | [ m ] ->
+      Alcotest.(check string) "matched honest" "honest" m.Bisim.best_match;
+      Alcotest.(check bool)
+        (Printf.sprintf "radius %.3f small" m.Bisim.distance)
+        true (m.Bisim.distance < 0.35)
+  | _ -> Alcotest.fail "one result expected"
+
+let test_bisim_relaxed_matches_stall () =
+  (* A relaxed-scheduler mediator deadlock produces the all-defaults
+     outcome; the cheap-talk honest run never does. Verify med_outcome_dist
+     reflects the deadlock. *)
+  let spec = Spec.pitfall_minimal ~n:5 ~k:1 in
+  let plan = Compile.plan_exn ~spec ~theorem:Compile.T44 ~k:1 ~t:0 () in
+  let types = Array.make 5 0 in
+  let adv = { Bisim.honest_med with Bisim.med_name = "stop"; relaxed_stop = Some 5 } in
+  let d = Bisim.med_outcome_dist plan ~types ~rounds:2 adv ~samples:10 ~seed:3 in
+  (* deadlock -> wills -> everyone plays bot *)
+  Alcotest.(check (float 1e-9)) "all-bot outcome" 1.0
+    (Games.Dist.prob d (Array.make 5 Games.Catalog.bot_action))
+
+let () =
+  Alcotest.run "phased"
+    [
+      ( "phased",
+        [
+          Alcotest.test_case "carried state" `Quick test_phased_carried_state;
+          Alcotest.test_case "stall blocks" `Quick test_phased_stall_blocks;
+        ] );
+      ( "pitfall",
+        [
+          Alcotest.test_case "phase0 decode" `Quick test_pitfall_phase0_decode;
+          Alcotest.test_case "honest end-to-end" `Quick test_pitfall_honest_end_to_end;
+        ] );
+      ("staged", [ Alcotest.test_case "reveal order" `Quick test_staged_reveal_order ]);
+      ( "bisim",
+        [
+          Alcotest.test_case "honest match" `Quick test_bisim_honest_match;
+          Alcotest.test_case "relaxed deadlock dist" `Quick test_bisim_relaxed_matches_stall;
+        ] );
+    ]

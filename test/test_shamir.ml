@@ -1,0 +1,158 @@
+(* Tests for Shamir sharing and Berlekamp-Welch robust reconstruction. *)
+
+module Gf = Field.Gf
+module Poly = Field.Poly
+
+let gf_testable = Alcotest.testable Gf.pp Gf.equal
+
+let rng () = Random.State.make [| 2024 |]
+
+let test_share_reconstruct () =
+  let rng = rng () in
+  let secret = Gf.of_int 31337 in
+  let shares = Shamir.share rng ~n:7 ~t:2 ~secret in
+  Alcotest.(check int) "7 shares" 7 (Array.length shares);
+  (* any 3 shares reconstruct *)
+  let some = [ shares.(0); shares.(3); shares.(6) ] in
+  (match Shamir.reconstruct ~t:2 some with
+  | Some s -> Alcotest.check gf_testable "reconstructed" secret s
+  | None -> Alcotest.fail "reconstruction failed");
+  (* too few shares *)
+  Alcotest.(check bool) "2 shares insufficient" true
+    (Shamir.reconstruct ~t:2 [ shares.(0); shares.(1) ] = None)
+
+let test_share_secrecy_structure () =
+  (* t shares are consistent with ANY candidate secret: interpolating t
+     shares plus (0, guess) always yields a degree-<=t polynomial. *)
+  let rng = rng () in
+  let secret = Gf.of_int 5555 in
+  let shares = Shamir.share rng ~n:5 ~t:2 ~secret in
+  List.iter
+    (fun guess ->
+      let pts =
+        (Gf.zero, Gf.of_int guess)
+        :: [ (Gf.of_int shares.(0).index, shares.(0).value);
+             (Gf.of_int shares.(1).index, shares.(1).value) ]
+      in
+      let f = Poly.interpolate pts in
+      Alcotest.(check bool) "degree <= t" true (Poly.degree f <= 2))
+    [ 0; 1; 999; 123456 ]
+
+let test_duplicate_indices_rejected () =
+  let rng = rng () in
+  let shares = Shamir.share rng ~n:4 ~t:1 ~secret:Gf.one in
+  Alcotest.(check bool) "duplicates rejected" true
+    (Shamir.reconstruct ~t:1 [ shares.(0); shares.(0) ] = None)
+
+let corrupt (s : Shamir.share) : Shamir.share =
+  { s with value = Gf.add s.value Gf.one }
+
+let test_robust_reconstruct () =
+  let rng = rng () in
+  let secret = Gf.of_int 777 in
+  (* n = 9, t = 2: robust reconstruction tolerates e = 2 errors when
+     9 >= (t+1) + 2e = 7. *)
+  let shares = Shamir.share rng ~n:9 ~t:2 ~secret in
+  let tampered = Array.copy shares in
+  tampered.(1) <- corrupt tampered.(1);
+  tampered.(5) <- corrupt tampered.(5);
+  (match Shamir.reconstruct_robust ~t:2 ~max_errors:2 (Array.to_list tampered) with
+  | Some s -> Alcotest.check gf_testable "robust reconstruction" secret s
+  | None -> Alcotest.fail "robust reconstruction failed");
+  (* Plain reconstruction on tampered shares silently yields garbage. *)
+  match Shamir.reconstruct ~t:2 (Array.to_list tampered) with
+  | Some s -> Alcotest.(check bool) "plain reconstruction corrupted" false (Gf.equal s secret)
+  | None -> ()
+
+let test_robust_too_many_errors () =
+  let rng = rng () in
+  let secret = Gf.of_int 1 in
+  let shares = Shamir.share rng ~n:7 ~t:2 ~secret in
+  let tampered = Array.copy shares in
+  (* 3 errors with n=7, t=2: 7 < 3 + 2*3, must fail (decode returns None) *)
+  tampered.(0) <- corrupt tampered.(0);
+  tampered.(1) <- corrupt tampered.(1);
+  tampered.(2) <- corrupt tampered.(2);
+  Alcotest.(check bool) "too many errors detected" true
+    (Shamir.reconstruct_robust ~t:2 ~max_errors:3 (Array.to_list tampered) = None)
+
+let test_decode_exact () =
+  let rng = rng () in
+  let f = Poly.random rng ~degree:3 in
+  let pts = List.init 10 (fun i -> (Gf.of_int (i + 1), Poly.eval f (Gf.of_int (i + 1)))) in
+  (* no errors *)
+  (match Shamir.decode ~degree:3 ~max_errors:3 pts with
+  | Some g -> Alcotest.(check bool) "decoded clean" true (Poly.equal f g)
+  | None -> Alcotest.fail "clean decode failed");
+  (* insufficient points *)
+  Alcotest.(check bool) "too few points" true
+    (Shamir.decode ~degree:3 ~max_errors:3 (List.filteri (fun i _ -> i < 9) pts) = None)
+
+let test_verify_consistent () =
+  let rng = rng () in
+  let shares = Shamir.share rng ~n:6 ~t:2 ~secret:(Gf.of_int 9) in
+  Alcotest.(check bool) "clean shares consistent" true
+    (Shamir.verify_consistent ~t:2 (Array.to_list shares));
+  let tampered = Array.copy shares in
+  tampered.(4) <- corrupt tampered.(4);
+  Alcotest.(check bool) "tampered shares inconsistent" false
+    (Shamir.verify_consistent ~t:2 (Array.to_list tampered))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"share/reconstruct roundtrip" ~count:200
+    (QCheck.pair QCheck.pos_int (QCheck.int_bound 1_000_000))
+    (fun (seed, secret_raw) ->
+      let rng = Random.State.make [| seed; 17 |] in
+      let n = 3 + Random.State.int rng 8 in
+      let t = Random.State.int rng n in
+      let secret = Gf.of_int secret_raw in
+      let shares = Shamir.share rng ~n ~t ~secret in
+      match Shamir.reconstruct ~t (Array.to_list shares) with
+      | Some s -> Gf.equal s secret
+      | None -> false)
+
+let prop_robust_with_errors =
+  QCheck.Test.make ~name:"robust reconstruction with random errors" ~count:100
+    QCheck.pos_int (fun seed ->
+      let rng = Random.State.make [| seed; 23 |] in
+      let t = Random.State.int rng 3 in
+      let e = Random.State.int rng 3 in
+      let n = t + 1 + (2 * e) + Random.State.int rng 3 in
+      let secret = Gf.random rng in
+      let shares = Shamir.share rng ~n ~t ~secret in
+      (* corrupt e distinct shares with random offsets *)
+      let idxs = Array.init n (fun i -> i) in
+      (* partial Fisher-Yates to pick e victims *)
+      for i = 0 to min (e - 1) (n - 1) do
+        let j = i + Random.State.int rng (n - i) in
+        let tmp = idxs.(i) in
+        idxs.(i) <- idxs.(j);
+        idxs.(j) <- tmp
+      done;
+      let tampered = Array.copy shares in
+      for i = 0 to e - 1 do
+        let v = idxs.(i) in
+        tampered.(v) <-
+          { tampered.(v) with value = Gf.add tampered.(v).value (Gf.random_nonzero rng) }
+      done;
+      match Shamir.reconstruct_robust ~t ~max_errors:e (Array.to_list tampered) with
+      | Some s -> Gf.equal s secret
+      | None -> false)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "shamir"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "share/reconstruct" `Quick test_share_reconstruct;
+          Alcotest.test_case "secrecy structure" `Quick test_share_secrecy_structure;
+          Alcotest.test_case "duplicate indices" `Quick test_duplicate_indices_rejected;
+          Alcotest.test_case "robust reconstruct" `Quick test_robust_reconstruct;
+          Alcotest.test_case "too many errors" `Quick test_robust_too_many_errors;
+          Alcotest.test_case "decode exact" `Quick test_decode_exact;
+          Alcotest.test_case "verify consistent" `Quick test_verify_consistent;
+        ] );
+      ("props", qsuite [ prop_roundtrip; prop_robust_with_errors ]);
+    ]
