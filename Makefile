@@ -1,7 +1,17 @@
 # Convenience targets; everything is plain dune underneath.
 
-all:
+all: build lint
+
+build:
 	dune build @all
+
+# Static + dynamic analysis: typecheck everything, run the analyzers over
+# the bundled examples (non-zero exit on error findings), and the
+# analysis test suite (race detector vs Sim.Explore ground truth).
+lint:
+	dune build @check
+	dune exec bin/ctmed.exe -- lint
+	dune exec test/test_analysis.exe -- -c
 
 test:
 	dune runtest
@@ -28,4 +38,4 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all test test-verbose bench bench-full bench-csv examples clean
+.PHONY: all build lint test test-verbose bench bench-full bench-csv examples clean

@@ -6,7 +6,8 @@
      dune exec bench/main.exe -- full    -- larger Monte-Carlo budget
      dune exec bench/main.exe -- e1 e5   -- selected experiments
      dune exec bench/main.exe -- micro   -- only the Bechamel benches
-     dune exec bench/main.exe -- csv     -- also write results/<id>.csv *)
+     dune exec bench/main.exe -- csv     -- also write results/<id>.csv
+     dune exec bench/main.exe -- lint e3 -- lint every simulator run while measuring *)
 
 let experiments : (string * (Experiments.Common.budget -> Experiments.Common.table)) list =
   [
@@ -29,7 +30,8 @@ let () =
     if List.mem "full" args then Experiments.Common.Full else Experiments.Common.Quick
   in
   let csv = List.mem "csv" args in
-  let selected = List.filter (fun a -> a <> "full" && a <> "csv") args in
+  if List.mem "lint" args then Cheaptalk.Verify.check_runs := true;
+  let selected = List.filter (fun a -> a <> "full" && a <> "csv" && a <> "lint") args in
   let want id = selected = [] || List.mem id selected in
   let t0 = Unix.gettimeofday () in
   List.iter

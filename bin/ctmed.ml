@@ -2,6 +2,7 @@
 
    ctmed list                 catalog of specs and experiments
    ctmed run SPEC [opts]      one cheap-talk history of a compiled spec
+   ctmed lint [opts]          static + dynamic analysis over the bundled examples
    ctmed experiment [IDS]     the paper experiments (E1..E10, A1)
    ctmed micro                substrate micro-benchmarks *)
 
@@ -96,7 +97,14 @@ let experiment_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"experiment ids, e.g. e1 e5")
   in
   let full_arg = Arg.(value & flag & info [ "full" ] ~doc:"4x Monte-Carlo budget") in
-  let run ids full =
+  let lint_runs_arg =
+    Arg.(
+      value & flag
+      & info [ "lint-runs" ]
+          ~doc:"pass every simulator run through the effect-discipline linter (fail fast)")
+  in
+  let run ids full lint_runs =
+    if lint_runs then Cheaptalk.Verify.check_runs := true;
     let budget = if full then Experiments.Common.Full else Experiments.Common.Quick in
     let want id = ids = [] || List.mem id ids in
     let table_of = function
@@ -121,7 +129,7 @@ let experiment_cmd =
           | None -> ())
       experiment_ids
   in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ ids_arg $ full_arg)
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ ids_arg $ full_arg $ lint_runs_arg)
 
 (* --- mediator --- *)
 
@@ -212,6 +220,183 @@ let lemma68_cmd =
   in
   Cmd.v (Cmd.info "lemma68" ~doc) Term.(const run $ n_arg $ r_arg)
 
+(* --- lint --- *)
+
+let lint_cmd =
+  let doc =
+    "Run the analysis layer over the bundled examples: circuit linter, threshold validator, \
+     effect-discipline linter (instrumented runs) and the happens-before race detector. Exits \
+     non-zero when any error-severity finding is reported."
+  in
+  let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"also print warnings") in
+  let seeded_bug_arg =
+    Arg.(
+      value & flag
+      & info [ "seeded-bug" ]
+          ~doc:"include the deliberately order-dependent fixture (must make lint fail)")
+  in
+  let run verbose seeded_bug =
+    let module F = Analysis.Finding in
+    let total_errors = ref 0 in
+    let total_warnings = ref 0 in
+    let section name findings =
+      let errs, warns = F.count findings in
+      total_errors := !total_errors + errs;
+      total_warnings := !total_warnings + warns;
+      Printf.printf "%-12s %d error%s, %d warning%s\n" name errs
+        (if errs = 1 then "" else "s")
+        warns
+        (if warns = 1 then "" else "s");
+      List.iter
+        (fun f ->
+          if F.is_error f || verbose then Format.printf "  %a@." F.pp f)
+        findings
+    in
+
+    (* 1. circuit linter: catalog specs, builder circuits, generator output *)
+    let circuit_findings =
+      List.concat_map (fun (name, mk) ->
+          List.map
+            (fun f -> { f with F.subject = name ^ ": " ^ f.F.subject })
+            (Analysis.Circuit_lint.check_spec (mk ())))
+        specs
+      @ List.concat_map
+          (fun (name, c) ->
+            List.map
+              (fun f -> { f with F.subject = name ^ ": " ^ f.F.subject })
+              (F.errors (Analysis.Circuit_lint.check c)))
+          [
+            ("identity", Circuit.identity_selector ~n_inputs:5);
+            ("sum", Circuit.sum ~n_inputs:5);
+            ("majority", Circuit.majority ~n_inputs:5);
+            ("coin+input", Circuit.coin_plus_input ~n_inputs:5);
+            ( "random(seed=9)",
+              Circuit.random_circuit (Random.State.make [| 9 |]) ~n_inputs:3 ~n_random:2
+                ~n_gates:20 ~n_outputs:3 );
+          ]
+    in
+    section "circuits" circuit_findings;
+
+    (* 2. threshold validator: the example configurations compile, and the
+       centralised diagnoser agrees with Compile.plan everywhere on a
+       (spec, theorem, k, t) grid. *)
+    let threshold_findings =
+      List.concat_map
+        (fun (name, mk) ->
+          let spec = mk () in
+          let n = spec.Mediator.Spec.game.Games.Game.n in
+          List.concat_map
+            (fun theorem ->
+              List.concat_map
+                (fun (k, t) ->
+                  let inst =
+                    {
+                      Analysis.Thresholds.theorem;
+                      n;
+                      k;
+                      t;
+                      has_punishment = Option.is_some spec.Mediator.Spec.punishment;
+                      multiplies = Circuit.mul_count spec.Mediator.Spec.circuit > 0;
+                    }
+                  in
+                  let diagnosed = F.errors (Analysis.Thresholds.diagnose inst) = [] in
+                  let planned =
+                    match Cheaptalk.Compile.plan ~spec ~theorem ~k ~t () with
+                    | Ok _ -> true
+                    | Error _ -> false
+                  in
+                  if diagnosed <> planned then
+                    [
+                      F.v ~analyzer:"thresholds"
+                        ~subject:
+                          (Printf.sprintf "%s %s k=%d t=%d" name
+                             (Analysis.Thresholds.name theorem) k t)
+                        (Printf.sprintf "diagnose says %s but Compile.plan says %s"
+                           (if diagnosed then "ok" else "reject")
+                           (if planned then "ok" else "reject"));
+                    ]
+                  else [])
+                [ (0, 0); (0, 1); (1, 0); (1, 1); (2, 2) ])
+            Analysis.Thresholds.all)
+        specs
+    in
+    section "thresholds" threshold_findings;
+
+    (* 3. effect-discipline: instrumented mediator-game runs for every
+       spec, plus one compiled cheap-talk run *)
+    let effect_findings =
+      List.concat_map
+        (fun (name, mk) ->
+          let spec = mk () in
+          let n = spec.Mediator.Spec.game.Games.Game.n in
+          let t = Analysis.Effect_lint.create ~n:(n + 1) in
+          let procs =
+            Analysis.Effect_lint.wrap_all t
+              (Mediator.Protocol.game_processes ~spec ~types:(Array.make n 0) ~rounds:2
+                 ~wait_for:n
+                 ~rng:(Random.State.make [| 0xCAFE; 1 |])
+                 ())
+          in
+          let o =
+            Sim.Runner.run
+              (Sim.Runner.config ~mediator:n ~scheduler:(Sim.Scheduler.random_seeded 1) procs)
+          in
+          Analysis.Effect_lint.check_wills t procs;
+          List.map
+            (fun f -> { f with F.subject = name ^ ": " ^ f.F.subject })
+            (Analysis.Effect_lint.findings t @ Analysis.check_run o))
+        specs
+      @
+      let spec = Mediator.Spec.coordination ~n:5 in
+      let plan = Cheaptalk.Compile.plan_exn ~spec ~theorem:Cheaptalk.Compile.T41 ~k:0 ~t:1 () in
+      let t = Analysis.Effect_lint.create ~n:5 in
+      let procs =
+        Analysis.Effect_lint.wrap_all t
+          (Cheaptalk.Compile.processes plan ~types:(Array.make 5 0) ~coin_seed:7 ~seed:1)
+      in
+      let o =
+        Sim.Runner.run (Sim.Runner.config ~scheduler:(Sim.Scheduler.random_seeded 1) procs)
+      in
+      Analysis.Effect_lint.check_wills t procs;
+      List.map
+        (fun f -> { f with F.subject = "cheap-talk coordination: " ^ f.F.subject })
+        (Analysis.Effect_lint.findings t @ Analysis.check_run o)
+    in
+    section "effects" effect_findings;
+
+    (* 4. race detector over the small protocols where Explore can verify
+       its verdicts (see test/test_analysis.ml), plus the mediator game *)
+    let race_over name make =
+      List.map
+        (fun f -> { f with F.subject = name ^ ": " ^ f.F.subject })
+        (Analysis.Race.findings (Analysis.Race.analyze ~make ()))
+    in
+    let race_targets =
+      [
+        ("ping-pong", Analysis.Fixtures.ping_pong);
+        ("threshold-sum", Analysis.Fixtures.threshold_sum);
+        ("byzantine-echo", Analysis.Fixtures.byzantine_echo);
+      ]
+      @ if seeded_bug then [ ("order-bug (seeded)", Analysis.Fixtures.order_bug) ] else []
+    in
+    let race_findings =
+      List.concat_map (fun (name, make) -> race_over name make) race_targets
+      @ race_over "mediator-game" (fun () ->
+            let spec = Mediator.Spec.coordination ~n:3 in
+            Mediator.Protocol.game_processes ~spec ~types:[| 0; 0; 0 |] ~rounds:1 ~wait_for:3
+              ~rng:(Random.State.make [| 42 |])
+              ())
+    in
+    section "races" race_findings;
+
+    Printf.printf "\nlint: %d error%s, %d warning%s\n" !total_errors
+      (if !total_errors = 1 then "" else "s")
+      !total_warnings
+      (if !total_warnings = 1 then "" else "s");
+    if !total_errors > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ verbose_arg $ seeded_bug_arg)
+
 let micro_cmd =
   let doc = "Substrate micro-benchmarks (Bechamel)." in
   Cmd.v (Cmd.info "micro" ~doc) Term.(const Experiments.Micro.run $ const ())
@@ -219,6 +404,6 @@ let micro_cmd =
 let main =
   let doc = "implementing mediators with asynchronous cheap talk" in
   Cmd.group (Cmd.info "ctmed" ~doc)
-    [ list_cmd; run_cmd; mediator_cmd; trace_cmd; lemma68_cmd; experiment_cmd; micro_cmd ]
+    [ list_cmd; run_cmd; lint_cmd; mediator_cmd; trace_cmd; lemma68_cmd; experiment_cmd; micro_cmd ]
 
 let () = exit (Cmd.eval main)

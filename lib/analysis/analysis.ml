@@ -1,0 +1,28 @@
+(** Protocol analysis layer: static analysis and race detection over
+    protocols, runs and circuits.
+
+    Four analyzers (see each module's documentation for the exact checks
+    and their soundness/completeness caveats):
+
+    - {!Race} — happens-before schedule-race detection over simulator runs
+      (vector clocks + swap replay), cross-validated against
+      {!Sim.Explore} ground truth on small instances;
+    - {!Effect_lint} — effect-discipline linting of traces and process
+      wrappers (duplicate moves, sends after halt, non-monotone seq, ...);
+    - {!Circuit_lint} — static circuit and staged-reveal linting;
+    - {!Thresholds} — the centralised n > 4k+4t / 3k+3t / 3k+4t / 2k+3t
+      parameter validator shared with {!Cheaptalk.Compile}.
+
+    Everything reports through {!Finding}. The CLI front end is
+    `ctmed lint`; {!check_run} is the per-run hook the experiment harness
+    enables via [Cheaptalk.Verify.check_runs]. *)
+
+module Finding = Finding
+module Vclock = Vclock
+module Thresholds = Thresholds
+module Circuit_lint = Circuit_lint
+module Effect_lint = Effect_lint
+module Race = Race
+module Fixtures = Fixtures
+
+let check_run ?n (o : 'a Sim.Types.outcome) = Effect_lint.check_trace ?n o

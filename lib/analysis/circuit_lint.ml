@@ -1,0 +1,207 @@
+let analyzer = "circuit"
+
+let err ~subject detail = Finding.v ~analyzer ~subject detail
+let warn ~subject detail = Finding.warning ~analyzer ~subject detail
+
+let check_raw ~n_inputs ~n_random ~gates ~outputs =
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  if n_inputs < 0 then add (err ~subject:"arity" "negative n_inputs");
+  if n_random < 0 then add (err ~subject:"arity" "negative n_random");
+  let ng = Array.length gates in
+  let check_ref pos j =
+    if j < 0 || j >= pos then
+      add
+        (err
+           ~subject:(Printf.sprintf "gate g%d" pos)
+           (Printf.sprintf
+              "references gate g%d, which is not strictly earlier (forward edge or self \
+               loop breaks evaluation order)"
+              j))
+  in
+  Array.iteri
+    (fun pos g ->
+      match (g : Circuit.gate) with
+      | Circuit.Input i ->
+          if i < 0 || i >= n_inputs then
+            add
+              (err
+                 ~subject:(Printf.sprintf "gate g%d" pos)
+                 (Printf.sprintf "input index %d out of range [0,%d)" i n_inputs))
+      | Circuit.Random j ->
+          if j < 0 || j >= n_random then
+            add
+              (err
+                 ~subject:(Printf.sprintf "gate g%d" pos)
+                 (Printf.sprintf "randomness slot %d out of range [0,%d)" j n_random))
+      | Circuit.Const _ -> ()
+      | Circuit.Add (a, b) | Circuit.Sub (a, b) | Circuit.Mul (a, b) ->
+          check_ref pos a;
+          check_ref pos b
+      | Circuit.Scale (_, a) -> check_ref pos a)
+    gates;
+  Array.iteri
+    (fun i o ->
+      if o < 0 || o >= ng then
+        add
+          (err
+             ~subject:(Printf.sprintf "output %d" i)
+             (Printf.sprintf "references missing gate g%d (circuit has %d gates)" o ng)))
+    outputs;
+  List.rev !fs
+
+(* Gates reachable (backwards) from any output. *)
+let reachable (c : Circuit.t) =
+  let ng = Array.length c.Circuit.gates in
+  let seen = Array.make ng false in
+  let rec visit j =
+    if j >= 0 && j < ng && not seen.(j) then begin
+      seen.(j) <- true;
+      match c.Circuit.gates.(j) with
+      | Circuit.Input _ | Circuit.Random _ | Circuit.Const _ -> ()
+      | Circuit.Add (a, b) | Circuit.Sub (a, b) | Circuit.Mul (a, b) ->
+          visit a;
+          visit b
+      | Circuit.Scale (_, a) -> visit a
+    end
+  in
+  Array.iter visit c.Circuit.outputs;
+  seen
+
+(* has_input.(pos): does gate pos's cone contain an Input gate? *)
+let input_cones (c : Circuit.t) =
+  let ng = Array.length c.Circuit.gates in
+  let has = Array.make ng false in
+  Array.iteri
+    (fun pos g ->
+      has.(pos) <-
+        (match (g : Circuit.gate) with
+        | Circuit.Input _ -> true
+        | Circuit.Random _ | Circuit.Const _ -> false
+        | Circuit.Add (a, b) | Circuit.Sub (a, b) | Circuit.Mul (a, b) -> has.(a) || has.(b)
+        | Circuit.Scale (_, a) -> has.(a)))
+    c.Circuit.gates;
+  has
+
+let check (c : Circuit.t) =
+  let structural =
+    check_raw ~n_inputs:c.Circuit.n_inputs ~n_random:c.Circuit.n_random
+      ~gates:c.Circuit.gates ~outputs:c.Circuit.outputs
+  in
+  let seen = reachable c in
+  let dead = ref [] in
+  Array.iteri (fun j live -> if not live then dead := j :: !dead) seen;
+  let dead = List.rev !dead in
+  let dead_finding =
+    match dead with
+    | [] -> []
+    | j :: _ ->
+        [
+          warn ~subject:"dead gates"
+            (Printf.sprintf "%d of %d gates unreachable from every output (first: g%d)"
+               (List.length dead) (Circuit.size c) j);
+        ]
+  in
+  let cones = input_cones c in
+  let inputless =
+    Array.to_list c.Circuit.outputs
+    |> List.mapi (fun i o -> (i, o))
+    |> List.filter (fun (_, o) -> not cones.(o))
+    |> List.map (fun (i, o) ->
+           warn
+             ~subject:(Printf.sprintf "output %d" i)
+             (Printf.sprintf
+                "wire g%d depends on no player input (constant or randomness-only \
+                 recommendation)"
+                o))
+  in
+  let used_random = Array.make c.Circuit.n_random false in
+  Array.iter
+    (fun g -> match (g : Circuit.gate) with Circuit.Random j -> used_random.(j) <- true | _ -> ())
+    c.Circuit.gates;
+  let unused_random = ref [] in
+  Array.iteri
+    (fun j used ->
+      if not used then
+        unused_random :=
+          warn
+            ~subject:(Printf.sprintf "randomness slot %d" j)
+            "no gate reads this slot (dangling mediator coin)"
+          :: !unused_random)
+    used_random;
+  structural @ dead_finding @ inputless @ List.rev !unused_random
+
+let check_stages (c : Circuit.t) ~stages =
+  let fs = ref [] in
+  let add f = fs := f :: !fs in
+  let ng = Array.length c.Circuit.gates in
+  let n_players = Array.length c.Circuit.outputs in
+  let n_stages = Array.length stages in
+  if n_stages = 0 then add (err ~subject:"stages" "empty reveal schedule");
+  let released : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun s stage ->
+      if Array.length stage <> n_players then
+        add
+          (err
+             ~subject:(Printf.sprintf "stage %d" s)
+             (Printf.sprintf "reveals %d wires, expected one per player (%d)"
+                (Array.length stage) n_players));
+      Array.iteri
+        (fun i g ->
+          if g < 0 || g >= ng then
+            add
+              (err
+                 ~subject:(Printf.sprintf "stage %d, player %d" s i)
+                 (Printf.sprintf "references missing gate g%d" g))
+          else
+            match Hashtbl.find_opt released g with
+            | Some s' when s' < s ->
+                add
+                  (err
+                     ~subject:(Printf.sprintf "stage %d, player %d" s i)
+                     (Printf.sprintf
+                        "staged-reveal ordering: wire g%d already released at stage %d — \
+                         a stage-%d share must not be obtainable before stage %d \
+                         reconstruction"
+                        g s' s (s - 1)))
+            | _ -> Hashtbl.replace released g s)
+        stage)
+    stages;
+  if n_stages > 0 then begin
+    let last = stages.(n_stages - 1) in
+    if last <> c.Circuit.outputs then
+      add
+        (warn
+           ~subject:(Printf.sprintf "stage %d" (n_stages - 1))
+           "final stage differs from the circuit's output wires (the recommendation)")
+  end;
+  List.rev !fs
+
+let check_spec (spec : Mediator.Spec.t) =
+  let c = spec.Mediator.Spec.circuit in
+  let n = spec.Mediator.Spec.game.Games.Game.n in
+  let arity =
+    (if c.Circuit.n_inputs <> n then
+       [
+         err ~subject:"spec arity"
+           (Printf.sprintf "circuit has %d inputs but the game has n=%d players"
+              c.Circuit.n_inputs n);
+       ]
+     else [])
+    @
+    if Array.length c.Circuit.outputs <> n then
+      [
+        err ~subject:"spec arity"
+          (Printf.sprintf "circuit has %d outputs but the game has n=%d players"
+             (Array.length c.Circuit.outputs)
+             n);
+      ]
+    else []
+  in
+  let staged =
+    match spec.Mediator.Spec.stages with
+    | None -> []
+    | Some stages -> check_stages c ~stages
+  in
+  arity @ check c @ staged

@@ -1,0 +1,46 @@
+(** Static linter over arithmetic circuits and staged-reveal schedules.
+
+    {!Circuit.create} already rejects structurally ill-formed circuits by
+    raising; {!check_raw} re-implements those checks over raw gate arrays
+    as findings (so property tests can feed it deliberately broken
+    mutants), and {!check} adds the semantic warnings only a whole-circuit
+    pass can see: gates unreachable from every output, outputs whose cone
+    contains no player input (constant/randomness-only recommendations),
+    and randomness slots no gate reads.
+
+    Soundness: every [Error] is a real structural violation ({!Circuit.create}
+    would raise on it). Completeness caveat: the warnings are structural,
+    not semantic — an output that {e syntactically} depends on an input
+    may still be constant as a polynomial. *)
+
+val analyzer : string
+
+val check_raw :
+  n_inputs:int ->
+  n_random:int ->
+  gates:Circuit.gate array ->
+  outputs:int array ->
+  Finding.t list
+(** Structural errors over a raw gate array: negative arity, gate
+    references that are not strictly earlier (forward edges, self loops),
+    input/randomness indices out of range, outputs referencing missing
+    gates. Mirrors the {!Circuit.create} validation, as findings. *)
+
+val check : Circuit.t -> Finding.t list
+(** {!check_raw} (vacuously clean on a constructed circuit) plus the
+    semantic warnings: unreachable gates, input-free outputs, unused
+    randomness slots. *)
+
+val check_stages : Circuit.t -> stages:int array array -> Finding.t list
+(** Staged-reveal schedule checks: every stage reveals exactly one wire
+    per player, wires exist, and no wire is released at two stages — a
+    stage-s value appearing at an earlier stage s' < s is exactly the
+    "share released before stage s-1 reconstruction" ordering violation
+    (the recipient could reconstruct stage s before the protocol reaches
+    it). Warns when the final stage differs from the circuit's output
+    wires (the recommendation). *)
+
+val check_spec : Mediator.Spec.t -> Finding.t list
+(** Lint a mediator spec: circuit arity against the game (n inputs, n
+    outputs), {!check} on the circuit, {!check_stages} when the spec is
+    staged. *)

@@ -1,0 +1,69 @@
+open Sim.Types
+
+let no_will () = None
+
+let ping_pong () =
+  let p0 =
+    {
+      start = (fun () -> [ Send (1, 1) ]);
+      receive = (fun ~src:_ _ -> [ Move 1; Halt ]);
+      will = no_will;
+    }
+  in
+  let p1 =
+    {
+      start = (fun () -> []);
+      receive = (fun ~src:_ v -> [ Send (0, v + 1); Move 0; Halt ]);
+      will = no_will;
+    }
+  in
+  [| p0; p1 |]
+
+let threshold_sum () =
+  let sender me v =
+    { start = (fun () -> [ Send (2, v + me) ]); receive = (fun ~src:_ _ -> []); will = no_will }
+  in
+  let acc = ref 0 in
+  let got = ref 0 in
+  let collector =
+    {
+      start = (fun () -> []);
+      receive =
+        (fun ~src:_ v ->
+          acc := !acc + v;
+          incr got;
+          if !got = 2 then [ Move !acc; Halt ] else []);
+      will = no_will;
+    }
+  in
+  [| sender 0 10; sender 1 20; collector |]
+
+let order_bug () =
+  let shout me v =
+    { start = (fun () -> [ Send (2, v + me) ]); receive = (fun ~src:_ _ -> []); will = no_will }
+  in
+  let judge =
+    {
+      start = (fun () -> []);
+      receive = (fun ~src:_ v -> [ Move v; Halt ]) (* first arrival wins: the bug *);
+      will = no_will;
+    }
+  in
+  [| shout 0 10; shout 1 20; judge |]
+
+let byzantine_echo () =
+  let honest peer =
+    {
+      start = (fun () -> [ Send (peer, 7) ]);
+      receive = (fun ~src v -> if src = peer then [ Move v; Halt ] else []);
+      will = no_will;
+    }
+  in
+  let byzantine =
+    {
+      start = (fun () -> [ Send (0, 100); Send (1, 200) ]);
+      receive = (fun ~src:_ _ -> []);
+      will = no_will;
+    }
+  in
+  [| honest 1; honest 0; byzantine |]

@@ -1,0 +1,26 @@
+(** Small demo protocols for the analyzers: each is a [make] function in
+    the {!Sim.Explore} sense (fresh processes on every call), small enough
+    for exhaustive interleaving so the race detector's verdicts can be
+    cross-validated against ground truth. Used by `ctmed lint` and the
+    analysis test suite. *)
+
+val ping_pong : unit -> (int, int) Sim.Types.process array
+(** Two players, one message each way, both move — confluent. *)
+
+val threshold_sum : unit -> (int, int) Sim.Types.process array
+(** Players 0 and 1 send their value to a collector that moves the sum
+    once both arrived. Outcome-confluent, but effect-level racy: the
+    collector's emission happens in whichever activation crosses the
+    threshold (the benign race every quorum protocol exhibits). *)
+
+val order_bug : unit -> (int, int) Sim.Types.process array
+(** The deliberate schedule-sensitivity bug: a judge moves the {e first}
+    value it receives, so the scheduler picks the outcome. The race
+    detector must report an outcome race here and {!Sim.Explore} must
+    find non-confluent moves — the seeded-bug fixture of `ctmed lint
+    --seeded-bug`. *)
+
+val byzantine_echo : unit -> (int, int) Sim.Types.process array
+(** Two honest players exchange their value and move on the honest
+    peer's message; player 2 is Byzantine and sends a different lie to
+    each. Honest moves are confluent despite the faulty traffic. *)

@@ -1,0 +1,22 @@
+type t = int array
+
+let zero n = Array.make n 0
+
+let tick v p =
+  let w = Array.copy v in
+  w.(p) <- w.(p) + 1;
+  w
+
+let join a b = Array.init (Array.length a) (fun i -> max a.(i) b.(i))
+let get v p = v.(p)
+
+let leq a b =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) <= b.(i) && go (i + 1)) in
+  go 0
+
+let concurrent a b = (not (leq a b)) && not (leq b a)
+
+let pp fmt v =
+  Format.fprintf fmt "<%s>"
+    (String.concat "," (Array.to_list (Array.map string_of_int v)))

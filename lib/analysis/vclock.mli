@@ -1,0 +1,26 @@
+(** Vector clocks over process ids 0..n-1 — the happens-before partial
+    order of one observed run, used by {!Race} to decide which pairs of
+    deliveries were concurrent (i.e. ordered by the scheduler rather than
+    by causality). Purely functional: every operation returns a fresh
+    clock. *)
+
+type t
+
+val zero : int -> t
+(** [zero n]: the bottom clock over n components. *)
+
+val tick : t -> int -> t
+(** Advance component [p] by one (one activation of process p). *)
+
+val join : t -> t -> t
+(** Pointwise max — what a delivery does to the receiver's clock. *)
+
+val get : t -> int -> int
+
+val leq : t -> t -> bool
+(** Pointwise <=: happens-before (or equal). *)
+
+val concurrent : t -> t -> bool
+(** Neither [leq a b] nor [leq b a]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,28 +1,18 @@
-module Gf = Field.Gf
 module Engine = Mpc.Engine
 module Spec = Mediator.Spec
 open Sim.Types
 
-type theorem = T41 | T42 | T44 | T45
+module Thresholds = Analysis.Thresholds
 
-let theorem_name = function
-  | T41 -> "Theorem 4.1"
-  | T42 -> "Theorem 4.2"
-  | T44 -> "Theorem 4.4"
-  | T45 -> "Theorem 4.5"
+type theorem = Thresholds.theorem = T41 | T42 | T44 | T45
 
-let pp_theorem fmt th = Format.pp_print_string fmt (theorem_name th)
+let theorem_name = Thresholds.name
+let pp_theorem = Thresholds.pp
 
 type approach = Default_move | Ah_wills
 
-let required_n th ~k ~t =
-  match th with
-  | T41 -> (4 * k) + (4 * t) + 1
-  | T42 -> (3 * k) + (3 * t) + 1
-  | T44 -> (3 * k) + (4 * t) + 1
-  | T45 -> (2 * k) + (3 * t) + 1
-
-let threshold_ok th ~n ~k ~t = n >= required_n th ~k ~t
+let required_n = Thresholds.required_n
+let threshold_ok th ~n ~k ~t = Thresholds.ok th ~n ~k ~t
 
 type plan = {
   spec : Spec.t;
@@ -36,16 +26,20 @@ type plan = {
 
 let plan ?approach ~spec ~theorem ~k ~t () =
   let n = spec.Spec.game.Games.Game.n in
-  if k < 0 || t < 0 then Error "k and t must be non-negative"
-  else if not (threshold_ok theorem ~n ~k ~t) then
-    Error
-      (Printf.sprintf "%s needs n >= %d for k=%d t=%d, but the game has n=%d"
-         (theorem_name theorem) (required_n theorem ~k ~t) k t n)
-  else begin
-    let needs_punishment = match theorem with T44 | T45 -> true | T41 | T42 -> false in
-    if needs_punishment && Option.is_none spec.Spec.punishment then
-      Error (theorem_name theorem ^ " requires a punishment profile in the spec")
-    else begin
+  let instance =
+    {
+      Thresholds.theorem;
+      n;
+      k;
+      t;
+      has_punishment = Option.is_some spec.Spec.punishment;
+      multiplies = Circuit.mul_count spec.Spec.circuit > 0;
+    }
+  in
+  match Thresholds.validate instance with
+  | Error e -> Error e
+  | Ok () ->
+      let needs_punishment = Thresholds.needs_punishment theorem in
       let approach =
         match approach with
         | Some a -> a
@@ -53,20 +47,17 @@ let plan ?approach ~spec ~theorem ~k ~t () =
       in
       if needs_punishment && approach = Default_move then
         Error (theorem_name theorem ^ " uses the AH approach (punishment in the wills)")
-      else begin
-        let degree = k + t in
-        let faults = match theorem with T41 | T42 -> k + t | T44 | T45 -> t in
-        (* MPC substrate arity requirements (cf. Engine.create). *)
-        if n <= 3 * faults then Error "substrate: n > 3*faults violated"
-        else if n < degree + (2 * faults) + 1 then
-          Error "substrate: n >= degree + 2*faults + 1 violated"
-        else if
-          Circuit.mul_count spec.Spec.circuit > 0 && n < (2 * degree) + faults + 1
-        then Error "substrate: n >= 2*degree + faults + 1 violated (circuit multiplies)"
-        else Ok { spec; theorem; k; t; approach; degree; faults }
-      end
-    end
-  end
+      else
+        Ok
+          {
+            spec;
+            theorem;
+            k;
+            t;
+            approach;
+            degree = Thresholds.degree ~k ~t;
+            faults = Thresholds.faults theorem ~k ~t;
+          }
 
 let plan_exn ?approach ~spec ~theorem ~k ~t () =
   match plan ?approach ~spec ~theorem ~k ~t () with
@@ -91,9 +82,13 @@ let player_process p ~me ~type_ ~coin_seed ~seed =
     | None -> []
   in
   let will () =
+    (* A will only matters while the player has not moved; once the engine
+       produced the recommendation (= the player moved) return None so the
+       executor is never handed a stale instruction. *)
     match (p.approach, spec.Spec.punishment) with
-    | Ah_wills, Some punish -> Some (punish ~player:me ~type_)
-    | Ah_wills, None | Default_move, _ -> None
+    | Ah_wills, Some punish when Option.is_none (Engine.result engine) ->
+        Some (punish ~player:me ~type_)
+    | Ah_wills, _ | Default_move, _ -> None
   in
   {
     start = (fun () -> emit (Engine.start engine));

@@ -22,7 +22,9 @@
     punishment, so rational deviators may do anything) and t for 4.4/4.5
     (punishment deters rational players from protocol-level sabotage). *)
 
-type theorem = T41 | T42 | T44 | T45
+type theorem = Analysis.Thresholds.theorem = T41 | T42 | T44 | T45
+(** Re-exported from {!Analysis.Thresholds}, the centralised parameter
+    validator all four preconditions now live in. *)
 
 val theorem_name : theorem -> string
 val pp_theorem : Format.formatter -> theorem -> unit

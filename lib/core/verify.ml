@@ -28,12 +28,27 @@ let actions_of (p : Compile.plan) ~types ~procs (o : int Sim.Types.outcome) =
               | Some d -> d ~player:i ~type_:types.(i)
               | None -> 0)))
 
+let check_runs =
+  ref
+    (match Sys.getenv_opt "CTMED_LINT_RUNS" with
+    | Some ("1" | "true" | "yes") -> true
+    | _ -> false)
+
+let lint_outcome o =
+  let fs = Analysis.check_run o in
+  match Analysis.Finding.errors fs with
+  | [] -> ()
+  | f :: _ ->
+      failwith
+        (Format.asprintf "Verify: effect-discipline violation in run: %a" Analysis.Finding.pp f)
+
 let run_with p ~types ~scheduler ~seed ~replace =
   let honest = Compile.processes p ~types ~coin_seed:(seed * 7919) ~seed in
   let procs =
     Array.mapi (fun pid h -> match replace pid with Some adv -> adv | None -> h) honest
   in
   let o = Sim.Runner.run (Sim.Runner.config ~scheduler procs) in
+  if !check_runs then lint_outcome o;
   {
     outcome = o;
     actions = actions_of p ~types ~procs o;

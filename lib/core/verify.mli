@@ -8,6 +8,14 @@
     distribution over simulator runs of the cheap-talk protocol under a
     scheduler family — the paper's dist(π, π′) with Monte-Carlo error. *)
 
+val check_runs : bool ref
+(** When true, every simulator run is passed through
+    {!Analysis.check_run} (the effect-discipline trace linter) and the
+    first [Error]-severity finding raises [Failure] — the hook the
+    experiment harness enables via `ctmed experiment --lint-runs`,
+    `bench/main.exe -- lint ...` or the CTMED_LINT_RUNS environment
+    variable. Defaults to the environment variable's value. *)
+
 type run = {
   outcome : int Sim.Types.outcome;
   actions : int array;

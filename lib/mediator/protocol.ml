@@ -13,6 +13,7 @@ let pp_msg fmt = function
 
 let honest_player ~spec ~me ~type_ ~mediator_pid ~will =
   let input = spec.Spec.encode_type ~player:me type_ in
+  let moved = ref false in
   {
     start = (fun () -> [ Send (mediator_pid, To_mediator { round = 0; input }) ]);
     receive =
@@ -21,9 +22,13 @@ let honest_player ~spec ~me ~type_ ~mediator_pid ~will =
         else
           match m with
           | Round r -> [ Send (mediator_pid, To_mediator { round = r; input }) ]
-          | Stop v -> [ Move (spec.Spec.decode_action ~player:me v); Halt ]
+          | Stop v ->
+              moved := true;
+              [ Move (spec.Spec.decode_action ~player:me v); Halt ]
           | To_mediator _ -> []);
-    will = (fun () -> will);
+    (* a will only matters while the player has not moved; once it has,
+       handing the executor a stale instruction is a latent bug *)
+    will = (fun () -> if !moved then None else will);
   }
 
 type mediator_state = {
