@@ -1,9 +1,17 @@
 # Convenience targets; everything is plain dune underneath.
 
-all: build lint
+all: build lint par-check
 
 build:
 	dune build @all
+
+# Differential parallel-vs-sequential check: the experiment engine must
+# produce byte-identical tables at any -j (see DESIGN.md section 9).
+# Runs the pool/domain-safety test binary plus a bench-level table diff.
+par-check:
+	dune exec test/test_parallel.exe -- test pool
+	dune exec test/test_parallel.exe -- test lint-under-j
+	dune exec bench/main.exe -- smoke e2 e3 e7 -j 4 diff
 
 # Static + dynamic analysis: typecheck everything, run the analyzers over
 # the bundled examples (non-zero exit on error findings), and the
@@ -38,4 +46,4 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all build lint test test-verbose bench bench-full bench-csv examples clean
+.PHONY: all build lint par-check test test-verbose bench bench-full bench-csv examples clean

@@ -2,14 +2,23 @@
    (E1-E8, see DESIGN.md section 4) plus the substrate micro-benchmarks.
 
    Usage:
-     dune exec bench/main.exe            -- all experiments, quick budget
-     dune exec bench/main.exe -- full    -- larger Monte-Carlo budget
-     dune exec bench/main.exe -- e1 e5   -- selected experiments
-     dune exec bench/main.exe -- micro   -- only the Bechamel benches
-     dune exec bench/main.exe -- csv     -- also write results/<id>.csv
-     dune exec bench/main.exe -- lint e3 -- lint every simulator run while measuring *)
+     dune exec bench/main.exe              -- all experiments, quick budget
+     dune exec bench/main.exe -- full      -- larger Monte-Carlo budget
+     dune exec bench/main.exe -- smoke     -- ~1/8 budget (CI smoke runs)
+     dune exec bench/main.exe -- e1 e5     -- selected experiments
+     dune exec bench/main.exe -- micro     -- only the Bechamel benches
+     dune exec bench/main.exe -- csv       -- also write results/<id>.csv
+     dune exec bench/main.exe -- lint e3   -- lint every simulator run while measuring
+     dune exec bench/main.exe -- -j 4      -- shard trials over 4 domains
+     dune exec bench/main.exe -- -j 4 diff -- also rerun at -j 1, check the tables are
+                                              byte-identical and report the speedup
 
-let experiments : (string * (Experiments.Common.budget -> Experiments.Common.table)) list =
+   -j defaults to Domain.recommended_domain_count (1 means sequential).
+   Tables are a pure function of the budget: -j changes wall-clock only
+   (the determinism contract of DESIGN.md section 9, enforced by
+   test/test_parallel.ml). *)
+
+let experiments : (string * (Experiments.Common.ctx -> Experiments.Common.table)) list =
   [
     ("e1", Experiments.E1.run);
     ("e2", Experiments.E2.run);
@@ -24,25 +33,75 @@ let experiments : (string * (Experiments.Common.budget -> Experiments.Common.tab
     ("a1", Experiments.A1.run);
   ]
 
+let table_repr (t : Experiments.Common.table) =
+  Experiments.Common.to_csv t ^ t.Experiments.Common.verdict
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* pull "-j N" (or "-jN") out of the argument list *)
+  let jobs = ref (Domain.recommended_domain_count ()) in
+  let rec strip_j acc = function
+    | [] -> List.rev acc
+    | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some n ->
+            jobs := n;
+            strip_j acc rest
+        | None -> failwith "usage: -j N")
+    | arg :: rest when String.length arg > 2 && String.sub arg 0 2 = "-j" -> (
+        match int_of_string_opt (String.sub arg 2 (String.length arg - 2)) with
+        | Some n ->
+            jobs := n;
+            strip_j acc rest
+        | None -> failwith "usage: -j N")
+    | arg :: rest -> strip_j (arg :: acc) rest
+  in
+  let args = strip_j [] args in
   let budget =
-    if List.mem "full" args then Experiments.Common.Full else Experiments.Common.Quick
+    if List.mem "full" args then Experiments.Common.Full
+    else if List.mem "smoke" args then Experiments.Common.Smoke
+    else Experiments.Common.Quick
   in
   let csv = List.mem "csv" args in
-  if List.mem "lint" args then Cheaptalk.Verify.check_runs := true;
-  let selected = List.filter (fun a -> a <> "full" && a <> "csv" && a <> "lint") args in
+  let lint = List.mem "lint" args in
+  let diff = List.mem "diff" args in
+  let keywords = [ "full"; "smoke"; "csv"; "lint"; "diff" ] in
+  let selected = List.filter (fun a -> not (List.mem a keywords)) args in
   let want id = selected = [] || List.mem id selected in
+  let check_runs = lint || Cheaptalk.Verify.default_check_runs in
+  let pool = Parallel.Pool.create ~domains:!jobs () in
+  let ctx = Experiments.Common.ctx ~pool ~check_runs budget in
+  let seq_ctx = Experiments.Common.ctx ~check_runs budget in
+  let j = Parallel.Pool.domains pool in
+  let mismatches = ref [] in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun (id, run) ->
       if want id then begin
         let t = Unix.gettimeofday () in
-        let table = run budget in
+        let table = run ctx in
+        let dt = Unix.gettimeofday () -. t in
         Experiments.Common.print_table table;
         if csv then Experiments.Common.write_csv ~dir:"results" table;
-        Printf.printf "(%.1fs)\n" (Unix.gettimeofday () -. t)
+        if diff then begin
+          let t1 = Unix.gettimeofday () in
+          let seq_table = run seq_ctx in
+          let dt1 = Unix.gettimeofday () -. t1 in
+          let identical = table_repr table = table_repr seq_table in
+          if not identical then mismatches := id :: !mismatches;
+          Printf.printf "(%.1fs at -j %d, %.1fs at -j 1: %.2fx, tables %s)\n" dt j dt1
+            (dt1 /. dt)
+            (if identical then "byte-identical" else "DIFFER")
+        end
+        else Printf.printf "(%.1fs, -j %d)\n" dt j
       end)
     experiments;
   if want "micro" then Experiments.Micro.run ();
-  Printf.printf "\nTotal: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Printf.printf "\nTotal: %.1fs (-j %d)\n" (Unix.gettimeofday () -. t0) j;
+  Parallel.Pool.shutdown pool;
+  match !mismatches with
+  | [] -> ()
+  | ids ->
+      Printf.eprintf "diff: tables differ between -j %d and -j 1: %s\n" j
+        (String.concat " " (List.rev ids));
+      exit 1

@@ -103,9 +103,18 @@ let experiment_cmd =
       & info [ "lint-runs" ]
           ~doc:"pass every simulator run through the effect-discipline linter (fail fast)")
   in
-  let run ids full lint_runs =
-    if lint_runs then Cheaptalk.Verify.check_runs := true;
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "shard Monte-Carlo trials over $(docv) domains (default: the recommended domain \
+             count; tables are byte-identical at any value)")
+  in
+  let run ids full lint_runs jobs =
     let budget = if full then Experiments.Common.Full else Experiments.Common.Quick in
+    let check_runs = lint_runs || Cheaptalk.Verify.default_check_runs in
     let want id = ids = [] || List.mem id ids in
     let table_of = function
       | "e1" -> Some Experiments.E1.run
@@ -121,15 +130,18 @@ let experiment_cmd =
       | "a1" -> Some Experiments.A1.run
       | _ -> None
     in
-    List.iter
-      (fun id ->
-        if want id then
-          match table_of id with
-          | Some run -> Experiments.Common.print_table (run budget)
-          | None -> ())
-      experiment_ids
+    Parallel.Pool.with_pool ~domains:jobs (fun pool ->
+        let ctx = Experiments.Common.ctx ~pool ~check_runs budget in
+        List.iter
+          (fun id ->
+            if want id then
+              match table_of id with
+              | Some run -> Experiments.Common.print_table (run ctx)
+              | None -> ())
+          experiment_ids)
   in
-  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ ids_arg $ full_arg $ lint_runs_arg)
+  Cmd.v (Cmd.info "experiment" ~doc)
+    Term.(const run $ ids_arg $ full_arg $ lint_runs_arg $ jobs_arg)
 
 (* --- mediator --- *)
 

@@ -15,7 +15,7 @@
 
     Everything reports through {!Finding}. The CLI front end is
     `ctmed lint`; {!check_run} is the per-run hook the experiment harness
-    enables via [Cheaptalk.Verify.check_runs]. *)
+    enables via [Cheaptalk.Verify]'s [?check_runs] parameters. *)
 
 module Finding = Finding
 module Vclock = Vclock

@@ -59,16 +59,17 @@ let standard_med_adversaries ~n ~coalition =
   in
   (honest_med :: misreports) @ overrides @ mutes @ stops
 
-let ct_outcome_dist plan ~types adv ~samples ~seed =
+let ct_outcome_dist ?check_runs ?pool plan ~types adv ~samples ~seed =
+  let actions =
+    Verify.map_trials ?pool ~samples ~seed (fun seed ->
+        let r =
+          Verify.run_with ?check_runs plan ~types ~scheduler:(adv.ct_scheduler seed) ~seed
+            ~replace:(adv.ct_replace ~seed)
+        in
+        r.Verify.actions)
+  in
   let emp = Dist.Empirical.create () in
-  for s = 0 to samples - 1 do
-    let seed = seed + s in
-    let r =
-      Verify.run_with plan ~types ~scheduler:(adv.ct_scheduler seed) ~seed
-        ~replace:(adv.ct_replace ~seed)
-    in
-    Dist.Empirical.add emp r.Verify.actions
-  done;
+  Array.iter (Dist.Empirical.add emp) actions;
   Dist.Empirical.to_dist emp
 
 (* One mediator-game history with the structured deviations applied. *)
@@ -134,11 +135,13 @@ let med_run plan ~types ~rounds adv ~seed =
               | Some d -> d ~player:i ~type_:types.(i)
               | None -> 0)))
 
-let med_outcome_dist plan ~types ~rounds adv ~samples ~seed =
+let med_outcome_dist ?pool plan ~types ~rounds adv ~samples ~seed =
+  let actions =
+    Verify.map_trials ?pool ~samples ~seed (fun seed ->
+        med_run plan ~types ~rounds adv ~seed)
+  in
   let emp = Dist.Empirical.create () in
-  for s = 0 to samples - 1 do
-    Dist.Empirical.add emp (med_run plan ~types ~rounds adv ~seed:(seed + s))
-  done;
+  Array.iter (Dist.Empirical.add emp) actions;
   Dist.Empirical.to_dist emp
 
 type match_result = {
@@ -159,29 +162,36 @@ let closest target candidates =
     None
     (List.map (fun (name, d) -> (name, Dist.l1 target d)) candidates)
 
-let emulation_radius plan ~types ~rounds ~ct_family ~med_family ~samples ~seed =
+let emulation_radius ?check_runs ?pool plan ~types ~rounds ~ct_family ~med_family ~samples
+    ~seed =
   let med_dists =
     List.map
-      (fun adv -> (adv.med_name, med_outcome_dist plan ~types ~rounds adv ~samples ~seed))
+      (fun adv -> (adv.med_name, med_outcome_dist ?pool plan ~types ~rounds adv ~samples ~seed))
       med_family
   in
   List.map
     (fun ct ->
-      let d = ct_outcome_dist plan ~types ct ~samples ~seed in
+      let d = ct_outcome_dist ?check_runs ?pool plan ~types ct ~samples ~seed in
       match closest d med_dists with
       | Some (name, dist) -> { adversary = ct.ct_name; best_match = name; distance = dist }
       | None -> { adversary = ct.ct_name; best_match = "-"; distance = infinity })
     ct_family
 
-let bisimulation_radius plan ~types ~rounds ~ct_family ~med_family ~samples ~seed =
-  let forward = emulation_radius plan ~types ~rounds ~ct_family ~med_family ~samples ~seed in
+let bisimulation_radius ?check_runs ?pool plan ~types ~rounds ~ct_family ~med_family ~samples
+    ~seed =
+  let forward =
+    emulation_radius ?check_runs ?pool plan ~types ~rounds ~ct_family ~med_family ~samples
+      ~seed
+  in
   let ct_dists =
-    List.map (fun ct -> (ct.ct_name, ct_outcome_dist plan ~types ct ~samples ~seed)) ct_family
+    List.map
+      (fun ct -> (ct.ct_name, ct_outcome_dist ?check_runs ?pool plan ~types ct ~samples ~seed))
+      ct_family
   in
   let backward =
     List.map
       (fun adv ->
-        let d = med_outcome_dist plan ~types ~rounds adv ~samples ~seed in
+        let d = med_outcome_dist ?pool plan ~types ~rounds adv ~samples ~seed in
         match closest d ct_dists with
         | Some (name, dist) ->
             { adversary = adv.med_name; best_match = name; distance = dist }

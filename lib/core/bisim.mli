@@ -46,10 +46,23 @@ val standard_med_adversaries : n:int -> coalition:int list -> med_adversary list
 (** Misreports, action overrides, muting and relaxed stops for the given
     coalition — the family quantified over in the experiments. *)
 
+(** The samplers and radii below accept the same [?check_runs] /
+    [?pool] pair as {!Verify}'s measurements: trials are sharded over
+    the pool's domains and folded in seed order, so the distributions
+    (and hence the radii) are identical at every domain count. *)
+
 val ct_outcome_dist :
-  Compile.plan -> types:int array -> ct_adversary -> samples:int -> seed:int -> Games.Dist.t
+  ?check_runs:bool ->
+  ?pool:Parallel.Pool.t ->
+  Compile.plan ->
+  types:int array ->
+  ct_adversary ->
+  samples:int ->
+  seed:int ->
+  Games.Dist.t
 
 val med_outcome_dist :
+  ?pool:Parallel.Pool.t ->
   Compile.plan ->
   types:int array ->
   rounds:int ->
@@ -71,6 +84,8 @@ type match_result = {
 val pp_match : Format.formatter -> match_result -> unit
 
 val emulation_radius :
+  ?check_runs:bool ->
+  ?pool:Parallel.Pool.t ->
   Compile.plan ->
   types:int array ->
   rounds:int ->
@@ -83,6 +98,8 @@ val emulation_radius :
     mediator-game adversary. *)
 
 val bisimulation_radius :
+  ?check_runs:bool ->
+  ?pool:Parallel.Pool.t ->
   Compile.plan ->
   types:int array ->
   rounds:int ->

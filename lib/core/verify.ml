@@ -28,11 +28,10 @@ let actions_of (p : Compile.plan) ~types ~procs (o : int Sim.Types.outcome) =
               | Some d -> d ~player:i ~type_:types.(i)
               | None -> 0)))
 
-let check_runs =
-  ref
-    (match Sys.getenv_opt "CTMED_LINT_RUNS" with
-    | Some ("1" | "true" | "yes") -> true
-    | _ -> false)
+let default_check_runs =
+  match Sys.getenv_opt "CTMED_LINT_RUNS" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
 
 let lint_outcome o =
   let fs = Analysis.check_run o in
@@ -42,13 +41,13 @@ let lint_outcome o =
       failwith
         (Format.asprintf "Verify: effect-discipline violation in run: %a" Analysis.Finding.pp f)
 
-let run_with p ~types ~scheduler ~seed ~replace =
+let run_with ?(check_runs = default_check_runs) p ~types ~scheduler ~seed ~replace =
   let honest = Compile.processes p ~types ~coin_seed:(seed * 7919) ~seed in
   let procs =
     Array.mapi (fun pid h -> match replace pid with Some adv -> adv | None -> h) honest
   in
   let o = Sim.Runner.run (Sim.Runner.config ~scheduler procs) in
-  if !check_runs then lint_outcome o;
+  if check_runs then lint_outcome o;
   {
     outcome = o;
     actions = actions_of p ~types ~procs o;
@@ -58,21 +57,34 @@ let run_with p ~types ~scheduler ~seed ~replace =
       | Sim.Types.All_halted | Sim.Types.Quiescent -> false);
   }
 
-let run_once p ~types ~scheduler ~seed = run_with p ~types ~scheduler ~seed ~replace:(fun _ -> None)
+let run_once ?check_runs p ~types ~scheduler ~seed =
+  run_with ?check_runs p ~types ~scheduler ~seed ~replace:(fun _ -> None)
 
-let empirical_action_dist p ~types ~samples ~scheduler_of ~seed =
+(* Shard the trial seeds [seed, seed + samples) over the pool (in the
+   calling domain when [pool] is absent). Each trial must be a pure
+   function of its seed; results come back in seed order, so every fold
+   below is deterministic at any domain count. *)
+let map_trials ?pool ~samples ~seed f =
+  match pool with
+  | None -> Array.init samples (fun s -> f (seed + s))
+  | Some pool -> Parallel.Pool.map_seeded ~pool ~seeds:(seed, seed + samples) f
+
+let empirical_action_dist ?check_runs ?pool p ~types ~samples ~scheduler_of ~seed =
+  let actions =
+    map_trials ?pool ~samples ~seed (fun s ->
+        (run_once ?check_runs p ~types ~scheduler:(scheduler_of s) ~seed:s).actions)
+  in
   let emp = Dist.Empirical.create () in
-  for s = 0 to samples - 1 do
-    let r = run_once p ~types ~scheduler:(scheduler_of (seed + s)) ~seed:(seed + s) in
-    Dist.Empirical.add emp r.actions
-  done;
+  Array.iter (Dist.Empirical.add emp) actions;
   Dist.Empirical.to_dist emp
 
-let implementation_distance p ~types ~samples ~scheduler_of ~seed =
+let implementation_distance ?check_runs ?pool p ~types ~samples ~scheduler_of ~seed =
   match Mediator.Measure.exact_action_dist p.Compile.spec ~types with
   | None -> invalid_arg "Verify.implementation_distance: randomness not enumerable"
   | Some exact ->
-      let empirical = empirical_action_dist p ~types ~samples ~scheduler_of ~seed in
+      let empirical =
+        empirical_action_dist ?check_runs ?pool p ~types ~samples ~scheduler_of ~seed
+      in
       Dist.l1 exact empirical
 
 let draw_types (game : Games.Game.t) rng =
@@ -83,19 +95,26 @@ let draw_types (game : Games.Game.t) rng =
   in
   pick 0.0 game.Games.Game.type_dist
 
-let expected_utilities p ~samples ~scheduler_of ~seed ?(replace = fun _ -> None) () =
+let expected_utilities ?check_runs ?pool p ~samples ~scheduler_of ~seed
+    ?(replace = fun _ -> None) () =
   let game = p.Compile.spec.Spec.game in
   let n = game.Games.Game.n in
+  let utils =
+    map_trials ?pool ~samples ~seed (fun s ->
+        (* the type draw gets its own per-trial stream: trial s is a pure
+           function of (seed, s), not of how many trials ran before it *)
+        let rng = Random.State.make [| 0xFEED; seed; s |] in
+        let types = draw_types game rng in
+        let r = run_with ?check_runs p ~types ~scheduler:(scheduler_of s) ~seed:s ~replace in
+        game.Games.Game.utility ~types ~actions:r.actions)
+  in
   let totals = Array.make n 0.0 in
-  let rng = Random.State.make [| 0xFEED; seed |] in
-  for s = 0 to samples - 1 do
-    let types = draw_types game rng in
-    let r = run_with p ~types ~scheduler:(scheduler_of (seed + s)) ~seed:(seed + s) ~replace in
-    let u = game.Games.Game.utility ~types ~actions:r.actions in
-    for i = 0 to n - 1 do
-      totals.(i) <- totals.(i) +. u.(i)
-    done
-  done;
+  Array.iter
+    (fun u ->
+      for i = 0 to n - 1 do
+        totals.(i) <- totals.(i) +. u.(i)
+      done)
+    utils;
   Array.map (fun x -> x /. float_of_int samples) totals
 
 let coterminated (o : int Sim.Types.outcome) ~honest =

@@ -8,13 +8,16 @@
     distribution over simulator runs of the cheap-talk protocol under a
     scheduler family — the paper's dist(π, π′) with Monte-Carlo error. *)
 
-val check_runs : bool ref
-(** When true, every simulator run is passed through
+val default_check_runs : bool
+(** The default for every [?check_runs] parameter below: true when the
+    CTMED_LINT_RUNS environment variable is set (to 1/true/yes) at
+    startup. When a run is checked it is passed through
     {!Analysis.check_run} (the effect-discipline trace linter) and the
     first [Error]-severity finding raises [Failure] — the hook the
-    experiment harness enables via `ctmed experiment --lint-runs`,
-    `bench/main.exe -- lint ...` or the CTMED_LINT_RUNS environment
-    variable. Defaults to the environment variable's value. *)
+    experiment harness enables via `ctmed experiment --lint-runs` or
+    `bench/main.exe -- lint ...`. Unlike the global flag it replaces,
+    the setting is threaded explicitly so worker domains lint exactly
+    the runs their submitter asked for. *)
 
 type run = {
   outcome : int Sim.Types.outcome;
@@ -24,6 +27,7 @@ type run = {
 }
 
 val run_once :
+  ?check_runs:bool ->
   Compile.plan ->
   types:int array ->
   scheduler:Sim.Scheduler.t ->
@@ -33,6 +37,7 @@ val run_once :
     the players' secret randomness and the shared coin. *)
 
 val run_with :
+  ?check_runs:bool ->
   Compile.plan ->
   types:int array ->
   scheduler:Sim.Scheduler.t ->
@@ -48,7 +53,27 @@ val actions_of :
 (** Project an outcome to an action profile: movers keep their move;
     non-movers get their will (AH) or the spec default / action 0. *)
 
+(** The Monte-Carlo measurements below accept an optional [?pool]: when
+    given, trial seeds are sharded over its domains. Every trial is a
+    pure function of its seed (its own scheduler from [scheduler_of],
+    its own [Random.State], its own processes), and the per-trial
+    results are folded in seed order, so the returned numbers are
+    byte-identical at every domain count and chunk size. [scheduler_of]
+    must return a fresh scheduler per seed when a pool is used — a
+    shared stateful scheduler would race across domains (and already
+    breaks seed-determinism sequentially). *)
+
+val map_trials :
+  ?pool:Parallel.Pool.t -> samples:int -> seed:int -> (int -> 'a) -> 'a array
+(** [map_trials ?pool ~samples ~seed f] is [f] applied to every trial
+    seed in [[seed, seed + samples)], results in seed order — sharded
+    over the pool's domains when [pool] is given, a plain loop
+    otherwise. The building block for every measurement below and for
+    the experiments' hand-rolled sweeps. *)
+
 val empirical_action_dist :
+  ?check_runs:bool ->
+  ?pool:Parallel.Pool.t ->
   Compile.plan ->
   types:int array ->
   samples:int ->
@@ -57,6 +82,8 @@ val empirical_action_dist :
   Games.Dist.t
 
 val implementation_distance :
+  ?check_runs:bool ->
+  ?pool:Parallel.Pool.t ->
   Compile.plan ->
   types:int array ->
   samples:int ->
@@ -68,6 +95,8 @@ val implementation_distance :
     @raise Invalid_argument if the spec's randomness is not enumerable. *)
 
 val expected_utilities :
+  ?check_runs:bool ->
+  ?pool:Parallel.Pool.t ->
   Compile.plan ->
   samples:int ->
   scheduler_of:(int -> Sim.Scheduler.t) ->
@@ -76,7 +105,8 @@ val expected_utilities :
   unit ->
   float array
 (** Monte-Carlo ex-ante utilities of the cheap-talk play (types drawn from
-    the game's prior), optionally with adversarial substitutions. *)
+    the game's prior — each trial from its own (seed, trial)-derived
+    stream), optionally with adversarial substitutions. *)
 
 val coterminated : int Sim.Types.outcome -> honest:int list -> bool
 (** Definition 5.3 for one history: either every honest player moved or

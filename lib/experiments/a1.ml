@@ -36,53 +36,60 @@ let aba_run ~coin_of ~proposal ~seed =
   in
   (o.Sim.Types.messages_sent, !rounds_seen)
 
-let aba_stats ~name ~coin_of ~proposal ~detail ~samples =
-  let msgs = ref 0 and rounds = ref 0 in
-  for seed = 0 to samples - 1 do
-    let m, r = aba_run ~coin_of:(coin_of seed) ~proposal ~seed in
-    msgs := !msgs + m;
-    rounds := !rounds + r
-  done;
+let aba_stats ctx ~name ~coin_of ~proposal ~detail ~samples =
+  let per_seed =
+    Common.map_trials ctx ~samples ~seed:0 (fun seed ->
+        aba_run ~coin_of:(coin_of seed) ~proposal ~seed)
+  in
+  let msgs = Array.fold_left (fun acc (m, _) -> acc + m) 0 per_seed in
+  let rounds = Array.fold_left (fun acc (_, r) -> acc + r) 0 per_seed in
   [
     "ABA coin";
     name;
-    Printf.sprintf "%d msgs / %.1f rounds" (!msgs / samples)
-      (float_of_int !rounds /. float_of_int samples);
+    Printf.sprintf "%d msgs / %.1f rounds" (msgs / samples)
+      (float_of_int rounds /. float_of_int samples);
     detail;
   ]
 
-let reconstruction_stats ~samples =
+let reconstruction_stats ctx ~samples =
   let t = 2 and n = 9 in
-  let naive_ok = ref 0 and oec_ok = ref 0 in
-  for seed = 0 to samples - 1 do
-    let rng = Random.State.make [| seed; 77 |] in
-    let secret = Gf.random rng in
-    let shares = Shamir.share rng ~n ~t ~secret in
-    (* corrupt the first two shares with random offsets: the naive
-       decoder, which trusts the first t+1 it sees, is maximally exposed *)
-    let tampered = Array.copy shares in
-    for i = 0 to 1 do
-      tampered.(i) <-
-        {
-          tampered.(i) with
-          Shamir.value = Gf.add tampered.(i).Shamir.value (Gf.random_nonzero rng);
-        }
-    done;
-    (match Shamir.reconstruct ~t (Array.to_list tampered) with
-    | Some v when Gf.equal v secret -> incr naive_ok
-    | _ -> ());
-    match Shamir.reconstruct_robust ~t ~max_errors:2 (Array.to_list tampered) with
-    | Some v when Gf.equal v secret -> incr oec_ok
-    | _ -> ()
-  done;
+  let per_seed =
+    Common.map_trials ctx ~samples ~seed:0 (fun seed ->
+        let rng = Random.State.make [| seed; 77 |] in
+        let secret = Gf.random rng in
+        let shares = Shamir.share rng ~n ~t ~secret in
+        (* corrupt the first two shares with random offsets: the naive
+           decoder, which trusts the first t+1 it sees, is maximally exposed *)
+        let tampered = Array.copy shares in
+        for i = 0 to 1 do
+          tampered.(i) <-
+            {
+              tampered.(i) with
+              Shamir.value = Gf.add tampered.(i).Shamir.value (Gf.random_nonzero rng);
+            }
+        done;
+        let naive =
+          match Shamir.reconstruct ~t (Array.to_list tampered) with
+          | Some v when Gf.equal v secret -> 1
+          | _ -> 0
+        in
+        let oec =
+          match Shamir.reconstruct_robust ~t ~max_errors:2 (Array.to_list tampered) with
+          | Some v when Gf.equal v secret -> 1
+          | _ -> 0
+        in
+        (naive, oec))
+  in
+  let naive_ok = Array.fold_left (fun acc (a, _) -> acc + a) 0 per_seed in
+  let oec_ok = Array.fold_left (fun acc (_, b) -> acc + b) 0 per_seed in
   let pct x = Printf.sprintf "%.0f%%" (100.0 *. float_of_int x /. float_of_int samples) in
   [
-    [ "reconstruction"; "naive first-(t+1) interpolation"; pct !naive_ok; "2 corrupt shares" ];
-    [ "reconstruction"; "Berlekamp-Welch (online EC)"; pct !oec_ok; "2 corrupt shares" ];
+    [ "reconstruction"; "naive first-(t+1) interpolation"; pct naive_ok; "2 corrupt shares" ];
+    [ "reconstruction"; "Berlekamp-Welch (online EC)"; pct oec_ok; "2 corrupt shares" ];
   ]
 
-let run budget =
-  let samples = Common.samples budget 15 in
+let run ctx =
+  let samples = Common.samples ctx.Common.budget 15 in
   let common seed me = ignore me; Coin.common ~seed ~instance:0
   and optimistic seed me = ignore me; Coin.optimistic ~seed ~instance:0
   and local seed me = Coin.local (Random.State.make [| seed; me; 13 |]) in
@@ -90,20 +97,20 @@ let run budget =
   let mixed me = me mod 2 = 0 in
   let rows =
     [
-      aba_stats ~name:"optimistic (default)" ~coin_of:optimistic ~proposal:unanimous
+      aba_stats ctx ~name:"optimistic (default)" ~coin_of:optimistic ~proposal:unanimous
         ~detail:"unanimous true" ~samples;
-      aba_stats ~name:"pseudo-random common" ~coin_of:common ~proposal:unanimous
+      aba_stats ctx ~name:"pseudo-random common" ~coin_of:common ~proposal:unanimous
         ~detail:"unanimous true" ~samples;
-      aba_stats ~name:"Ben-Or local" ~coin_of:local ~proposal:unanimous
+      aba_stats ctx ~name:"Ben-Or local" ~coin_of:local ~proposal:unanimous
         ~detail:"unanimous true" ~samples;
-      aba_stats ~name:"optimistic (default)" ~coin_of:optimistic ~proposal:mixed
+      aba_stats ctx ~name:"optimistic (default)" ~coin_of:optimistic ~proposal:mixed
         ~detail:"mixed proposals" ~samples;
-      aba_stats ~name:"pseudo-random common" ~coin_of:common ~proposal:mixed
+      aba_stats ctx ~name:"pseudo-random common" ~coin_of:common ~proposal:mixed
         ~detail:"mixed proposals" ~samples;
-      aba_stats ~name:"Ben-Or local" ~coin_of:local ~proposal:mixed
+      aba_stats ctx ~name:"Ben-Or local" ~coin_of:local ~proposal:mixed
         ~detail:"mixed proposals" ~samples;
     ]
-    @ reconstruction_stats ~samples:(samples * 4)
+    @ reconstruction_stats ctx ~samples:(samples * 4)
     @ [ [ "infinite-play semantics"; "see E4 rows 2-3"; "-"; "-" ] ]
   in
   let get_msgs row = int_of_string (List.hd (String.split_on_char ' ' (List.nth row 2))) in

@@ -50,17 +50,33 @@ let f2 x = Printf.sprintf "%.2f" x
 let f3 x = Printf.sprintf "%.3f" x
 let f4 x = Printf.sprintf "%.4f" x
 
-type budget = Quick | Full
+type budget = Smoke | Quick | Full
 
-let samples b base = match b with Quick -> base | Full -> 4 * base
+let samples b base =
+  match b with Smoke -> max 1 (base / 8) | Quick -> base | Full -> 4 * base
+
+type ctx = { budget : budget; pool : Parallel.Pool.t; check_runs : bool }
+
+let ctx ?pool ?(check_runs = Cheaptalk.Verify.default_check_runs) budget =
+  let pool = match pool with Some p -> p | None -> Parallel.Pool.sequential in
+  { budget; pool; check_runs }
 
 let scheduler_of seed = Sim.Scheduler.random_seeded seed
 
-let honest_utilities plan ~samples ~seed =
-  Cheaptalk.Verify.expected_utilities plan ~samples ~scheduler_of ~seed ()
+let map_trials ctx ~samples ~seed f =
+  Cheaptalk.Verify.map_trials ~pool:ctx.pool ~samples ~seed f
 
-let utilities_with plan ~samples ~seed ~replace =
-  Cheaptalk.Verify.expected_utilities plan ~samples ~scheduler_of ~seed ~replace ()
+let sum_trials ctx ~samples ~seed f =
+  Array.fold_left ( +. ) 0.0 (map_trials ctx ~samples ~seed f)
 
-let implementation_distance plan ~types ~samples ~seed =
-  Cheaptalk.Verify.implementation_distance plan ~types ~samples ~scheduler_of ~seed
+let honest_utilities ctx plan ~samples ~seed =
+  Cheaptalk.Verify.expected_utilities ~check_runs:ctx.check_runs ~pool:ctx.pool plan ~samples
+    ~scheduler_of ~seed ()
+
+let utilities_with ctx plan ~samples ~seed ~replace =
+  Cheaptalk.Verify.expected_utilities ~check_runs:ctx.check_runs ~pool:ctx.pool plan ~samples
+    ~scheduler_of ~seed ~replace ()
+
+let implementation_distance ctx plan ~types ~samples ~seed =
+  Cheaptalk.Verify.implementation_distance ~check_runs:ctx.check_runs ~pool:ctx.pool plan
+    ~types ~samples ~scheduler_of ~seed

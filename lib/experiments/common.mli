@@ -24,20 +24,47 @@ val f2 : float -> string
 val f3 : float -> string
 val f4 : float -> string
 
-type budget = Quick | Full
+type budget = Smoke | Quick | Full
 (** Quick keeps each experiment in the seconds range (used by `dune exec
     bench/main.exe`); Full multiplies sample counts for tighter Monte
-    Carlo error. *)
+    Carlo error; Smoke divides them (~1/8, at least 1) — the budget the
+    differential test suite uses to replay every experiment twice. *)
 
 val samples : budget -> int -> int
-(** [samples b base] = base (Quick) or 4x base (Full). *)
+(** [samples b base] = max 1 (base/8) (Smoke), base (Quick) or 4x base
+    (Full). *)
 
-(** Monte-Carlo measurement helpers on compiled plans. *)
+type ctx = {
+  budget : budget;
+  pool : Parallel.Pool.t;  (** trial seeds are sharded over its domains *)
+  check_runs : bool;  (** lint every simulator run (fail fast) *)
+}
+(** How to execute an experiment. The table an experiment returns is a
+    pure function of [budget] alone: [pool] only changes wall-clock and
+    [check_runs] only adds failure modes, never rows. That determinism
+    contract (see DESIGN.md section 9) is what test/test_parallel.ml's
+    differential suite enforces. *)
+
+val ctx : ?pool:Parallel.Pool.t -> ?check_runs:bool -> budget -> ctx
+(** Defaults: the sequential pool, {!Cheaptalk.Verify.default_check_runs}. *)
+
+(** Monte-Carlo measurement helpers on compiled plans. Trials run on
+    [ctx.pool]; results are folded in seed order (see {!ctx}). *)
+
+val map_trials : ctx -> samples:int -> seed:int -> (int -> 'a) -> 'a array
+(** [map_trials ctx ~samples ~seed f] = [f] at every trial seed in
+    [[seed, seed + samples)], in seed order — the sharded replacement
+    for the experiments' [for s = 0 to samples - 1] sweeps. [f] must
+    derive everything from its seed argument. *)
+
+val sum_trials : ctx -> samples:int -> seed:int -> (int -> float) -> float
+(** Sum of [map_trials] results (folded in seed order). *)
 
 val honest_utilities :
-  Cheaptalk.Compile.plan -> samples:int -> seed:int -> float array
+  ctx -> Cheaptalk.Compile.plan -> samples:int -> seed:int -> float array
 
 val utilities_with :
+  ctx ->
   Cheaptalk.Compile.plan ->
   samples:int ->
   seed:int ->
@@ -45,7 +72,8 @@ val utilities_with :
   float array
 
 val implementation_distance :
-  Cheaptalk.Compile.plan -> types:int array -> samples:int -> seed:int -> float
+  ctx -> Cheaptalk.Compile.plan -> types:int array -> samples:int -> seed:int -> float
 
 val scheduler_of : int -> Sim.Scheduler.t
-(** The default scheduler family for sampling: seeded uniform-random. *)
+(** The default scheduler family for sampling: seeded uniform-random
+    (fresh per seed, as the pool contract requires). *)

@@ -21,37 +21,41 @@ let n = 6
 let k = 1
 let t = 1
 
-let measure plan ~samples ~seed ~replace =
+let measure ctx plan ~samples ~seed ~replace =
   let spec = plan.Compile.spec in
   let game = spec.Spec.game in
   let types = Array.make n 0 in
+  let trials =
+    Common.map_trials ctx ~samples ~seed (fun seed ->
+        let r =
+          Verify.run_with ~check_runs:ctx.Common.check_runs plan ~types
+            ~scheduler:(Common.scheduler_of seed) ~seed ~replace:(replace seed)
+        in
+        (* blocked = some HONEST player never moved (deviators not halting
+           is their own business) *)
+        let honest_blocked =
+          List.exists
+            (fun i ->
+              Option.is_none (replace seed i)
+              && Option.is_none r.Verify.outcome.Sim.Types.moves.(i))
+            (List.init n (fun i -> i))
+        in
+        (game.Games.Game.utility ~types ~actions:r.Verify.actions, honest_blocked))
+  in
   let totals = Array.make n 0.0 in
   let deadlocks = ref 0 in
-  for s = 0 to samples - 1 do
-    let seed = seed + s in
-    let r =
-      Verify.run_with plan ~types ~scheduler:(Common.scheduler_of seed) ~seed ~replace:(replace seed)
-    in
-    (* blocked = some HONEST player never moved (deviators not halting is
-       their own business) *)
-    let honest_blocked =
-      List.exists
-        (fun i ->
-          Option.is_none (replace seed i)
-          && Option.is_none r.Verify.outcome.Sim.Types.moves.(i))
-        (List.init n (fun i -> i))
-    in
-    if honest_blocked then incr deadlocks;
-    let u = game.Games.Game.utility ~types ~actions:r.Verify.actions in
-    for i = 0 to n - 1 do
-      totals.(i) <- totals.(i) +. u.(i)
-    done
-  done;
+  Array.iter
+    (fun (u, blocked) ->
+      if blocked then incr deadlocks;
+      for i = 0 to n - 1 do
+        totals.(i) <- totals.(i) +. u.(i)
+      done)
+    trials;
   ( Array.map (fun x -> x /. float_of_int samples) totals,
     float_of_int !deadlocks /. float_of_int samples )
 
-let run budget =
-  let samples = Common.samples budget 25 in
+let run ctx =
+  let samples = Common.samples ctx.Common.budget 25 in
   let spec = Spec.pitfall_minimal ~n ~k in
   (match Compile.plan ~spec ~theorem:Compile.T44 ~k ~t () with
   | Ok _ -> failwith "T44 unexpectedly applies at n=6 k=1 t=1"
@@ -74,9 +78,9 @@ let run budget =
            (Compile.player_process plan ~me:pid ~type_:0 ~coin_seed:(seed * 7919) ~seed))
     else None
   in
-  let u_honest, d_honest = measure plan ~samples ~seed:303 ~replace:honest in
-  let u_stall, d_stall = measure plan ~samples ~seed:303 ~replace:stall in
-  let u_corrupt, d_corrupt = measure plan ~samples ~seed:303 ~replace:corrupt_reveal in
+  let u_honest, d_honest = measure ctx plan ~samples ~seed:303 ~replace:honest in
+  let u_stall, d_stall = measure ctx plan ~samples ~seed:303 ~replace:stall in
+  let u_corrupt, d_corrupt = measure ctx plan ~samples ~seed:303 ~replace:corrupt_reveal in
   let rows =
     [
       [ "honest"; Common.f3 u_honest.(2); Common.f3 u_honest.(5); Common.f2 d_honest ];

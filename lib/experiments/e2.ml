@@ -9,7 +9,8 @@
 module Compile = Cheaptalk.Compile
 module Spec = Mediator.Spec
 
-let run budget =
+let run ctx =
+  let budget = ctx.Common.budget in
   let s_dist = Common.samples budget 60 in
   let s_util = Common.samples budget 30 in
   let configs =
@@ -26,8 +27,8 @@ let run budget =
         in
         let plan = Compile.plan_exn ~spec ~theorem:Compile.T42 ~k ~t () in
         let types = Array.make n 0 in
-        let dist = Common.implementation_distance plan ~types ~samples:sd ~seed:19 in
-        let u = Common.honest_utilities plan ~samples:su ~seed:29 in
+        let dist = Common.implementation_distance ctx plan ~types ~samples:sd ~seed:19 in
+        let u = Common.honest_utilities ctx plan ~samples:su ~seed:29 in
         [
           spec.Spec.name;
           string_of_int n;

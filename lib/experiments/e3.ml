@@ -20,33 +20,32 @@ let attack plan victim seed =
     (Adversary.Byzantine.corrupt_avss_points ~offset:(Field.Gf.of_int 5)
        (Compile.player_process plan ~me:victim ~type_:0 ~coin_seed:(seed * 7919) ~seed))
 
-let coordination_rate plan ~samples ~seed ~victim =
+let coordination_rate ctx plan ~samples ~seed ~victim =
   let n = plan.Compile.spec.Spec.game.Games.Game.n in
   let honest = List.filter (fun i -> i <> victim) (List.init n (fun i -> i)) in
-  let coordinated = ref 0 in
-  for s = 0 to samples - 1 do
-    let r =
-      Verify.run_with plan ~types:(Array.make n 0)
-        ~scheduler:(Common.scheduler_of (seed + s))
-        ~seed:(seed + s)
-        ~replace:(fun pid -> if pid = victim then Some (attack plan victim (seed + s)) else None)
-    in
-    let acts = List.map (fun i -> r.Verify.actions.(i)) honest in
-    let valid a = a = 0 || a = 1 in
-    match acts with
-    | a :: rest when valid a && List.for_all (fun x -> x = a) rest -> incr coordinated
-    | _ -> ()
-  done;
-  float_of_int !coordinated /. float_of_int samples
+  let coordinated =
+    Common.sum_trials ctx ~samples ~seed (fun seed ->
+        let r =
+          Verify.run_with ~check_runs:ctx.Common.check_runs plan ~types:(Array.make n 0)
+            ~scheduler:(Common.scheduler_of seed) ~seed
+            ~replace:(fun pid -> if pid = victim then Some (attack plan victim seed) else None)
+        in
+        let acts = List.map (fun i -> r.Verify.actions.(i)) honest in
+        let valid a = a = 0 || a = 1 in
+        match acts with
+        | a :: rest when valid a && List.for_all (fun x -> x = a) rest -> 1.0
+        | _ -> 0.0)
+  in
+  coordinated /. float_of_int samples
 
-let run budget =
-  let samples = Common.samples budget 30 in
+let run ctx =
+  let samples = Common.samples ctx.Common.budget 30 in
   let rows =
     List.map
       (fun (n, t, label) ->
         let spec = Spec.coordination ~n in
         let plan = Compile.plan_exn ~spec ~theorem:Compile.T41 ~k:0 ~t () in
-        let rate = coordination_rate plan ~samples ~seed:41 ~victim:(n - 1) in
+        let rate = coordination_rate ctx plan ~samples ~seed:41 ~victim:(n - 1) in
         [
           label;
           string_of_int n;

@@ -17,40 +17,45 @@ module Spec = Mediator.Spec
 let n = 5
 let k = 1
 
-let average plan ~samples ~seed ~wills ~replace =
+let average ctx plan ~samples ~seed ~wills ~replace =
   let spec = plan.Compile.spec in
   let game = spec.Spec.game in
   let types = Array.make n 0 in
+  let trials =
+    Common.map_trials ctx ~samples ~seed (fun seed ->
+        let honest = Compile.processes plan ~types ~coin_seed:(seed * 7919) ~seed in
+        let procs =
+          Array.mapi (fun pid h -> match replace pid seed with Some a -> a | None -> h) honest
+        in
+        let o =
+          Sim.Runner.run (Sim.Runner.config ~scheduler:(Common.scheduler_of seed) procs)
+        in
+        let willed = Sim.Runner.moves_with_wills procs o in
+        let actions =
+          Array.init n (fun i ->
+              match o.Sim.Types.moves.(i) with
+              | Some a -> a
+              | None -> if wills then (match willed.(i) with Some a -> a | None -> 0) else 0)
+        in
+        let honest_ids =
+          List.filter (fun i -> Option.is_none (replace i seed)) (List.init n (fun i -> i))
+        in
+        (game.Games.Game.utility ~types ~actions, Verify.coterminated o ~honest:honest_ids))
+  in
   let totals = Array.make n 0.0 in
   let coterm = ref 0 in
-  for s = 0 to samples - 1 do
-    let seed = seed + s in
-    let honest = Compile.processes plan ~types ~coin_seed:(seed * 7919) ~seed in
-    let procs =
-      Array.mapi (fun pid h -> match replace pid seed with Some a -> a | None -> h) honest
-    in
-    let o =
-      Sim.Runner.run (Sim.Runner.config ~scheduler:(Common.scheduler_of seed) procs)
-    in
-    let willed = Sim.Runner.moves_with_wills procs o in
-    let actions =
-      Array.init n (fun i ->
-          match o.Sim.Types.moves.(i) with
-          | Some a -> a
-          | None -> if wills then (match willed.(i) with Some a -> a | None -> 0) else 0)
-    in
-    let honest_ids = List.filter (fun i -> Option.is_none (replace i seed)) (List.init n (fun i -> i)) in
-    if Verify.coterminated o ~honest:honest_ids then incr coterm;
-    let u = game.Games.Game.utility ~types ~actions in
-    for i = 0 to n - 1 do
-      totals.(i) <- totals.(i) +. u.(i)
-    done
-  done;
+  Array.iter
+    (fun (u, ct) ->
+      if ct then incr coterm;
+      for i = 0 to n - 1 do
+        totals.(i) <- totals.(i) +. u.(i)
+      done)
+    trials;
   ( Array.map (fun x -> x /. float_of_int samples) totals,
     float_of_int !coterm /. float_of_int samples )
 
-let run budget =
-  let samples = Common.samples budget 25 in
+let run ctx =
+  let samples = Common.samples ctx.Common.budget 25 in
   let spec = Spec.pitfall_minimal ~n ~k in
   let plan = Compile.plan_exn ~spec ~theorem:Compile.T44 ~k ~t:0 () in
   let staller = 2 in
@@ -60,9 +65,9 @@ let run budget =
   in
   let no_replace _ _ = None in
   let with_stall pid seed = if pid = staller then Some (stall plan seed) else None in
-  let u_honest, ct_honest = average plan ~samples ~seed:51 ~wills:true ~replace:no_replace in
-  let u_stall, ct_stall = average plan ~samples ~seed:51 ~wills:true ~replace:with_stall in
-  let u_nowill, _ = average plan ~samples ~seed:51 ~wills:false ~replace:with_stall in
+  let u_honest, ct_honest = average ctx plan ~samples ~seed:51 ~wills:true ~replace:no_replace in
+  let u_stall, ct_stall = average ctx plan ~samples ~seed:51 ~wills:true ~replace:with_stall in
+  let u_nowill, _ = average ctx plan ~samples ~seed:51 ~wills:false ~replace:with_stall in
   let rows =
     [
       [ "honest (AH wills)"; Common.f3 u_honest.(staller); Common.f3 u_honest.(0); Common.f2 ct_honest ];

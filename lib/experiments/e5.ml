@@ -45,31 +45,26 @@ let payoff actions =
   let game = Games.Catalog.punishment_pitfall ~n ~k in
   (game.Games.Game.utility ~types:(Array.make n 0) ~actions).(0)
 
-let avg_naive ~coalition ~samples ~seed =
-  let tot = ref 0.0 in
-  for s = 0 to samples - 1 do
-    tot := !tot +. payoff (naive_run ~coalition ~seed:(seed + s))
-  done;
-  !tot /. float_of_int samples
+let avg_naive ctx ~coalition ~samples ~seed =
+  Common.sum_trials ctx ~samples ~seed (fun seed -> payoff (naive_run ~coalition ~seed))
+  /. float_of_int samples
 
-let minimal_avg ~sabotage ~samples ~seed =
+let minimal_avg ctx ~sabotage ~samples ~seed =
   let spec = Spec.pitfall_minimal ~n ~k in
   let plan = Compile.plan_exn ~spec ~theorem:Compile.T44 ~k ~t:0 () in
-  let tot = ref 0.0 in
-  for s = 0 to samples - 1 do
-    let seed = seed + s in
-    let r =
-      Verify.run_with plan ~types:(Array.make n 0) ~scheduler:(Common.scheduler_of seed) ~seed
-        ~replace:(fun pid ->
-          if sabotage && pid < 2 then
-            Some
-              (Adversary.Byzantine.corrupt_output_shares ~offset:Field.Gf.one
-                 (Compile.player_process plan ~me:pid ~type_:0 ~coin_seed:(seed * 7919) ~seed))
-          else None)
-    in
-    tot := !tot +. payoff r.Verify.actions
-  done;
-  !tot /. float_of_int samples
+  Common.sum_trials ctx ~samples ~seed (fun seed ->
+      let r =
+        Verify.run_with ~check_runs:ctx.Common.check_runs plan ~types:(Array.make n 0)
+          ~scheduler:(Common.scheduler_of seed) ~seed
+          ~replace:(fun pid ->
+            if sabotage && pid < 2 then
+              Some
+                (Adversary.Byzantine.corrupt_output_shares ~offset:Field.Gf.one
+                   (Compile.player_process plan ~me:pid ~type_:0 ~coin_seed:(seed * 7919) ~seed))
+            else None)
+      in
+      payoff r.Verify.actions)
+  /. float_of_int samples
 
 (* Lemma 6.8's counting: the strong implementation must be able to select
    any of |S^det/~| scheduler classes (see Mediator.Lemma68). *)
@@ -77,12 +72,12 @@ let log10_classes = Mediator.Lemma68.log10_class_bound ~n ~r:1
 let actual_r = Mediator.Lemma68.min_padding_rounds ~n ~r:1
 let log10_r_closed = Mediator.Lemma68.log10_r_closed_form ~n ~r:1
 
-let run budget =
-  let samples = Common.samples budget 30 in
-  let nb = avg_naive ~coalition:false ~samples ~seed:61 in
-  let nc = avg_naive ~coalition:true ~samples ~seed:61 in
-  let mb = minimal_avg ~sabotage:false ~samples ~seed:61 in
-  let mc = minimal_avg ~sabotage:true ~samples ~seed:61 in
+let run ctx =
+  let samples = Common.samples ctx.Common.budget 30 in
+  let nb = avg_naive ctx ~coalition:false ~samples ~seed:61 in
+  let nc = avg_naive ctx ~coalition:true ~samples ~seed:61 in
+  let mb = minimal_avg ctx ~sabotage:false ~samples ~seed:61 in
+  let mc = minimal_avg ctx ~sabotage:true ~samples ~seed:61 in
   let rows =
     [
       [ "naive (leaky)"; "honest"; Common.f3 nb; "-" ];

@@ -13,17 +13,17 @@ module Verify = Cheaptalk.Verify
 module Spec = Mediator.Spec
 module B = Circuit.Builder
 
-let messages plan ~samples ~seed =
+let messages ctx plan ~samples ~seed =
   let n = plan.Compile.spec.Mediator.Spec.game.Games.Game.n in
-  let tot = ref 0 in
-  for s = 0 to samples - 1 do
-    let r =
-      Verify.run_once plan ~types:(Array.make n 0) ~scheduler:(Common.scheduler_of (seed + s))
-        ~seed:(seed + s)
-    in
-    tot := !tot + Verify.messages_used r
-  done;
-  !tot / samples
+  let counts =
+    Common.map_trials ctx ~samples ~seed (fun seed ->
+        let r =
+          Verify.run_once ~check_runs:ctx.Common.check_runs plan ~types:(Array.make n 0)
+            ~scheduler:(Common.scheduler_of seed) ~seed
+        in
+        Verify.messages_used r)
+  in
+  Array.fold_left ( + ) 0 counts / samples
 
 (* A coordination spec padded with [extra] multiplication gates. *)
 let padded_coordination ~n ~extra =
@@ -53,11 +53,11 @@ let staged_coordination ~n ~stages =
     ~decode_action:(fun ~player:_ v -> Field.Gf.to_int v)
     ()
 
-let row ~label spec ~samples ~seed =
+let row ctx ~label spec ~samples ~seed =
   let plan = Compile.plan_exn ~spec ~theorem:Compile.T41 ~k:0 ~t:1 () in
   let c = Circuit.size spec.Spec.circuit in
   let muls = Circuit.mul_count spec.Spec.circuit in
-  let m = messages plan ~samples ~seed in
+  let m = messages ctx plan ~samples ~seed in
   let bound = Compile.message_bound plan in
   ( [
       label;
@@ -71,19 +71,19 @@ let row ~label spec ~samples ~seed =
     ],
     m <= bound )
 
-let run budget =
-  let samples = Common.samples budget 3 in
+let run ctx =
+  let samples = Common.samples ctx.Common.budget 3 in
   let entries =
     [
-      row ~label:"n sweep" (Spec.coordination ~n:5) ~samples ~seed:71;
-      row ~label:"n sweep" (Spec.coordination ~n:7) ~samples ~seed:72;
-      row ~label:"n sweep" (Spec.coordination ~n:9) ~samples ~seed:73;
-      row ~label:"c sweep" (padded_coordination ~n:5 ~extra:0) ~samples ~seed:74;
-      row ~label:"c sweep" (padded_coordination ~n:5 ~extra:5) ~samples ~seed:75;
-      row ~label:"c sweep" (padded_coordination ~n:5 ~extra:10) ~samples ~seed:76;
-      row ~label:"N sweep" (staged_coordination ~n:5 ~stages:1) ~samples ~seed:77;
-      row ~label:"N sweep" (staged_coordination ~n:5 ~stages:2) ~samples ~seed:78;
-      row ~label:"N sweep" (staged_coordination ~n:5 ~stages:4) ~samples ~seed:79;
+      row ctx ~label:"n sweep" (Spec.coordination ~n:5) ~samples ~seed:71;
+      row ctx ~label:"n sweep" (Spec.coordination ~n:7) ~samples ~seed:72;
+      row ctx ~label:"n sweep" (Spec.coordination ~n:9) ~samples ~seed:73;
+      row ctx ~label:"c sweep" (padded_coordination ~n:5 ~extra:0) ~samples ~seed:74;
+      row ctx ~label:"c sweep" (padded_coordination ~n:5 ~extra:5) ~samples ~seed:75;
+      row ctx ~label:"c sweep" (padded_coordination ~n:5 ~extra:10) ~samples ~seed:76;
+      row ctx ~label:"N sweep" (staged_coordination ~n:5 ~stages:1) ~samples ~seed:77;
+      row ctx ~label:"N sweep" (staged_coordination ~n:5 ~stages:2) ~samples ~seed:78;
+      row ctx ~label:"N sweep" (staged_coordination ~n:5 ~stages:4) ~samples ~seed:79;
     ]
   in
   let rows = List.map fst entries in

@@ -51,23 +51,23 @@ let gradual_messages ~stages =
   in
   o.Sim.Types.messages_sent
 
-let bounded_messages ~samples ~seed =
+let bounded_messages ctx ~samples ~seed =
   let n = 5 and k = 1 in
   let spec = Spec.pitfall_minimal ~n ~k in
   let plan = Compile.plan_exn ~spec ~theorem:Compile.T44 ~k ~t:0 () in
-  let tot = ref 0 in
-  for s = 0 to samples - 1 do
-    let r =
-      Verify.run_once plan ~types:(Array.make n 0) ~scheduler:(Common.scheduler_of (seed + s))
-        ~seed:(seed + s)
-    in
-    tot := !tot + Verify.messages_used r
-  done;
-  !tot / samples
+  let counts =
+    Common.map_trials ctx ~samples ~seed (fun seed ->
+        let r =
+          Verify.run_once ~check_runs:ctx.Common.check_runs plan ~types:(Array.make n 0)
+            ~scheduler:(Common.scheduler_of seed) ~seed
+        in
+        Verify.messages_used r)
+  in
+  Array.fold_left ( + ) 0 counts / samples
 
-let run budget =
-  let samples = Common.samples budget 3 in
-  let punished = bounded_messages ~samples ~seed:81 in
+let run ctx =
+  let samples = Common.samples ctx.Common.budget 3 in
+  let punished = bounded_messages ctx ~samples ~seed:81 in
   let epsilons = [ 0.1; 0.01; 0.001; 0.0001 ] in
   let rows =
     List.map

@@ -70,17 +70,21 @@ let order_sensitive_dist sched =
   done;
   Dist.Empirical.to_dist emp
 
-let run budget =
-  let samples = Common.samples budget 20 in
+let run ctx =
+  let samples = Common.samples ctx.Common.budget 20 in
   let spec = Spec.coordination ~n:5 in
   let plan = Compile.plan_exn ~spec ~theorem:Compile.T41 ~k:0 ~t:1 () in
   let rng = Random.State.make [| 91 |] in
   let schedulers = Sim.Scheduler.standard_library rng in
   let payoffs =
+    (* deliberately NOT sharded over ctx.pool: each library scheduler is
+       one stateful object carried across the whole trial sequence, so
+       this sweep is only meaningful (and only deterministic) run in
+       order on one domain *)
     List.map
       (fun sched ->
         let u =
-          Cheaptalk.Verify.expected_utilities plan ~samples
+          Cheaptalk.Verify.expected_utilities ~check_runs:ctx.Common.check_runs plan ~samples
             ~scheduler_of:(fun _ -> sched)
             ~seed:91 ()
         in

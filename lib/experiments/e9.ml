@@ -73,8 +73,8 @@ let ct_family plan =
     };
   ]
 
-let run budget =
-  let samples = Common.samples budget 40 in
+let run ctx =
+  let samples = Common.samples ctx.Common.budget 40 in
   let spec = Spec.majority_match ~n in
   let plan = Compile.plan_exn ~spec ~theorem:Compile.T41 ~k:0 ~t:1 () in
   let types = Array.make n 0 in
@@ -84,12 +84,12 @@ let run budget =
   in
   let ct = ct_family plan in
   let emu =
-    Bisim.emulation_radius plan ~types ~rounds:2 ~ct_family:ct ~med_family:med_all ~samples
-      ~seed:101
+    Bisim.emulation_radius ~check_runs:ctx.Common.check_runs ~pool:ctx.Common.pool plan ~types
+      ~rounds:2 ~ct_family:ct ~med_family:med_all ~samples ~seed:101
   in
   let fwd, bwd =
-    Bisim.bisimulation_radius plan ~types ~rounds:2 ~ct_family:ct ~med_family:med_plain
-      ~samples ~seed:211
+    Bisim.bisimulation_radius ~check_runs:ctx.Common.check_runs ~pool:ctx.Common.pool plan
+      ~types ~rounds:2 ~ct_family:ct ~med_family:med_plain ~samples ~seed:211
   in
   let rows =
     List.map

@@ -1,0 +1,154 @@
+(* A fixed pool of worker domains fed whole jobs: the submitting domain
+   publishes a job (a participate closure), every worker joins it, and
+   all of them pull chunks of the seed range off a shared atomic counter
+   until it is exhausted. Per-seed results land in a seed-indexed slot,
+   so the answer never depends on which domain ran which chunk. *)
+
+type job = {
+  hi : int;  (* exclusive upper seed *)
+  chunk : int;
+  next : int Atomic.t;  (* next unclaimed seed *)
+  failed : (exn * Printexc.raw_backtrace) option Atomic.t;
+  run : int -> unit;  (* evaluate one seed and store its result *)
+}
+
+type t = {
+  requested : int;  (* total parallelism, workers + caller *)
+  lock : Mutex.t;
+  wake : Condition.t;  (* signalled when a job is published or stop is set *)
+  idle : Condition.t;  (* signalled when the last worker leaves a job *)
+  mutable current : job option;
+  mutable generation : int;
+  mutable active : int;  (* workers currently inside a job *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let domains t = if t.workers = [] then 1 else t.requested
+
+(* Pull chunks until the range is exhausted or some domain failed.
+   A claimed chunk always runs to completion or records the exception,
+   so after [active] drains every claimed seed has been dealt with. *)
+let participate job =
+  let rec loop () =
+    if Option.is_none (Atomic.get job.failed) then begin
+      let start = Atomic.fetch_and_add job.next job.chunk in
+      if start < job.hi then begin
+        (try
+           for s = start to min job.hi (start + job.chunk) - 1 do
+             job.run s
+           done
+         with e ->
+           let bt = Printexc.get_raw_backtrace () in
+           ignore (Atomic.compare_and_set job.failed None (Some (e, bt))));
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let worker_loop t =
+  let last = ref 0 in
+  let rec loop () =
+    Mutex.lock t.lock;
+    while (not t.stop) && t.generation = !last do
+      Condition.wait t.wake t.lock
+    done;
+    if t.stop then Mutex.unlock t.lock
+    else begin
+      last := t.generation;
+      let job = t.current in
+      t.active <- t.active + 1;
+      Mutex.unlock t.lock;
+      (match job with Some j -> participate j | None -> ());
+      Mutex.lock t.lock;
+      t.active <- t.active - 1;
+      if t.active = 0 then Condition.broadcast t.idle;
+      Mutex.unlock t.lock;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?domains () =
+  let requested =
+    match domains with
+    | Some d -> max 1 (min d 128)
+    | None -> max 1 (min (Domain.recommended_domain_count ()) 128)
+  in
+  let t =
+    {
+      requested;
+      lock = Mutex.create ();
+      wake = Condition.create ();
+      idle = Condition.create ();
+      current = None;
+      generation = 0;
+      active = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (requested - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let sequential = create ~domains:1 ()
+
+let shutdown t =
+  let workers =
+    Mutex.lock t.lock;
+    let ws = t.workers in
+    t.workers <- [];
+    t.stop <- true;
+    Condition.broadcast t.wake;
+    Mutex.unlock t.lock;
+    ws
+  in
+  List.iter Domain.join workers
+
+let submit t job =
+  Mutex.lock t.lock;
+  t.current <- Some job;
+  t.generation <- t.generation + 1;
+  Condition.broadcast t.wake;
+  Mutex.unlock t.lock;
+  participate job;
+  Mutex.lock t.lock;
+  while t.active > 0 do
+    Condition.wait t.idle t.lock
+  done;
+  t.current <- None;
+  Mutex.unlock t.lock
+
+let map_seeded ?chunk ~pool ~seeds:(lo, hi) f =
+  let total = hi - lo in
+  if total < 0 then invalid_arg "Pool.map_seeded: hi < lo";
+  if domains pool = 1 || total <= 1 then Array.init total (fun i -> f (lo + i))
+  else begin
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (total / (domains pool * 8))
+    in
+    let slots = Array.make total None in
+    let job =
+      {
+        hi;
+        chunk;
+        next = Atomic.make lo;
+        failed = Atomic.make None;
+        run = (fun s -> slots.(s - lo) <- Some (f s));
+      }
+    in
+    submit pool job;
+    match Atomic.get job.failed with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        Array.map
+          (function Some v -> v | None -> assert false (* every seed was claimed *))
+          slots
+  end
+
+let with_pool ?domains f =
+  let pool = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

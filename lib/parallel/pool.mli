@@ -1,0 +1,48 @@
+(** A small fixed-size domain pool for deterministic Monte-Carlo fan-out.
+
+    The experiment harness replays seeded trials: trial [s] must depend
+    on [s] alone (its own [Random.State], its own scheduler, its own
+    processes), never on which domain ran it or in which order.  Under
+    that contract {!map_seeded} shards a seed range over the pool's
+    domains with chunked work-stealing — a shared atomic index counter
+    hands out chunks, so load balance is dynamic — and the result array
+    is indexed by seed, making the output a pure function of the seed
+    range: byte-identical at every domain count and chunk size.
+
+    Exceptions raised by a worker (e.g. the effect-discipline linter
+    failing a run) abort the remaining chunks and are re-raised, with
+    backtrace, in the calling domain. *)
+
+type t
+(** A pool handle. [domains t = 1] means "run in the calling domain":
+    no worker domains are spawned and no synchronisation happens. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains (the
+    calling domain participates in every job, so [domains] is the total
+    parallelism). [domains] defaults to
+    [Domain.recommended_domain_count ()] and is clamped to [[1, 128]].
+    Remember to {!shutdown} — worker domains are joined there. *)
+
+val sequential : t
+(** The shared no-worker pool: [map_seeded ~pool:sequential] is a plain
+    in-order loop. Needs no shutdown. *)
+
+val domains : t -> int
+(** Total parallelism, including the calling domain. *)
+
+val map_seeded : ?chunk:int -> pool:t -> seeds:int * int -> (int -> 'a) -> 'a array
+(** [map_seeded ~pool ~seeds:(lo, hi) f] computes [f s] for every seed
+    [lo <= s < hi] and returns the results in seed order
+    ([result.(i) = f (lo + i)]).  [f] must be safe to call from any
+    domain and derive all randomness from its seed argument.  [chunk]
+    (default: range split ~8 ways per domain, at least 1) only affects
+    scheduling granularity, never results. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. Idempotent. After shutdown the
+    pool behaves like {!sequential}. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down
+    afterwards, also on exception. *)

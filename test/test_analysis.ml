@@ -359,16 +359,11 @@ let test_sweep_has_teeth () =
 let test_verify_hook () =
   let spec = Spec.coordination ~n:5 in
   let plan = Cheaptalk.Compile.plan_exn ~spec ~theorem:Cheaptalk.Compile.T41 ~k:0 ~t:1 () in
-  let saved = !Cheaptalk.Verify.check_runs in
-  Cheaptalk.Verify.check_runs := true;
-  Fun.protect
-    ~finally:(fun () -> Cheaptalk.Verify.check_runs := saved)
-    (fun () ->
-      let r =
-        Cheaptalk.Verify.run_once plan ~types:(Array.make 5 0)
-          ~scheduler:(Sim.Scheduler.fifo ()) ~seed:1
-      in
-      Alcotest.(check bool) "linted run completes" true (Array.length r.Cheaptalk.Verify.actions = 5))
+  let r =
+    Cheaptalk.Verify.run_once ~check_runs:true plan ~types:(Array.make 5 0)
+      ~scheduler:(Sim.Scheduler.fifo ()) ~seed:1
+  in
+  Alcotest.(check bool) "linted run completes" true (Array.length r.Cheaptalk.Verify.actions = 5)
 
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 

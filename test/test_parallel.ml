@@ -1,0 +1,242 @@
+(* The differential parallel-vs-sequential harness (ISSUE 2).
+
+   The paper's guarantees are distributional, so the experiment tables
+   ARE the reproduction's evidence: parallelizing the Monte-Carlo loops
+   is only admissible if it provably changes nothing. Enforced here:
+
+   - Pool.map_seeded is a pure function of the seed range — invariant
+     under domain count and chunk size (qcheck property);
+   - every experiment table (rows + verdict) is byte-identical between
+     -j 1 and -j 4 at the Smoke budget;
+   - compiled plans are domain-safe: concurrent runs in separate domains
+     reproduce the single-domain run bit-for-bit (qcheck property over
+     seeds — catches hidden cross-run globals in lib/sim / lib/mpc);
+   - the run linter still works under -j > 1: clean plans lint clean
+     from worker domains, and a seeded effect-discipline bug raised in a
+     worker domain propagates to the submitter (regression for the
+     Verify.check_runs global-ref removal). *)
+
+module Pool = Parallel.Pool
+module Common = Experiments.Common
+module Verify = Cheaptalk.Verify
+module Compile = Cheaptalk.Compile
+module Spec = Mediator.Spec
+module F = Analysis.Finding
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Pool.map_seeded *)
+
+(* a deterministic, seed-dependent payload with some work in it *)
+let payload s =
+  let h = ref s in
+  for i = 1 to 50 do
+    h := (!h * 1103515245) + 12345 + i
+  done;
+  (s, !h land 0xFFFFFF)
+
+let prop_map_seeded_invariant =
+  QCheck.Test.make ~count:25 ~name:"map_seeded invariant under domains and chunk"
+    QCheck.(triple (int_bound 60) (int_bound 4) (int_bound 6))
+    (fun (len, domains, chunk) ->
+      let lo = 17 in
+      let expect = Array.init len (fun i -> payload (lo + i)) in
+      Pool.with_pool ~domains:(1 + domains) (fun pool ->
+          Pool.map_seeded ~chunk:(1 + chunk) ~pool ~seeds:(lo, lo + len) payload = expect))
+
+let test_map_seeded_empty () =
+  Pool.with_pool ~domains:3 (fun pool ->
+      Alcotest.(check int) "empty range" 0
+        (Array.length (Pool.map_seeded ~pool ~seeds:(5, 5) payload)))
+
+let test_pool_exception_propagates () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      match Pool.map_seeded ~chunk:3 ~pool ~seeds:(0, 100) (fun s ->
+                if s = 57 then failwith "boom at 57" else s)
+      with
+      | _ -> Alcotest.fail "expected the worker exception to propagate"
+      | exception Failure msg -> Alcotest.(check string) "exn carried" "boom at 57" msg)
+
+let test_pool_reusable_after_failure () =
+  (* a failed job must not wedge the workers for the next one *)
+  Pool.with_pool ~domains:4 (fun pool ->
+      (try ignore (Pool.map_seeded ~pool ~seeds:(0, 50) (fun _ -> failwith "die")) with
+      | Failure _ -> ());
+      let r = Pool.map_seeded ~pool ~seeds:(0, 50) (fun s -> s * s) in
+      Alcotest.(check int) "pool still works" (49 * 49) r.(49))
+
+(* ------------------------------------------------------------------ *)
+(* Verify measurement loops: pool must not change the numbers *)
+
+let plan_coord =
+  Compile.plan_exn ~spec:(Spec.coordination ~n:5) ~theorem:Compile.T41 ~k:0 ~t:1 ()
+
+let plan_majority =
+  Compile.plan_exn ~spec:(Spec.majority_match ~n:5) ~theorem:Compile.T41 ~k:0 ~t:1 ()
+
+let test_expected_utilities_pool_invariant () =
+  let seq =
+    Verify.expected_utilities plan_majority ~samples:12 ~scheduler_of:Common.scheduler_of
+      ~seed:7 ()
+  in
+  Pool.with_pool ~domains:3 (fun pool ->
+      let par =
+        Verify.expected_utilities ~pool plan_majority ~samples:12
+          ~scheduler_of:Common.scheduler_of ~seed:7 ()
+      in
+      Alcotest.(check (array (float 0.0))) "utilities bit-identical" seq par)
+
+let test_implementation_distance_pool_invariant () =
+  let types = Array.make 5 0 in
+  let seq =
+    Verify.implementation_distance plan_coord ~types ~samples:10
+      ~scheduler_of:Common.scheduler_of ~seed:11
+  in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let par =
+        Verify.implementation_distance ~pool plan_coord ~types ~samples:10
+          ~scheduler_of:Common.scheduler_of ~seed:11
+      in
+      Alcotest.(check (float 0.0)) "distance bit-identical" seq par)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment tables: byte-identical between -j 1 and -j 4 *)
+
+let experiments : (string * (Common.ctx -> Common.table)) list =
+  [
+    ("e1", Experiments.E1.run);
+    ("e2", Experiments.E2.run);
+    ("e3", Experiments.E3.run);
+    ("e4", Experiments.E4.run);
+    ("e5", Experiments.E5.run);
+    ("e6", Experiments.E6.run);
+    ("e7", Experiments.E7.run);
+    ("e8", Experiments.E8.run);
+    ("e9", Experiments.E9.run);
+    ("e10", Experiments.E10.run);
+    ("a1", Experiments.A1.run);
+  ]
+
+let table_repr (t : Common.table) = Common.to_csv t ^ "|" ^ t.Common.verdict
+
+let differential_case (id, run) =
+  Alcotest.test_case id `Slow (fun () ->
+      let seq = run (Common.ctx Common.Smoke) in
+      let par =
+        Pool.with_pool ~domains:4 (fun pool -> run (Common.ctx ~pool Common.Smoke))
+      in
+      Alcotest.(check string)
+        (id ^ ": table byte-identical between -j 1 and -j 4")
+        (table_repr seq) (table_repr par))
+
+(* ------------------------------------------------------------------ *)
+(* Domain safety of compiled plans *)
+
+let run_digest plan seed =
+  let n = plan.Compile.spec.Spec.game.Games.Game.n in
+  let r =
+    Verify.run_once plan ~types:(Array.make n 0)
+      ~scheduler:(Sim.Scheduler.random_seeded seed) ~seed
+  in
+  ( Array.to_list r.Verify.actions,
+    r.Verify.outcome.Sim.Types.messages_sent,
+    r.Verify.outcome.Sim.Types.steps,
+    r.Verify.deadlocked )
+
+let prop_concurrent_plans_match =
+  QCheck.Test.make ~count:8 ~name:"two plans in concurrent domains match single-domain runs"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let expect_a = run_digest plan_coord seed in
+      let expect_b = run_digest plan_majority seed in
+      let da = Domain.spawn (fun () -> run_digest plan_coord seed) in
+      let db = Domain.spawn (fun () -> run_digest plan_majority seed) in
+      let got_a = Domain.join da and got_b = Domain.join db in
+      got_a = expect_a && got_b = expect_b)
+
+(* ------------------------------------------------------------------ *)
+(* Linting from worker domains *)
+
+let test_lint_clean_plan_across_domains () =
+  (* check_runs=true travels with the job: every trial in every worker
+     domain is linted, and a clean plan stays clean *)
+  Pool.with_pool ~domains:4 (fun pool ->
+      let digests =
+        Verify.map_trials ~pool ~samples:8 ~seed:3 (fun seed ->
+            let r =
+              Verify.run_once ~check_runs:true plan_coord ~types:(Array.make 5 0)
+                ~scheduler:(Common.scheduler_of seed) ~seed
+            in
+            Array.length r.Verify.actions)
+      in
+      Alcotest.(check (array int)) "all trials linted and completed" (Array.make 8 5) digests)
+
+let inert : (int, int) Sim.Types.process =
+  Sim.Types.
+    { start = (fun () -> []); receive = (fun ~src:_ _ -> []); will = (fun () -> None) }
+
+let test_seeded_bug_caught_in_worker_domain () =
+  (* the same fail-fast hook Verify applies under check_runs, driven
+     from worker domains on a fixture with a seeded effect-discipline
+     bug (send after halt): the Failure must cross the domain boundary *)
+  let rogue_trial _seed =
+    let bad = { inert with Sim.Types.start = (fun () -> Sim.Types.[ Halt; Send (1, 0) ]) } in
+    let o = Sim.Runner.run (Sim.Runner.config ~scheduler:(Sim.Scheduler.fifo ()) [| bad; inert |]) in
+    match F.errors (Analysis.check_run o) with
+    | [] -> ()
+    | f :: _ -> failwith (Format.asprintf "lint: %a" F.pp f)
+  in
+  Pool.with_pool ~domains:4 (fun pool ->
+      match Pool.map_seeded ~pool ~seeds:(0, 16) rogue_trial with
+      | _ -> Alcotest.fail "seeded bug not caught in worker domain"
+      | exception Failure msg ->
+          Alcotest.(check bool) "lint failure surfaced" true (contains ~needle:"lint" msg))
+
+let test_race_fixture_caught_in_worker_domain () =
+  (* ctmed lint's --seeded-bug fixture, analyzed inside a worker domain *)
+  let findings =
+    Pool.with_pool ~domains:2 (fun pool ->
+        Pool.map_seeded ~pool ~seeds:(0, 2) (fun _ ->
+            Analysis.Race.findings (Analysis.Race.analyze ~make:Analysis.Fixtures.order_bug ())))
+  in
+  Array.iter
+    (fun fs ->
+      Alcotest.(check bool) "order-bug flagged from a worker domain" true (F.errors fs <> []))
+    findings
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "empty range" `Quick test_map_seeded_empty;
+          Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "reusable after failure" `Quick test_pool_reusable_after_failure;
+        ]
+        @ qsuite [ prop_map_seeded_invariant ] );
+      ( "verify-invariance",
+        [
+          Alcotest.test_case "expected_utilities" `Quick test_expected_utilities_pool_invariant;
+          Alcotest.test_case "implementation_distance" `Quick
+            test_implementation_distance_pool_invariant;
+        ] );
+      ("tables-differential", List.map differential_case experiments);
+      ("domain-safety", qsuite [ prop_concurrent_plans_match ]);
+      ( "lint-under-j",
+        [
+          Alcotest.test_case "clean plan lints clean across domains" `Quick
+            test_lint_clean_plan_across_domains;
+          Alcotest.test_case "seeded bug caught in worker domain" `Quick
+            test_seeded_bug_caught_in_worker_domain;
+          Alcotest.test_case "race fixture caught in worker domain" `Quick
+            test_race_fixture_caught_in_worker_domain;
+        ] );
+    ]
