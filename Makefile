@@ -36,6 +36,17 @@ bench-full:
 bench-csv:
 	dune exec bench/main.exe -- csv
 
+# Machine-readable metrics: run the smoke budget in json mode (exits
+# non-zero if a message count exceeds its O(nNc) bound), then check that
+# BENCH_smoke.json actually carries every experiment plus the fit.
+bench-json:
+	dune exec bench/main.exe -- smoke json
+	@for key in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 a1 complexity; do \
+	  grep -q "\"$$key\"" BENCH_smoke.json \
+	    || { echo "bench-json: BENCH_smoke.json is missing \"$$key\"" >&2; exit 1; }; \
+	done
+	@echo "bench-json: BENCH_smoke.json ok"
+
 examples:
 	dune exec examples/quickstart.exe
 	dune exec examples/byzantine_agreement.exe
@@ -46,4 +57,4 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all build lint par-check test test-verbose bench bench-full bench-csv examples clean
+.PHONY: all build lint par-check test test-verbose bench bench-full bench-csv bench-json examples clean

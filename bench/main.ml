@@ -8,6 +8,9 @@
      dune exec bench/main.exe -- e1 e5     -- selected experiments
      dune exec bench/main.exe -- micro     -- only the Bechamel benches
      dune exec bench/main.exe -- csv       -- also write results/<id>.csv
+     dune exec bench/main.exe -- json      -- also write BENCH_<budget>.json
+                                              (metrics + complexity check; exits 1
+                                              if a message bound is violated)
      dune exec bench/main.exe -- lint e3   -- lint every simulator run while measuring
      dune exec bench/main.exe -- -j 4      -- shard trials over 4 domains
      dune exec bench/main.exe -- -j 4 diff -- also rerun at -j 1, check the tables are
@@ -16,7 +19,9 @@
    -j defaults to Domain.recommended_domain_count (1 means sequential).
    Tables are a pure function of the budget: -j changes wall-clock only
    (the determinism contract of DESIGN.md section 9, enforced by
-   test/test_parallel.ml). *)
+   test/test_parallel.ml). The deterministic metric counters obey the
+   same contract (DESIGN.md section 10), so diff compares them too;
+   wall-clock and GC words are environmental and excluded. *)
 
 let experiments : (string * (Experiments.Common.ctx -> Experiments.Common.table)) list =
   [
@@ -34,38 +39,78 @@ let experiments : (string * (Experiments.Common.ctx -> Experiments.Common.table)
   ]
 
 let table_repr (t : Experiments.Common.table) =
-  Experiments.Common.to_csv t ^ t.Experiments.Common.verdict
+  let metrics =
+    match t.Experiments.Common.metrics with
+    | None -> ""
+    | Some m -> "\n" ^ Obs.Metrics.det_repr m
+  in
+  Experiments.Common.to_csv t ^ t.Experiments.Common.verdict ^ metrics
+
+let table_to_json ~wall_clock (t : Experiments.Common.table) =
+  Obs.Json.Obj
+    [
+      ("id", Obs.Json.String t.Experiments.Common.id);
+      ("title", Obs.Json.String t.Experiments.Common.title);
+      ("claim", Obs.Json.String t.Experiments.Common.claim);
+      ( "header",
+        Obs.Json.List (List.map (fun h -> Obs.Json.String h) t.Experiments.Common.header) );
+      ( "rows",
+        Obs.Json.List
+          (List.map
+             (fun row -> Obs.Json.List (List.map (fun c -> Obs.Json.String c) row))
+             t.Experiments.Common.rows) );
+      ("verdict", Obs.Json.String t.Experiments.Common.verdict);
+      ( "metrics",
+        match t.Experiments.Common.metrics with
+        | None -> Obs.Json.Null
+        | Some m -> Obs.Metrics.to_json m );
+      ( "complexity",
+        Obs.Json.List (List.map Obs.Complexity.point_to_json t.Experiments.Common.complexity)
+      );
+      ("wall_clock_s", Obs.Json.Float wall_clock);
+    ]
+
+let usage_exit msg =
+  prerr_endline msg;
+  prerr_endline "usage: main.exe [smoke|quick|full] [csv] [json] [lint] [diff] [-j N] [ids...]";
+  exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* pull "-j N" (or "-jN") out of the argument list *)
   let jobs = ref (Domain.recommended_domain_count ()) in
+  let set_jobs n =
+    if n < 1 then usage_exit (Printf.sprintf "-j %d: job count must be >= 1" n);
+    jobs := n
+  in
   let rec strip_j acc = function
     | [] -> List.rev acc
     | "-j" :: n :: rest -> (
         match int_of_string_opt n with
         | Some n ->
-            jobs := n;
+            set_jobs n;
             strip_j acc rest
-        | None -> failwith "usage: -j N")
+        | None -> usage_exit (Printf.sprintf "-j %s: not an integer" n))
+    | [ "-j" ] -> usage_exit "-j: missing job count"
     | arg :: rest when String.length arg > 2 && String.sub arg 0 2 = "-j" -> (
         match int_of_string_opt (String.sub arg 2 (String.length arg - 2)) with
         | Some n ->
-            jobs := n;
+            set_jobs n;
             strip_j acc rest
-        | None -> failwith "usage: -j N")
+        | None -> usage_exit (Printf.sprintf "%s: not an integer job count" arg))
     | arg :: rest -> strip_j (arg :: acc) rest
   in
   let args = strip_j [] args in
-  let budget =
-    if List.mem "full" args then Experiments.Common.Full
-    else if List.mem "smoke" args then Experiments.Common.Smoke
-    else Experiments.Common.Quick
+  let budget, budget_name =
+    if List.mem "full" args then (Experiments.Common.Full, "full")
+    else if List.mem "smoke" args then (Experiments.Common.Smoke, "smoke")
+    else (Experiments.Common.Quick, "quick")
   in
   let csv = List.mem "csv" args in
+  let json = List.mem "json" args in
   let lint = List.mem "lint" args in
   let diff = List.mem "diff" args in
-  let keywords = [ "full"; "smoke"; "csv"; "lint"; "diff" ] in
+  let keywords = [ "full"; "quick"; "smoke"; "csv"; "json"; "lint"; "diff" ] in
   let selected = List.filter (fun a -> not (List.mem a keywords)) args in
   let want id = selected = [] || List.mem id selected in
   let check_runs = lint || Cheaptalk.Verify.default_check_runs in
@@ -74,6 +119,7 @@ let () =
   let seq_ctx = Experiments.Common.ctx ~check_runs budget in
   let j = Parallel.Pool.domains pool in
   let mismatches = ref [] in
+  let json_tables = ref [] in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun (id, run) ->
@@ -83,6 +129,7 @@ let () =
         let dt = Unix.gettimeofday () -. t in
         Experiments.Common.print_table table;
         if csv then Experiments.Common.write_csv ~dir:"results" table;
+        if json then json_tables := (id, table, dt) :: !json_tables;
         if diff then begin
           let t1 = Unix.gettimeofday () in
           let seq_table = run seq_ctx in
@@ -97,11 +144,43 @@ let () =
       end)
     experiments;
   if want "micro" then Experiments.Micro.run ();
-  Printf.printf "\nTotal: %.1fs (-j %d)\n" (Unix.gettimeofday () -. t0) j;
+  let total = Unix.gettimeofday () -. t0 in
+  Printf.printf "\nTotal: %.1fs (-j %d)\n" total j;
   Parallel.Pool.shutdown pool;
-  match !mismatches with
+  let bound_violated = ref false in
+  if json then begin
+    let tables = List.rev !json_tables in
+    let points =
+      List.concat_map (fun (_, t, _) -> t.Experiments.Common.complexity) tables
+    in
+    let fit = Obs.Complexity.fit points in
+    if not (Obs.Complexity.ok fit) then bound_violated := true;
+    let doc =
+      Obs.Json.Obj
+        [
+          ("budget", Obs.Json.String budget_name);
+          ("jobs", Obs.Json.Int j);
+          ("total_wall_clock_s", Obs.Json.Float total);
+          ( "experiments",
+            Obs.Json.Obj
+              (List.map
+                 (fun (id, t, dt) -> (id, table_to_json ~wall_clock:dt t))
+                 tables) );
+          ("complexity", Obs.Complexity.fit_to_json fit);
+        ]
+    in
+    let path = Printf.sprintf "BENCH_%s.json" budget_name in
+    Obs.Json.to_file path doc;
+    Printf.printf "wrote %s (%s)\n" path
+      (Format.asprintf "%a" Obs.Complexity.pp_fit fit)
+  end;
+  (match !mismatches with
   | [] -> ()
   | ids ->
       Printf.eprintf "diff: tables differ between -j %d and -j 1: %s\n" j
         (String.concat " " (List.rev ids));
-      exit 1
+      exit 1);
+  if !bound_violated then begin
+    Printf.eprintf "complexity: a message count exceeded its O(nNc) bound\n";
+    exit 1
+  end

@@ -59,7 +59,13 @@ let run_cmd =
   let k_arg = Arg.(value & opt int 0 & info [ "k" ] ~doc:"rational deviators tolerated") in
   let t_arg = Arg.(value & opt int 1 & info [ "t" ] ~doc:"malicious players tolerated") in
   let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"run seed") in
-  let run spec_name theorem k t seed =
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"print the run's observability record (message classes, steps, fallbacks)")
+  in
+  let run spec_name theorem k t seed metrics =
     match List.assoc_opt spec_name specs with
     | None ->
         Printf.eprintf "unknown spec %s (try: ctmed list)\n" spec_name;
@@ -84,10 +90,12 @@ let run_cmd =
                  (Array.to_list (Array.map string_of_int r.Cheaptalk.Verify.actions)));
             Printf.printf "messages: %d, delivery steps: %d, deadlocked: %b\n"
               (Cheaptalk.Verify.messages_used r)
-              r.Cheaptalk.Verify.outcome.Sim.Types.steps r.Cheaptalk.Verify.deadlocked)
+              r.Cheaptalk.Verify.outcome.Sim.Types.steps r.Cheaptalk.Verify.deadlocked;
+            if metrics then
+              Format.printf "%a@." Obs.Metrics.pp (Cheaptalk.Verify.metrics r))
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ spec_arg $ theorem_arg $ k_arg $ t_arg $ seed_arg)
+    Term.(const run $ spec_arg $ theorem_arg $ k_arg $ t_arg $ seed_arg $ metrics_arg)
 
 (* --- experiment --- *)
 
@@ -113,6 +121,10 @@ let experiment_cmd =
              count; tables are byte-identical at any value)")
   in
   let run ids full lint_runs jobs =
+    if jobs < 1 then begin
+      Printf.eprintf "ctmed experiment: --jobs %d: job count must be >= 1\n" jobs;
+      exit 2
+    end;
     let budget = if full then Experiments.Common.Full else Experiments.Common.Quick in
     let check_runs = lint_runs || Cheaptalk.Verify.default_check_runs in
     let want id = ids = [] || List.mem id ids in

@@ -24,6 +24,10 @@ let signalling_scheduler ~on_signal ~inner =
   {
     Sim.Scheduler.name = "signalling+" ^ inner.Sim.Scheduler.name;
     relaxed = inner.Sim.Scheduler.relaxed;
+    reset =
+      (fun () ->
+        last := 0;
+        inner.Sim.Scheduler.reset ());
     choose =
       (fun ~step ~history ~pending ->
         (* Detect bursts from any player: count all self-sends so far and

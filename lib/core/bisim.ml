@@ -59,17 +59,18 @@ let standard_med_adversaries ~n ~coalition =
   in
   (honest_med :: misreports) @ overrides @ mutes @ stops
 
-let ct_outcome_dist ?check_runs ?pool plan ~types adv ~samples ~seed =
-  let actions =
+let ct_outcome_dist ?check_runs ?pool ?metrics plan ~types adv ~samples ~seed =
+  let trials =
     Verify.map_trials ?pool ~samples ~seed (fun seed ->
         let r =
           Verify.run_with ?check_runs plan ~types ~scheduler:(adv.ct_scheduler seed) ~seed
             ~replace:(adv.ct_replace ~seed)
         in
-        r.Verify.actions)
+        (r.Verify.actions, Verify.metrics r))
   in
+  Verify.fold_metrics metrics trials;
   let emp = Dist.Empirical.create () in
-  Array.iter (Dist.Empirical.add emp) actions;
+  Array.iter (fun (actions, _) -> Dist.Empirical.add emp actions) trials;
   Dist.Empirical.to_dist emp
 
 (* One mediator-game history with the structured deviations applied. *)
@@ -118,30 +119,34 @@ let med_run plan ~types ~rounds adv ~seed =
   in
   let o = Sim.Runner.run (Sim.Runner.config ~mediator:n ~scheduler procs) in
   let willed = Sim.Runner.moves_with_wills procs o in
-  Array.init n (fun i ->
-      match o.Sim.Types.moves.(i) with
-      | Some a -> a
-      | None -> (
-          match plan.Compile.approach with
-          | Compile.Ah_wills -> (
-              match willed.(i) with
-              | Some a -> a
-              | None -> (
-                  match spec.Spec.default_move with
-                  | Some d -> d ~player:i ~type_:types.(i)
-                  | None -> 0))
-          | Compile.Default_move -> (
-              match spec.Spec.default_move with
-              | Some d -> d ~player:i ~type_:types.(i)
-              | None -> 0)))
-
-let med_outcome_dist ?pool plan ~types ~rounds adv ~samples ~seed =
   let actions =
+    Array.init n (fun i ->
+        match o.Sim.Types.moves.(i) with
+        | Some a -> a
+        | None -> (
+            match plan.Compile.approach with
+            | Compile.Ah_wills -> (
+                match willed.(i) with
+                | Some a -> a
+                | None -> (
+                    match spec.Spec.default_move with
+                    | Some d -> d ~player:i ~type_:types.(i)
+                    | None -> 0))
+            | Compile.Default_move -> (
+                match spec.Spec.default_move with
+                | Some d -> d ~player:i ~type_:types.(i)
+                | None -> 0)))
+  in
+  (actions, o.Sim.Types.metrics)
+
+let med_outcome_dist ?pool ?metrics plan ~types ~rounds adv ~samples ~seed =
+  let trials =
     Verify.map_trials ?pool ~samples ~seed (fun seed ->
         med_run plan ~types ~rounds adv ~seed)
   in
+  Verify.fold_metrics metrics trials;
   let emp = Dist.Empirical.create () in
-  Array.iter (Dist.Empirical.add emp) actions;
+  Array.iter (fun (actions, _) -> Dist.Empirical.add emp actions) trials;
   Dist.Empirical.to_dist emp
 
 type match_result = {
@@ -162,36 +167,38 @@ let closest target candidates =
     None
     (List.map (fun (name, d) -> (name, Dist.l1 target d)) candidates)
 
-let emulation_radius ?check_runs ?pool plan ~types ~rounds ~ct_family ~med_family ~samples
-    ~seed =
+let emulation_radius ?check_runs ?pool ?metrics plan ~types ~rounds ~ct_family ~med_family
+    ~samples ~seed =
   let med_dists =
     List.map
-      (fun adv -> (adv.med_name, med_outcome_dist ?pool plan ~types ~rounds adv ~samples ~seed))
+      (fun adv ->
+        (adv.med_name, med_outcome_dist ?pool ?metrics plan ~types ~rounds adv ~samples ~seed))
       med_family
   in
   List.map
     (fun ct ->
-      let d = ct_outcome_dist ?check_runs ?pool plan ~types ct ~samples ~seed in
+      let d = ct_outcome_dist ?check_runs ?pool ?metrics plan ~types ct ~samples ~seed in
       match closest d med_dists with
       | Some (name, dist) -> { adversary = ct.ct_name; best_match = name; distance = dist }
       | None -> { adversary = ct.ct_name; best_match = "-"; distance = infinity })
     ct_family
 
-let bisimulation_radius ?check_runs ?pool plan ~types ~rounds ~ct_family ~med_family ~samples
-    ~seed =
+let bisimulation_radius ?check_runs ?pool ?metrics plan ~types ~rounds ~ct_family
+    ~med_family ~samples ~seed =
   let forward =
-    emulation_radius ?check_runs ?pool plan ~types ~rounds ~ct_family ~med_family ~samples
-      ~seed
+    emulation_radius ?check_runs ?pool ?metrics plan ~types ~rounds ~ct_family ~med_family
+      ~samples ~seed
   in
   let ct_dists =
     List.map
-      (fun ct -> (ct.ct_name, ct_outcome_dist ?check_runs ?pool plan ~types ct ~samples ~seed))
+      (fun ct ->
+        (ct.ct_name, ct_outcome_dist ?check_runs ?pool ?metrics plan ~types ct ~samples ~seed))
       ct_family
   in
   let backward =
     List.map
       (fun adv ->
-        let d = med_outcome_dist ?pool plan ~types ~rounds adv ~samples ~seed in
+        let d = med_outcome_dist ?pool ?metrics plan ~types ~rounds adv ~samples ~seed in
         match closest d ct_dists with
         | Some (name, dist) ->
             { adversary = adv.med_name; best_match = name; distance = dist }

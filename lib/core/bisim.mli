@@ -47,13 +47,18 @@ val standard_med_adversaries : n:int -> coalition:int list -> med_adversary list
     coalition — the family quantified over in the experiments. *)
 
 (** The samplers and radii below accept the same [?check_runs] /
-    [?pool] pair as {!Verify}'s measurements: trials are sharded over
-    the pool's domains and folded in seed order, so the distributions
-    (and hence the radii) are identical at every domain count. *)
+    [?pool] / [?metrics] triple as {!Verify}'s measurements: trials are
+    sharded over the pool's domains and folded in seed order, so the
+    distributions (and hence the radii) are identical at every domain
+    count, and each trial's metrics land in the [?metrics] aggregate in
+    seed order on the submitting domain. [bisimulation_radius] samples
+    some adversaries on both sides twice; the aggregate counts every
+    run that actually happened. *)
 
 val ct_outcome_dist :
   ?check_runs:bool ->
   ?pool:Parallel.Pool.t ->
+  ?metrics:Obs.Agg.t ->
   Compile.plan ->
   types:int array ->
   ct_adversary ->
@@ -63,6 +68,7 @@ val ct_outcome_dist :
 
 val med_outcome_dist :
   ?pool:Parallel.Pool.t ->
+  ?metrics:Obs.Agg.t ->
   Compile.plan ->
   types:int array ->
   rounds:int ->
@@ -86,6 +92,7 @@ val pp_match : Format.formatter -> match_result -> unit
 val emulation_radius :
   ?check_runs:bool ->
   ?pool:Parallel.Pool.t ->
+  ?metrics:Obs.Agg.t ->
   Compile.plan ->
   types:int array ->
   rounds:int ->
@@ -100,6 +107,7 @@ val emulation_radius :
 val bisimulation_radius :
   ?check_runs:bool ->
   ?pool:Parallel.Pool.t ->
+  ?metrics:Obs.Agg.t ->
   Compile.plan ->
   types:int array ->
   rounds:int ->

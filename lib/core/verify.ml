@@ -60,6 +60,8 @@ let run_with ?(check_runs = default_check_runs) p ~types ~scheduler ~seed ~repla
 let run_once ?check_runs p ~types ~scheduler ~seed =
   run_with ?check_runs p ~types ~scheduler ~seed ~replace:(fun _ -> None)
 
+let metrics r = r.outcome.Sim.Types.metrics
+
 (* Shard the trial seeds [seed, seed + samples) over the pool (in the
    calling domain when [pool] is absent). Each trial must be a pure
    function of its seed; results come back in seed order, so every fold
@@ -69,21 +71,34 @@ let map_trials ?pool ~samples ~seed f =
   | None -> Array.init samples (fun s -> f (seed + s))
   | Some pool -> Parallel.Pool.map_seeded ~pool ~seeds:(seed, seed + samples) f
 
-let empirical_action_dist ?check_runs ?pool p ~types ~samples ~scheduler_of ~seed =
-  let actions =
+(* Trials return their metrics alongside the measured value; only the
+   submitting domain folds them into [agg], in seed order — the
+   determinism contract's extension to observability (DESIGN.md §10). *)
+let fold_metrics agg results =
+  match agg with
+  | None -> ()
+  | Some agg -> Array.iter (fun (_, m) -> Obs.Agg.add agg m) results
+
+let empirical_action_dist ?check_runs ?pool ?metrics:agg p ~types ~samples ~scheduler_of
+    ~seed =
+  let trials =
     map_trials ?pool ~samples ~seed (fun s ->
-        (run_once ?check_runs p ~types ~scheduler:(scheduler_of s) ~seed:s).actions)
+        let r = run_once ?check_runs p ~types ~scheduler:(scheduler_of s) ~seed:s in
+        (r.actions, metrics r))
   in
+  fold_metrics agg trials;
   let emp = Dist.Empirical.create () in
-  Array.iter (Dist.Empirical.add emp) actions;
+  Array.iter (fun (actions, _) -> Dist.Empirical.add emp actions) trials;
   Dist.Empirical.to_dist emp
 
-let implementation_distance ?check_runs ?pool p ~types ~samples ~scheduler_of ~seed =
+let implementation_distance ?check_runs ?pool ?metrics p ~types ~samples ~scheduler_of ~seed
+    =
   match Mediator.Measure.exact_action_dist p.Compile.spec ~types with
   | None -> invalid_arg "Verify.implementation_distance: randomness not enumerable"
   | Some exact ->
       let empirical =
-        empirical_action_dist ?check_runs ?pool p ~types ~samples ~scheduler_of ~seed
+        empirical_action_dist ?check_runs ?pool ?metrics p ~types ~samples ~scheduler_of
+          ~seed
       in
       Dist.l1 exact empirical
 
@@ -95,7 +110,7 @@ let draw_types (game : Games.Game.t) rng =
   in
   pick 0.0 game.Games.Game.type_dist
 
-let expected_utilities ?check_runs ?pool p ~samples ~scheduler_of ~seed
+let expected_utilities ?check_runs ?pool ?metrics:agg p ~samples ~scheduler_of ~seed
     ?(replace = fun _ -> None) () =
   let game = p.Compile.spec.Spec.game in
   let n = game.Games.Game.n in
@@ -106,11 +121,12 @@ let expected_utilities ?check_runs ?pool p ~samples ~scheduler_of ~seed
         let rng = Random.State.make [| 0xFEED; seed; s |] in
         let types = draw_types game rng in
         let r = run_with ?check_runs p ~types ~scheduler:(scheduler_of s) ~seed:s ~replace in
-        game.Games.Game.utility ~types ~actions:r.actions)
+        (game.Games.Game.utility ~types ~actions:r.actions, metrics r))
   in
+  fold_metrics agg utils;
   let totals = Array.make n 0.0 in
   Array.iter
-    (fun u ->
+    (fun (u, _) ->
       for i = 0 to n - 1 do
         totals.(i) <- totals.(i) +. u.(i)
       done)

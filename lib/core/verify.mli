@@ -47,6 +47,9 @@ val run_with :
 (** Like {!run_once} but [replace pid] may substitute an adversarial
     process for player [pid] (honest when it returns [None]). *)
 
+val metrics : run -> Obs.Metrics.t
+(** The run's observability record (see [Obs.Metrics]). *)
+
 val actions_of :
   Compile.plan -> types:int array -> procs:(Mpc.Engine.msg, int) Sim.Types.process array ->
   int Sim.Types.outcome -> int array
@@ -61,7 +64,13 @@ val actions_of :
     byte-identical at every domain count and chunk size. [scheduler_of]
     must return a fresh scheduler per seed when a pool is used — a
     shared stateful scheduler would race across domains (and already
-    breaks seed-determinism sequentially). *)
+    breaks seed-determinism sequentially).
+
+    They also accept an optional [?metrics] aggregate: each trial's
+    per-run metrics travel back with its result and the submitting
+    domain folds them into the aggregate in seed order — worker domains
+    never touch it, so the deterministic counters obey the same
+    any-[-j] byte-identity as the measurements themselves. *)
 
 val map_trials :
   ?pool:Parallel.Pool.t -> samples:int -> seed:int -> (int -> 'a) -> 'a array
@@ -71,9 +80,17 @@ val map_trials :
     otherwise. The building block for every measurement below and for
     the experiments' hand-rolled sweeps. *)
 
+val fold_metrics : Obs.Agg.t option -> ('a * Obs.Metrics.t) array -> unit
+(** [fold_metrics agg trials] adds each trial's metrics into [agg] (a
+    no-op when [None]), walking the array left to right. Because
+    {!map_trials} returns results in seed order, calling this on its
+    result from the submitting domain preserves the determinism
+    contract — the pattern every [?metrics]-taking measurement uses. *)
+
 val empirical_action_dist :
   ?check_runs:bool ->
   ?pool:Parallel.Pool.t ->
+  ?metrics:Obs.Agg.t ->
   Compile.plan ->
   types:int array ->
   samples:int ->
@@ -84,6 +101,7 @@ val empirical_action_dist :
 val implementation_distance :
   ?check_runs:bool ->
   ?pool:Parallel.Pool.t ->
+  ?metrics:Obs.Agg.t ->
   Compile.plan ->
   types:int array ->
   samples:int ->
@@ -97,6 +115,7 @@ val implementation_distance :
 val expected_utilities :
   ?check_runs:bool ->
   ?pool:Parallel.Pool.t ->
+  ?metrics:Obs.Agg.t ->
   Compile.plan ->
   samples:int ->
   scheduler_of:(int -> Sim.Scheduler.t) ->

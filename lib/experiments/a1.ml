@@ -34,11 +34,11 @@ let aba_run ~coin_of ~proposal ~seed =
     Sim.Runner.run
       (Sim.Runner.config ~max_steps:500_000 ~scheduler:(Sim.Scheduler.random_seeded seed) procs)
   in
-  (o.Sim.Types.messages_sent, !rounds_seen)
+  ((o.Sim.Types.messages_sent, !rounds_seen), o.Sim.Types.metrics)
 
-let aba_stats ctx ~name ~coin_of ~proposal ~detail ~samples =
+let aba_stats ctx ~m ~name ~coin_of ~proposal ~detail ~samples =
   let per_seed =
-    Common.map_trials ctx ~samples ~seed:0 (fun seed ->
+    Common.map_trials_m ctx ~m ~samples ~seed:0 (fun seed ->
         aba_run ~coin_of:(coin_of seed) ~proposal ~seed)
   in
   let msgs = Array.fold_left (fun acc (m, _) -> acc + m) 0 per_seed in
@@ -89,6 +89,7 @@ let reconstruction_stats ctx ~samples =
   ]
 
 let run ctx =
+  let m = Obs.Agg.create () in
   let samples = Common.samples ctx.Common.budget 15 in
   let common seed me = ignore me; Coin.common ~seed ~instance:0
   and optimistic seed me = ignore me; Coin.optimistic ~seed ~instance:0
@@ -97,17 +98,17 @@ let run ctx =
   let mixed me = me mod 2 = 0 in
   let rows =
     [
-      aba_stats ctx ~name:"optimistic (default)" ~coin_of:optimistic ~proposal:unanimous
+      aba_stats ctx ~m ~name:"optimistic (default)" ~coin_of:optimistic ~proposal:unanimous
         ~detail:"unanimous true" ~samples;
-      aba_stats ctx ~name:"pseudo-random common" ~coin_of:common ~proposal:unanimous
+      aba_stats ctx ~m ~name:"pseudo-random common" ~coin_of:common ~proposal:unanimous
         ~detail:"unanimous true" ~samples;
-      aba_stats ctx ~name:"Ben-Or local" ~coin_of:local ~proposal:unanimous
+      aba_stats ctx ~m ~name:"Ben-Or local" ~coin_of:local ~proposal:unanimous
         ~detail:"unanimous true" ~samples;
-      aba_stats ctx ~name:"optimistic (default)" ~coin_of:optimistic ~proposal:mixed
+      aba_stats ctx ~m ~name:"optimistic (default)" ~coin_of:optimistic ~proposal:mixed
         ~detail:"mixed proposals" ~samples;
-      aba_stats ctx ~name:"pseudo-random common" ~coin_of:common ~proposal:mixed
+      aba_stats ctx ~m ~name:"pseudo-random common" ~coin_of:common ~proposal:mixed
         ~detail:"mixed proposals" ~samples;
-      aba_stats ctx ~name:"Ben-Or local" ~coin_of:local ~proposal:mixed
+      aba_stats ctx ~m ~name:"Ben-Or local" ~coin_of:local ~proposal:mixed
         ~detail:"mixed proposals" ~samples;
     ]
     @ reconstruction_stats ctx ~samples:(samples * 4)
@@ -129,4 +130,6 @@ let run ctx =
     verdict =
       (if ok then "PASS: design choices earn their cost"
        else "FAIL: an ablation contradicts the design rationale");
+    metrics = Common.metrics_of m;
+    complexity = [];
   }

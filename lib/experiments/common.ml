@@ -5,6 +5,8 @@ type table = {
   header : string list;
   rows : string list list;
   verdict : string;
+  metrics : Obs.Metrics.t option;
+  complexity : Obs.Complexity.point list;
 }
 
 let pad width s =
@@ -27,6 +29,14 @@ let print_table t =
   Printf.printf "%s\n" (line t.header);
   Printf.printf "%s\n" (String.make (String.length (line t.header)) '-');
   List.iter (fun row -> Printf.printf "%s\n" (line row)) t.rows;
+  (match t.metrics with
+  | None -> ()
+  | Some m -> Printf.printf "\n%s\n" (Obs.Metrics.summary_line m));
+  (match t.complexity with
+  | [] -> ()
+  | points ->
+      let fit = Obs.Complexity.fit points in
+      Printf.printf "%s\n" (Format.asprintf "%a" Obs.Complexity.pp_fit fit));
   Printf.printf "\n>> %s\n" t.verdict
 
 let csv_cell s =
@@ -69,14 +79,24 @@ let map_trials ctx ~samples ~seed f =
 let sum_trials ctx ~samples ~seed f =
   Array.fold_left ( +. ) 0.0 (map_trials ctx ~samples ~seed f)
 
-let honest_utilities ctx plan ~samples ~seed =
-  Cheaptalk.Verify.expected_utilities ~check_runs:ctx.check_runs ~pool:ctx.pool plan ~samples
-    ~scheduler_of ~seed ()
+let map_trials_m ctx ~m ~samples ~seed f =
+  let trials = map_trials ctx ~samples ~seed f in
+  Cheaptalk.Verify.fold_metrics (Some m) trials;
+  Array.map fst trials
 
-let utilities_with ctx plan ~samples ~seed ~replace =
-  Cheaptalk.Verify.expected_utilities ~check_runs:ctx.check_runs ~pool:ctx.pool plan ~samples
-    ~scheduler_of ~seed ~replace ()
+let sum_trials_m ctx ~m ~samples ~seed f =
+  Array.fold_left ( +. ) 0.0 (map_trials_m ctx ~m ~samples ~seed f)
 
-let implementation_distance ctx plan ~types ~samples ~seed =
-  Cheaptalk.Verify.implementation_distance ~check_runs:ctx.check_runs ~pool:ctx.pool plan
-    ~types ~samples ~scheduler_of ~seed
+let metrics_of agg = if Obs.Agg.count agg = 0 then None else Some (Obs.Agg.total agg)
+
+let honest_utilities ?m ctx plan ~samples ~seed =
+  Cheaptalk.Verify.expected_utilities ~check_runs:ctx.check_runs ~pool:ctx.pool ?metrics:m
+    plan ~samples ~scheduler_of ~seed ()
+
+let utilities_with ?m ctx plan ~samples ~seed ~replace =
+  Cheaptalk.Verify.expected_utilities ~check_runs:ctx.check_runs ~pool:ctx.pool ?metrics:m
+    plan ~samples ~scheduler_of ~seed ~replace ()
+
+let implementation_distance ?m ctx plan ~types ~samples ~seed =
+  Cheaptalk.Verify.implementation_distance ~check_runs:ctx.check_runs ~pool:ctx.pool
+    ?metrics:m plan ~types ~samples ~scheduler_of ~seed

@@ -10,9 +10,19 @@ type table = {
   header : string list;
   rows : string list list;
   verdict : string;  (** one-line pass/fail style summary *)
+  metrics : Obs.Metrics.t option;
+      (** aggregate message/step counters over every simulator run the
+          experiment performed — deterministic fields are a pure
+          function of [budget], like the rows (DESIGN.md section 10) *)
+  complexity : Obs.Complexity.point list;
+      (** observed message counts against the compiled plans' O(nNc)
+          bounds, when the experiment sweeps protocol sizes *)
 }
 
 val print_table : table -> unit
+(** Render the table; when [metrics] / [complexity] are present, a
+    metrics summary line and the fitted complexity envelope are printed
+    between the rows and the verdict. *)
 
 val to_csv : table -> string
 (** Header + rows as RFC-4180-ish CSV (cells quoted when needed). *)
@@ -60,10 +70,27 @@ val map_trials : ctx -> samples:int -> seed:int -> (int -> 'a) -> 'a array
 val sum_trials : ctx -> samples:int -> seed:int -> (int -> float) -> float
 (** Sum of [map_trials] results (folded in seed order). *)
 
+val map_trials_m :
+  ctx -> m:Obs.Agg.t -> samples:int -> seed:int -> (int -> 'a * Obs.Metrics.t) -> 'a array
+(** Like {!map_trials} for trials that also report their run metrics:
+    each trial returns [(value, metrics)], the submitting domain folds
+    the metrics into [m] in seed order, and the values come back as an
+    array. The sharded replacement for hand-rolled sweeps that want
+    message counts. *)
+
+val sum_trials_m :
+  ctx -> m:Obs.Agg.t -> samples:int -> seed:int -> (int -> float * Obs.Metrics.t) -> float
+(** Sum of [map_trials_m] values. *)
+
+val metrics_of : Obs.Agg.t -> Obs.Metrics.t option
+(** The aggregate's total, or [None] when no runs were recorded — the
+    value experiments put in their table's [metrics] field. *)
+
 val honest_utilities :
-  ctx -> Cheaptalk.Compile.plan -> samples:int -> seed:int -> float array
+  ?m:Obs.Agg.t -> ctx -> Cheaptalk.Compile.plan -> samples:int -> seed:int -> float array
 
 val utilities_with :
+  ?m:Obs.Agg.t ->
   ctx ->
   Cheaptalk.Compile.plan ->
   samples:int ->
@@ -72,6 +99,7 @@ val utilities_with :
   float array
 
 val implementation_distance :
+  ?m:Obs.Agg.t ->
   ctx -> Cheaptalk.Compile.plan -> types:int array -> samples:int -> seed:int -> float
 
 val scheduler_of : int -> Sim.Scheduler.t

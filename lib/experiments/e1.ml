@@ -46,29 +46,29 @@ let rational_deviations plan deviator seed =
 
 (* Honest minus worst-transformer honest payoff (averaged over honest
    players), >= 0 means immunity held. *)
-let immunity_drop ctx plan ~victim ~samples ~seed =
+let immunity_drop ctx ~m plan ~victim ~samples ~seed =
   let n = plan.Compile.spec.Spec.game.Games.Game.n in
   let honest_ids = List.filter (fun i -> i <> victim) (List.init n (fun i -> i)) in
   let avg u = List.fold_left (fun a i -> a +. u.(i)) 0.0 honest_ids /. float_of_int (List.length honest_ids) in
-  let base = avg (Common.honest_utilities ctx plan ~samples ~seed) in
+  let base = avg (Common.honest_utilities ~m ctx plan ~samples ~seed) in
   let worst = ref 0.0 in
   List.iter
     (fun (_, mk) ->
       let u =
-        Common.utilities_with ctx plan ~samples ~seed ~replace:(fun pid ->
+        Common.utilities_with ~m ctx plan ~samples ~seed ~replace:(fun pid ->
             if pid = victim then Some (mk ()) else None)
       in
       worst := max !worst (base -. avg u))
     (byz_transformers plan victim seed);
   !worst
 
-let best_gain ctx plan ~deviator ~samples ~seed =
-  let base = (Common.honest_utilities ctx plan ~samples ~seed).(deviator) in
+let best_gain ctx ~m plan ~deviator ~samples ~seed =
+  let base = (Common.honest_utilities ~m ctx plan ~samples ~seed).(deviator) in
   let best = ref neg_infinity in
   List.iter
     (fun (_, mk) ->
       let u =
-        Common.utilities_with ctx plan ~samples ~seed ~replace:(fun pid ->
+        Common.utilities_with ~m ctx plan ~samples ~seed ~replace:(fun pid ->
             if pid = deviator then Some (mk ()) else None)
       in
       best := max !best (u.(deviator) -. base))
@@ -76,6 +76,7 @@ let best_gain ctx plan ~deviator ~samples ~seed =
   !best
 
 let run ctx =
+  let m = Obs.Agg.create () in
   let budget = ctx.Common.budget in
   let s_dist = Common.samples budget 50 in
   let s_util = Common.samples budget 30 in
@@ -92,12 +93,14 @@ let run ctx =
         let n = spec.Spec.game.Games.Game.n in
         let plan = Compile.plan_exn ~spec ~theorem:Compile.T41 ~k ~t () in
         let types = Array.make n 0 in
-        let dist = Common.implementation_distance ctx plan ~types ~samples:sd ~seed:11 in
+        let dist = Common.implementation_distance ~m ctx plan ~types ~samples:sd ~seed:11 in
         let drop =
-          if t > 0 then immunity_drop ctx plan ~victim:(n - 1) ~samples:su ~seed:23 else 0.0
+          if t > 0 then immunity_drop ctx ~m plan ~victim:(n - 1) ~samples:su ~seed:23
+          else 0.0
         in
         let gain =
-          if k > 0 then best_gain ctx plan ~deviator:0 ~samples:su ~seed:37 else neg_infinity
+          if k > 0 then best_gain ctx ~m plan ~deviator:0 ~samples:su ~seed:37
+          else neg_infinity
         in
         [
           spec.Spec.name;
@@ -132,4 +135,6 @@ let run ctx =
     verdict =
       (if ok then "PASS: all guarantees hold above the 4k+4t threshold"
        else "FAIL: some guarantee violated above threshold");
+    metrics = Common.metrics_of m;
+    complexity = [];
   }

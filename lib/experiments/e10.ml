@@ -21,12 +21,12 @@ let n = 6
 let k = 1
 let t = 1
 
-let measure ctx plan ~samples ~seed ~replace =
+let measure ctx ~m plan ~samples ~seed ~replace =
   let spec = plan.Compile.spec in
   let game = spec.Spec.game in
   let types = Array.make n 0 in
   let trials =
-    Common.map_trials ctx ~samples ~seed (fun seed ->
+    Common.map_trials_m ctx ~m ~samples ~seed (fun seed ->
         let r =
           Verify.run_with ~check_runs:ctx.Common.check_runs plan ~types
             ~scheduler:(Common.scheduler_of seed) ~seed ~replace:(replace seed)
@@ -40,7 +40,8 @@ let measure ctx plan ~samples ~seed ~replace =
               && Option.is_none r.Verify.outcome.Sim.Types.moves.(i))
             (List.init n (fun i -> i))
         in
-        (game.Games.Game.utility ~types ~actions:r.Verify.actions, honest_blocked))
+        ( (game.Games.Game.utility ~types ~actions:r.Verify.actions, honest_blocked),
+          Verify.metrics r ))
   in
   let totals = Array.make n 0.0 in
   let deadlocks = ref 0 in
@@ -55,6 +56,7 @@ let measure ctx plan ~samples ~seed ~replace =
     float_of_int !deadlocks /. float_of_int samples )
 
 let run ctx =
+  let m = Obs.Agg.create () in
   let samples = Common.samples ctx.Common.budget 25 in
   let spec = Spec.pitfall_minimal ~n ~k in
   (match Compile.plan ~spec ~theorem:Compile.T44 ~k ~t () with
@@ -78,9 +80,9 @@ let run ctx =
            (Compile.player_process plan ~me:pid ~type_:0 ~coin_seed:(seed * 7919) ~seed))
     else None
   in
-  let u_honest, d_honest = measure ctx plan ~samples ~seed:303 ~replace:honest in
-  let u_stall, d_stall = measure ctx plan ~samples ~seed:303 ~replace:stall in
-  let u_corrupt, d_corrupt = measure ctx plan ~samples ~seed:303 ~replace:corrupt_reveal in
+  let u_honest, d_honest = measure ctx ~m plan ~samples ~seed:303 ~replace:honest in
+  let u_stall, d_stall = measure ctx ~m plan ~samples ~seed:303 ~replace:stall in
+  let u_corrupt, d_corrupt = measure ctx ~m plan ~samples ~seed:303 ~replace:corrupt_reveal in
   let rows =
     [
       [ "honest"; Common.f3 u_honest.(2); Common.f3 u_honest.(5); Common.f2 d_honest ];
@@ -110,4 +112,6 @@ let run ctx =
     verdict =
       (if ok then "PASS: blocking is possible (the eps) but punished; no deviation profits"
        else "FAIL: a deviation profited or honest runs deadlocked");
+    metrics = Common.metrics_of m;
+    complexity = [];
   }

@@ -10,6 +10,7 @@ module Compile = Cheaptalk.Compile
 module Spec = Mediator.Spec
 
 let run ctx =
+  let m = Obs.Agg.create () in
   let budget = ctx.Common.budget in
   let s_dist = Common.samples budget 60 in
   let s_util = Common.samples budget 30 in
@@ -27,8 +28,8 @@ let run ctx =
         in
         let plan = Compile.plan_exn ~spec ~theorem:Compile.T42 ~k ~t () in
         let types = Array.make n 0 in
-        let dist = Common.implementation_distance ctx plan ~types ~samples:sd ~seed:19 in
-        let u = Common.honest_utilities ctx plan ~samples:su ~seed:29 in
+        let dist = Common.implementation_distance ~m ctx plan ~types ~samples:sd ~seed:19 in
+        let u = Common.honest_utilities ~m ctx plan ~samples:su ~seed:29 in
         [
           spec.Spec.name;
           string_of_int n;
@@ -54,4 +55,6 @@ let run ctx =
     verdict =
       (if ok then "PASS: eps-implementation holds below the 4.1 threshold"
        else "FAIL: distribution distance too large");
+    metrics = Common.metrics_of m;
+    complexity = [];
   }

@@ -20,11 +20,11 @@ let attack plan victim seed =
     (Adversary.Byzantine.corrupt_avss_points ~offset:(Field.Gf.of_int 5)
        (Compile.player_process plan ~me:victim ~type_:0 ~coin_seed:(seed * 7919) ~seed))
 
-let coordination_rate ctx plan ~samples ~seed ~victim =
+let coordination_rate ctx ~m plan ~samples ~seed ~victim =
   let n = plan.Compile.spec.Spec.game.Games.Game.n in
   let honest = List.filter (fun i -> i <> victim) (List.init n (fun i -> i)) in
   let coordinated =
-    Common.sum_trials ctx ~samples ~seed (fun seed ->
+    Common.sum_trials_m ctx ~m ~samples ~seed (fun seed ->
         let r =
           Verify.run_with ~check_runs:ctx.Common.check_runs plan ~types:(Array.make n 0)
             ~scheduler:(Common.scheduler_of seed) ~seed
@@ -32,20 +32,24 @@ let coordination_rate ctx plan ~samples ~seed ~victim =
         in
         let acts = List.map (fun i -> r.Verify.actions.(i)) honest in
         let valid a = a = 0 || a = 1 in
-        match acts with
-        | a :: rest when valid a && List.for_all (fun x -> x = a) rest -> 1.0
-        | _ -> 0.0)
+        let coord =
+          match acts with
+          | a :: rest when valid a && List.for_all (fun x -> x = a) rest -> 1.0
+          | _ -> 0.0
+        in
+        (coord, Verify.metrics r))
   in
   coordinated /. float_of_int samples
 
 let run ctx =
+  let m = Obs.Agg.create () in
   let samples = Common.samples ctx.Common.budget 30 in
   let rows =
     List.map
       (fun (n, t, label) ->
         let spec = Spec.coordination ~n in
         let plan = Compile.plan_exn ~spec ~theorem:Compile.T41 ~k:0 ~t () in
-        let rate = coordination_rate ctx plan ~samples ~seed:41 ~victim:(n - 1) in
+        let rate = coordination_rate ctx ~m plan ~samples ~seed:41 ~victim:(n - 1) in
         [
           label;
           string_of_int n;
@@ -73,4 +77,6 @@ let run ctx =
     verdict =
       (if ok then "PASS: crossover at the threshold, as the lower bound predicts"
        else "FAIL: no separation across the threshold");
+    metrics = Common.metrics_of m;
+    complexity = [];
   }

@@ -17,12 +17,12 @@ module Spec = Mediator.Spec
 let n = 5
 let k = 1
 
-let average ctx plan ~samples ~seed ~wills ~replace =
+let average ctx ~m plan ~samples ~seed ~wills ~replace =
   let spec = plan.Compile.spec in
   let game = spec.Spec.game in
   let types = Array.make n 0 in
   let trials =
-    Common.map_trials ctx ~samples ~seed (fun seed ->
+    Common.map_trials_m ctx ~m ~samples ~seed (fun seed ->
         let honest = Compile.processes plan ~types ~coin_seed:(seed * 7919) ~seed in
         let procs =
           Array.mapi (fun pid h -> match replace pid seed with Some a -> a | None -> h) honest
@@ -40,7 +40,8 @@ let average ctx plan ~samples ~seed ~wills ~replace =
         let honest_ids =
           List.filter (fun i -> Option.is_none (replace i seed)) (List.init n (fun i -> i))
         in
-        (game.Games.Game.utility ~types ~actions, Verify.coterminated o ~honest:honest_ids))
+        ( (game.Games.Game.utility ~types ~actions, Verify.coterminated o ~honest:honest_ids),
+          o.Sim.Types.metrics ))
   in
   let totals = Array.make n 0.0 in
   let coterm = ref 0 in
@@ -55,6 +56,7 @@ let average ctx plan ~samples ~seed ~wills ~replace =
     float_of_int !coterm /. float_of_int samples )
 
 let run ctx =
+  let m = Obs.Agg.create () in
   let samples = Common.samples ctx.Common.budget 25 in
   let spec = Spec.pitfall_minimal ~n ~k in
   let plan = Compile.plan_exn ~spec ~theorem:Compile.T44 ~k ~t:0 () in
@@ -65,9 +67,11 @@ let run ctx =
   in
   let no_replace _ _ = None in
   let with_stall pid seed = if pid = staller then Some (stall plan seed) else None in
-  let u_honest, ct_honest = average ctx plan ~samples ~seed:51 ~wills:true ~replace:no_replace in
-  let u_stall, ct_stall = average ctx plan ~samples ~seed:51 ~wills:true ~replace:with_stall in
-  let u_nowill, _ = average ctx plan ~samples ~seed:51 ~wills:false ~replace:with_stall in
+  let u_honest, ct_honest =
+    average ctx ~m plan ~samples ~seed:51 ~wills:true ~replace:no_replace
+  in
+  let u_stall, ct_stall = average ctx ~m plan ~samples ~seed:51 ~wills:true ~replace:with_stall in
+  let u_nowill, _ = average ctx ~m plan ~samples ~seed:51 ~wills:false ~replace:with_stall in
   let rows =
     [
       [ "honest (AH wills)"; Common.f3 u_honest.(staller); Common.f3 u_honest.(0); Common.f2 ct_honest ];
@@ -91,4 +95,6 @@ let run ctx =
     verdict =
       (if ok then "PASS: deadlock deviation strictly unprofitable under AH wills"
        else "FAIL: punishment did not deter the stall");
+    metrics = Common.metrics_of m;
+    complexity = [];
   }

@@ -36,23 +36,28 @@ let naive_run ~coalition ~seed =
       (Sim.Runner.config ~max_steps:2_000_000 ~scheduler:(Common.scheduler_of seed) procs)
   in
   let willed = Sim.Runner.moves_with_wills procs o in
-  Array.init n (fun i ->
-      match o.Sim.Types.moves.(i) with
-      | Some a -> a
-      | None -> ( match willed.(i) with Some a -> a | None -> 0))
+  let actions =
+    Array.init n (fun i ->
+        match o.Sim.Types.moves.(i) with
+        | Some a -> a
+        | None -> ( match willed.(i) with Some a -> a | None -> 0))
+  in
+  (actions, o.Sim.Types.metrics)
 
 let payoff actions =
   let game = Games.Catalog.punishment_pitfall ~n ~k in
   (game.Games.Game.utility ~types:(Array.make n 0) ~actions).(0)
 
-let avg_naive ctx ~coalition ~samples ~seed =
-  Common.sum_trials ctx ~samples ~seed (fun seed -> payoff (naive_run ~coalition ~seed))
+let avg_naive ctx ~m ~coalition ~samples ~seed =
+  Common.sum_trials_m ctx ~m ~samples ~seed (fun seed ->
+      let actions, metrics = naive_run ~coalition ~seed in
+      (payoff actions, metrics))
   /. float_of_int samples
 
-let minimal_avg ctx ~sabotage ~samples ~seed =
+let minimal_avg ctx ~m ~sabotage ~samples ~seed =
   let spec = Spec.pitfall_minimal ~n ~k in
   let plan = Compile.plan_exn ~spec ~theorem:Compile.T44 ~k ~t:0 () in
-  Common.sum_trials ctx ~samples ~seed (fun seed ->
+  Common.sum_trials_m ctx ~m ~samples ~seed (fun seed ->
       let r =
         Verify.run_with ~check_runs:ctx.Common.check_runs plan ~types:(Array.make n 0)
           ~scheduler:(Common.scheduler_of seed) ~seed
@@ -63,7 +68,7 @@ let minimal_avg ctx ~sabotage ~samples ~seed =
                    (Compile.player_process plan ~me:pid ~type_:0 ~coin_seed:(seed * 7919) ~seed))
             else None)
       in
-      payoff r.Verify.actions)
+      (payoff r.Verify.actions, Verify.metrics r))
   /. float_of_int samples
 
 (* Lemma 6.8's counting: the strong implementation must be able to select
@@ -73,11 +78,12 @@ let actual_r = Mediator.Lemma68.min_padding_rounds ~n ~r:1
 let log10_r_closed = Mediator.Lemma68.log10_r_closed_form ~n ~r:1
 
 let run ctx =
+  let m = Obs.Agg.create () in
   let samples = Common.samples ctx.Common.budget 30 in
-  let nb = avg_naive ctx ~coalition:false ~samples ~seed:61 in
-  let nc = avg_naive ctx ~coalition:true ~samples ~seed:61 in
-  let mb = minimal_avg ctx ~sabotage:false ~samples ~seed:61 in
-  let mc = minimal_avg ctx ~sabotage:true ~samples ~seed:61 in
+  let nb = avg_naive ctx ~m ~coalition:false ~samples ~seed:61 in
+  let nc = avg_naive ctx ~m ~coalition:true ~samples ~seed:61 in
+  let mb = minimal_avg ctx ~m ~sabotage:false ~samples ~seed:61 in
+  let mc = minimal_avg ctx ~m ~sabotage:true ~samples ~seed:61 in
   let rows =
     [
       [ "naive (leaky)"; "honest"; Common.f3 nb; "-" ];
@@ -102,4 +108,6 @@ let run ctx =
     verdict =
       (if ok then "PASS: leak exploitable, minimal transform immune — the lemma's content"
        else "FAIL: expected separation not observed");
+    metrics = Common.metrics_of m;
+    complexity = [];
   }

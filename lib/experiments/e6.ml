@@ -13,15 +13,15 @@ module Verify = Cheaptalk.Verify
 module Spec = Mediator.Spec
 module B = Circuit.Builder
 
-let messages ctx plan ~samples ~seed =
+let messages ctx ~agg plan ~samples ~seed =
   let n = plan.Compile.spec.Mediator.Spec.game.Games.Game.n in
   let counts =
-    Common.map_trials ctx ~samples ~seed (fun seed ->
+    Common.map_trials_m ctx ~m:agg ~samples ~seed (fun seed ->
         let r =
           Verify.run_once ~check_runs:ctx.Common.check_runs plan ~types:(Array.make n 0)
             ~scheduler:(Common.scheduler_of seed) ~seed
         in
-        Verify.messages_used r)
+        (Verify.messages_used r, Verify.metrics r))
   in
   Array.fold_left ( + ) 0 counts / samples
 
@@ -53,41 +53,57 @@ let staged_coordination ~n ~stages =
     ~decode_action:(fun ~player:_ v -> Field.Gf.to_int v)
     ()
 
-let row ctx ~label spec ~samples ~seed =
+let row ctx ~agg ~label spec ~samples ~seed =
   let plan = Compile.plan_exn ~spec ~theorem:Compile.T41 ~k:0 ~t:1 () in
+  let n = spec.Spec.game.Games.Game.n in
   let c = Circuit.size spec.Spec.circuit in
   let muls = Circuit.mul_count spec.Spec.circuit in
-  let m = messages ctx plan ~samples ~seed in
+  let m = messages ctx ~agg plan ~samples ~seed in
   let bound = Compile.message_bound plan in
+  let stages =
+    match spec.Spec.stages with Some s -> Array.length s | None -> 1
+  in
+  let point =
+    {
+      Obs.Complexity.label = Printf.sprintf "%s n=%d c=%d N=%d" label n c stages;
+      n;
+      stages;
+      c;
+      messages = m;
+      bound;
+    }
+  in
   ( [
       label;
-      string_of_int spec.Spec.game.Games.Game.n;
+      string_of_int n;
       string_of_int c;
       string_of_int muls;
-      (match spec.Spec.stages with Some s -> string_of_int (Array.length s) | None -> "1");
+      string_of_int stages;
       string_of_int m;
       string_of_int bound;
       Common.f2 (float_of_int m /. float_of_int bound);
     ],
-    m <= bound )
+    m <= bound,
+    point )
 
 let run ctx =
+  let agg = Obs.Agg.create () in
   let samples = Common.samples ctx.Common.budget 3 in
   let entries =
     [
-      row ctx ~label:"n sweep" (Spec.coordination ~n:5) ~samples ~seed:71;
-      row ctx ~label:"n sweep" (Spec.coordination ~n:7) ~samples ~seed:72;
-      row ctx ~label:"n sweep" (Spec.coordination ~n:9) ~samples ~seed:73;
-      row ctx ~label:"c sweep" (padded_coordination ~n:5 ~extra:0) ~samples ~seed:74;
-      row ctx ~label:"c sweep" (padded_coordination ~n:5 ~extra:5) ~samples ~seed:75;
-      row ctx ~label:"c sweep" (padded_coordination ~n:5 ~extra:10) ~samples ~seed:76;
-      row ctx ~label:"N sweep" (staged_coordination ~n:5 ~stages:1) ~samples ~seed:77;
-      row ctx ~label:"N sweep" (staged_coordination ~n:5 ~stages:2) ~samples ~seed:78;
-      row ctx ~label:"N sweep" (staged_coordination ~n:5 ~stages:4) ~samples ~seed:79;
+      row ctx ~agg ~label:"n sweep" (Spec.coordination ~n:5) ~samples ~seed:71;
+      row ctx ~agg ~label:"n sweep" (Spec.coordination ~n:7) ~samples ~seed:72;
+      row ctx ~agg ~label:"n sweep" (Spec.coordination ~n:9) ~samples ~seed:73;
+      row ctx ~agg ~label:"c sweep" (padded_coordination ~n:5 ~extra:0) ~samples ~seed:74;
+      row ctx ~agg ~label:"c sweep" (padded_coordination ~n:5 ~extra:5) ~samples ~seed:75;
+      row ctx ~agg ~label:"c sweep" (padded_coordination ~n:5 ~extra:10) ~samples ~seed:76;
+      row ctx ~agg ~label:"N sweep" (staged_coordination ~n:5 ~stages:1) ~samples ~seed:77;
+      row ctx ~agg ~label:"N sweep" (staged_coordination ~n:5 ~stages:2) ~samples ~seed:78;
+      row ctx ~agg ~label:"N sweep" (staged_coordination ~n:5 ~stages:4) ~samples ~seed:79;
     ]
   in
-  let rows = List.map fst entries in
-  let ok = List.for_all snd entries in
+  let rows = List.map (fun (r, _, _) -> r) entries in
+  let ok = List.for_all (fun (_, ok, _) -> ok) entries in
   {
     Common.id = "E6";
     title = "Message complexity — O(nNc) with explicit constants";
@@ -99,4 +115,6 @@ let run ctx =
     verdict =
       (if ok then "PASS: every run within the O(nNc) instantiated bound"
        else "FAIL: bound exceeded");
+    metrics = Common.metrics_of agg;
+    complexity = List.map (fun (_, _, p) -> p) entries;
   }

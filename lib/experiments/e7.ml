@@ -19,7 +19,7 @@ module Spec = Mediator.Spec
 
 (* The gradual-release exchange: party 0 starts; parties alternate
    Piece messages until each has sent S; then both move. *)
-let gradual_messages ~stages =
+let gradual_messages ~agg ~stages =
   let piece_count = Array.make 2 0 in
   let party me =
     let other = 1 - me in
@@ -49,31 +49,33 @@ let gradual_messages ~stages =
     Sim.Runner.run
       (Sim.Runner.config ~scheduler:(Sim.Scheduler.fifo ()) [| party 0; party 1 |])
   in
+  Obs.Agg.add_run agg o.Sim.Types.metrics;
   o.Sim.Types.messages_sent
 
-let bounded_messages ctx ~samples ~seed =
+let bounded_messages ctx ~agg ~samples ~seed =
   let n = 5 and k = 1 in
   let spec = Spec.pitfall_minimal ~n ~k in
   let plan = Compile.plan_exn ~spec ~theorem:Compile.T44 ~k ~t:0 () in
   let counts =
-    Common.map_trials ctx ~samples ~seed (fun seed ->
+    Common.map_trials_m ctx ~m:agg ~samples ~seed (fun seed ->
         let r =
           Verify.run_once ~check_runs:ctx.Common.check_runs plan ~types:(Array.make n 0)
             ~scheduler:(Common.scheduler_of seed) ~seed
         in
-        Verify.messages_used r)
+        (Verify.messages_used r, Verify.metrics r))
   in
-  Array.fold_left ( + ) 0 counts / samples
+  (Array.fold_left ( + ) 0 counts / samples, plan)
 
 let run ctx =
+  let agg = Obs.Agg.create () in
   let samples = Common.samples ctx.Common.budget 3 in
-  let punished = bounded_messages ctx ~samples ~seed:81 in
+  let punished, plan = bounded_messages ctx ~agg ~samples ~seed:81 in
   let epsilons = [ 0.1; 0.01; 0.001; 0.0001 ] in
   let rows =
     List.map
       (fun eps ->
         let stages = int_of_float (ceil (1.0 /. eps)) in
-        let egl = gradual_messages ~stages in
+        let egl = gradual_messages ~agg ~stages in
         [
           Printf.sprintf "%g" eps;
           string_of_int stages;
@@ -106,4 +108,18 @@ let run ctx =
        else if strictly_increasing counts then
          "PASS: EGL grows as 1/eps (crossover outside the sweep)"
        else "FAIL: expected growth not observed");
+    metrics = Common.metrics_of agg;
+    complexity =
+      (let spec = plan.Compile.spec in
+       [
+         {
+           Obs.Complexity.label = "thm4.4 pitfall n=5";
+           n = spec.Spec.game.Games.Game.n;
+           stages =
+             (match spec.Spec.stages with Some s -> Array.length s | None -> 1);
+           c = Circuit.size spec.Spec.circuit;
+           messages = punished;
+           bound = Compile.message_bound plan;
+         };
+       ]);
   }

@@ -14,7 +14,7 @@ module Compile = Cheaptalk.Compile
 module Spec = Mediator.Spec
 module Dist = Games.Dist
 
-let signalling_check () =
+let signalling_check ~agg () =
   let got = ref 0 in
   let signaller =
     Sim.Types.
@@ -32,12 +32,13 @@ let signalling_check () =
       ~on_signal:(fun v -> got := !got + v)
       ~inner:(Sim.Scheduler.fifo ())
   in
-  ignore (Sim.Runner.run (Sim.Runner.config ~scheduler:sched [| idle; signaller |]));
+  let o = Sim.Runner.run (Sim.Runner.config ~scheduler:sched [| idle; signaller |]) in
+  Obs.Agg.add_run agg o.Sim.Types.metrics;
   !got
 
 (* Non-robust profile: players 0 and 1 both message player 2, who plays 1
    iff player 0's message arrives first. A pure scheduler artifact. *)
-let order_sensitive_dist sched =
+let order_sensitive_dist ~agg sched =
   let emp = Dist.Empirical.create () in
   for seed = 0 to 39 do
     let sender _me =
@@ -65,12 +66,14 @@ let order_sensitive_dist sched =
     in
     let procs = [| sender 0; sender 1; judge |] in
     let o = Sim.Runner.run (Sim.Runner.config ~scheduler:(sched seed) procs) in
+    Obs.Agg.add_run agg o.Sim.Types.metrics;
     let action = match o.Sim.Types.moves.(2) with Some a -> a | None -> 0 in
     Dist.Empirical.add emp [| action |]
   done;
   Dist.Empirical.to_dist emp
 
 let run ctx =
+  let agg = Obs.Agg.create () in
   let samples = Common.samples ctx.Common.budget 20 in
   let spec = Spec.coordination ~n:5 in
   let plan = Compile.plan_exn ~spec ~theorem:Compile.T41 ~k:0 ~t:1 () in
@@ -78,13 +81,17 @@ let run ctx =
   let schedulers = Sim.Scheduler.standard_library rng in
   let payoffs =
     (* deliberately NOT sharded over ctx.pool: each library scheduler is
-       one stateful object carried across the whole trial sequence, so
-       this sweep is only meaningful (and only deterministic) run in
-       order on one domain *)
+       one object carried across the whole trial sequence, so this sweep
+       is only meaningful (and only deterministic) run in order on one
+       domain. Since Runner.run now calls [Scheduler.reset] at the start
+       of every run, decision state (round-robin cursor, laggard counts)
+       no longer leaks between trials — only the seeded random streams
+       persist, which is what makes reuse across the sweep sound. *)
     List.map
       (fun sched ->
         let u =
-          Cheaptalk.Verify.expected_utilities ~check_runs:ctx.Common.check_runs plan ~samples
+          Cheaptalk.Verify.expected_utilities ~check_runs:ctx.Common.check_runs ~metrics:agg
+            plan ~samples
             ~scheduler_of:(fun _ -> sched)
             ~seed:91 ()
         in
@@ -92,10 +99,10 @@ let run ctx =
       schedulers
   in
   (* NOTE: a fresh stateful scheduler per seed for the sensitive profile *)
-  let fifo_dist = order_sensitive_dist (fun _ -> Sim.Scheduler.fifo ()) in
-  let lifo_dist = order_sensitive_dist (fun _ -> Sim.Scheduler.lifo ()) in
+  let fifo_dist = order_sensitive_dist ~agg (fun _ -> Sim.Scheduler.fifo ()) in
+  let lifo_dist = order_sensitive_dist ~agg (fun _ -> Sim.Scheduler.lifo ()) in
   let sensitive_gap = Dist.l1 fifo_dist lifo_dist in
-  let signal = signalling_check () in
+  let signal = signalling_check ~agg () in
   let base = snd (List.hd payoffs) in
   let max_gap =
     List.fold_left (fun acc (_, u) -> max acc (abs_float (u -. base))) 0.0 payoffs
@@ -120,4 +127,6 @@ let run ctx =
     verdict =
       (if ok then "PASS: scheduler-proofness and the signalling construction both verified"
        else "FAIL: a Section 6.1 property did not hold");
+    metrics = Common.metrics_of agg;
+    complexity = [];
   }

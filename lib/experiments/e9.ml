@@ -74,6 +74,7 @@ let ct_family plan =
   ]
 
 let run ctx =
+  let agg = Obs.Agg.create () in
   let samples = Common.samples ctx.Common.budget 40 in
   let spec = Spec.majority_match ~n in
   let plan = Compile.plan_exn ~spec ~theorem:Compile.T41 ~k:0 ~t:1 () in
@@ -84,12 +85,13 @@ let run ctx =
   in
   let ct = ct_family plan in
   let emu =
-    Bisim.emulation_radius ~check_runs:ctx.Common.check_runs ~pool:ctx.Common.pool plan ~types
-      ~rounds:2 ~ct_family:ct ~med_family:med_all ~samples ~seed:101
+    Bisim.emulation_radius ~check_runs:ctx.Common.check_runs ~pool:ctx.Common.pool
+      ~metrics:agg plan ~types ~rounds:2 ~ct_family:ct ~med_family:med_all ~samples ~seed:101
   in
   let fwd, bwd =
-    Bisim.bisimulation_radius ~check_runs:ctx.Common.check_runs ~pool:ctx.Common.pool plan
-      ~types ~rounds:2 ~ct_family:ct ~med_family:med_plain ~samples ~seed:211
+    Bisim.bisimulation_radius ~check_runs:ctx.Common.check_runs ~pool:ctx.Common.pool
+      ~metrics:agg plan ~types ~rounds:2 ~ct_family:ct ~med_family:med_plain ~samples
+      ~seed:211
   in
   let rows =
     List.map
@@ -123,4 +125,6 @@ let run ctx =
       (if radius < 0.35 then
          Printf.sprintf "PASS: empirical (bi)simulation radius %.3f" radius
        else Printf.sprintf "FAIL: radius %.3f — some adversary unmatched" radius);
+    metrics = Common.metrics_of agg;
+    complexity = [];
   }

@@ -1,0 +1,71 @@
+type dist = { mean : float; p50 : int; p90 : int; p99 : int; max : int }
+
+type summary = { runs : int; sent : dist; delivered : dist; steps : dist }
+
+type t = {
+  mutable total : Metrics.t;
+  mutable per_run : (int * int * int) list;  (* (sent, delivered, steps), newest first *)
+  mutable n : int;
+}
+
+let create () = { total = Metrics.zero; per_run = []; n = 0 }
+
+let add t (m : Metrics.t) =
+  t.total <- Metrics.merge t.total m;
+  t.per_run <- (Metrics.sent_total m, Metrics.delivered_total m, m.Metrics.steps) :: t.per_run;
+  t.n <- t.n + m.Metrics.runs
+
+let add_run = add
+let count t = t.n
+let total t = t.total
+
+let dist_of values =
+  let a = Array.of_list values in
+  Array.sort compare a;
+  let len = Array.length a in
+  if len = 0 then { mean = 0.0; p50 = 0; p90 = 0; p99 = 0; max = 0 }
+  else
+    (* nearest-rank in pure int arithmetic: index (len-1)*q/100 *)
+    let pct q = a.((len - 1) * q / 100) in
+    let sum = Array.fold_left ( + ) 0 a in
+    {
+      mean = float_of_int sum /. float_of_int len;
+      p50 = pct 50;
+      p90 = pct 90;
+      p99 = pct 99;
+      max = a.(len - 1);
+    }
+
+let summary t =
+  let pick f = List.map f t.per_run in
+  {
+    runs = t.n;
+    sent = dist_of (pick (fun (s, _, _) -> s));
+    delivered = dist_of (pick (fun (_, d, _) -> d));
+    steps = dist_of (pick (fun (_, _, st) -> st));
+  }
+
+let dist_to_json d =
+  Json.Obj
+    [
+      ("mean", Json.Float d.mean);
+      ("p50", Json.Int d.p50);
+      ("p90", Json.Int d.p90);
+      ("p99", Json.Int d.p99);
+      ("max", Json.Int d.max);
+    ]
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("runs", Json.Int s.runs);
+      ("sent", dist_to_json s.sent);
+      ("delivered", dist_to_json s.delivered);
+      ("steps", dist_to_json s.steps);
+    ]
+
+let summary_repr s =
+  Printf.sprintf
+    "runs=%d sent[mean=%.2f p50=%d p90=%d p99=%d max=%d] steps[p50=%d p90=%d max=%d]" s.runs
+    s.sent.mean s.sent.p50 s.sent.p90 s.sent.p99 s.sent.max s.steps.p50 s.steps.p90
+    s.steps.max

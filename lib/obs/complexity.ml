@@ -1,0 +1,70 @@
+type point = {
+  label : string;
+  n : int;
+  stages : int;
+  c : int;
+  messages : int;
+  bound : int;
+}
+
+type fit = {
+  points : int;
+  coeff : float;
+  max_ratio : float;
+  violations : string list;
+}
+
+let envelope p = float_of_int p.n *. float_of_int (max 1 p.stages) *. float_of_int (max 1 p.c)
+
+let fit points =
+  let num, den =
+    List.fold_left
+      (fun (num, den) p ->
+        let x = envelope p in
+        (num +. (float_of_int p.messages *. x), den +. (x *. x)))
+      (0.0, 0.0) points
+  in
+  let coeff = if den > 0.0 then num /. den else 0.0 in
+  let max_ratio =
+    List.fold_left
+      (fun acc p ->
+        if p.bound > 0 then max acc (float_of_int p.messages /. float_of_int p.bound) else acc)
+      0.0 points
+  in
+  let violations =
+    List.filter_map (fun p -> if p.messages > p.bound then Some p.label else None) points
+  in
+  { points = List.length points; coeff; max_ratio; violations }
+
+let ok f = f.violations = []
+
+let point_to_json p =
+  Json.Obj
+    [
+      ("label", Json.String p.label);
+      ("n", Json.Int p.n);
+      ("stages", Json.Int p.stages);
+      ("c", Json.Int p.c);
+      ("messages", Json.Int p.messages);
+      ("bound", Json.Int p.bound);
+      ( "ratio",
+        if p.bound > 0 then Json.Float (float_of_int p.messages /. float_of_int p.bound)
+        else Json.Null );
+    ]
+
+let fit_to_json f =
+  Json.Obj
+    [
+      ("points", Json.Int f.points);
+      ("fitted_coeff", Json.Float f.coeff);
+      ("max_bound_ratio", Json.Float f.max_ratio);
+      ("violations", Json.List (List.map (fun l -> Json.String l) f.violations));
+      ("ok", Json.Bool (ok f));
+    ]
+
+let pp_fit fmt f =
+  Format.fprintf fmt "%d points, messages ~ %.2f * n*N*c, max m/bound %.2f, %s" f.points
+    f.coeff f.max_ratio
+    (match f.violations with
+    | [] -> "within envelope"
+    | vs -> "VIOLATED at " ^ String.concat ", " vs)

@@ -1,0 +1,34 @@
+(** Message-complexity envelope checker.
+
+    The paper's headline bounds are message counts: O(nNc) for Theorems
+    4.1/4.2 and the strong 4.4 variant, O(nc) for the weak variants
+    (N = number of staged reveals, c = circuit size). Experiments record
+    observed counts as {!point}s whose [bound] is the analytic ceiling
+    from [Compile.message_bound] — the instantiated-constant form of the
+    theorem's envelope. {!fit} least-squares the coefficient [a] in
+    [messages ~ a * n*N*c] (a cross-PR perf trajectory signal) and flags
+    every point exceeding its bound (a correctness regression). *)
+
+type point = {
+  label : string;
+  n : int;  (** players *)
+  stages : int;  (** N: staged reveals; 1 when unstaged *)
+  c : int;  (** circuit size *)
+  messages : int;  (** observed (mean) messages per run *)
+  bound : int;  (** the instantiated analytic bound for this plan *)
+}
+
+type fit = {
+  points : int;
+  coeff : float;  (** least-squares [a] in messages ~ a * n*N*c *)
+  max_ratio : float;  (** worst messages/bound over all points *)
+  violations : string list;  (** labels of points with messages > bound *)
+}
+
+val fit : point list -> fit
+val ok : fit -> bool
+(** No point exceeded its bound. *)
+
+val point_to_json : point -> Json.t
+val fit_to_json : fit -> Json.t
+val pp_fit : Format.formatter -> fit -> unit

@@ -1,0 +1,73 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then "null"
+  else Printf.sprintf "%.6g" f
+
+let to_string ?(indent = 2) v =
+  let buf = Buffer.create 1024 in
+  let pad depth = Buffer.add_string buf (String.make (depth * indent) ' ') in
+  let rec go depth v =
+    match v with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f -> Buffer.add_string buf (float_repr f)
+    | String s -> escape buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (depth + 1);
+            go (depth + 1) item)
+          items;
+        Buffer.add_char buf '\n';
+        pad depth;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (depth + 1);
+            escape buf k;
+            Buffer.add_string buf ": ";
+            go (depth + 1) item)
+          fields;
+        Buffer.add_char buf '\n';
+        pad depth;
+        Buffer.add_char buf '}'
+  in
+  go 0 v;
+  Buffer.contents buf
+
+let to_file path v =
+  let oc = open_out path in
+  output_string oc (to_string v);
+  output_char oc '\n';
+  close_out oc

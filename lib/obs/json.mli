@@ -1,0 +1,16 @@
+(** A minimal JSON value and pretty serializer — just enough for the
+    bench harness to emit BENCH_<id>.json without external dependencies.
+    Strings are escaped per RFC 8259; NaN/infinite floats serialize as
+    [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?indent:int -> t -> string
+val to_file : string -> t -> unit

@@ -1,0 +1,210 @@
+type counts = { p2p : int; p2m : int; m2p : int; self : int }
+
+let counts_zero = { p2p = 0; p2m = 0; m2p = 0; self = 0 }
+let counts_total c = c.p2p + c.p2m + c.m2p + c.self
+
+let counts_add a b =
+  { p2p = a.p2p + b.p2p; p2m = a.p2m + b.p2m; m2p = a.m2p + b.m2p; self = a.self + b.self }
+
+type t = {
+  runs : int;
+  sent : counts;
+  delivered : counts;
+  dropped : counts;
+  batches : int;
+  steps : int;
+  starved : int;
+  invalid_decisions : int;
+  scheduler_exns : int;
+  wall_clock : float;
+  gc_minor_words : float;
+  gc_major_words : float;
+}
+
+let zero =
+  {
+    runs = 0;
+    sent = counts_zero;
+    delivered = counts_zero;
+    dropped = counts_zero;
+    batches = 0;
+    steps = 0;
+    starved = 0;
+    invalid_decisions = 0;
+    scheduler_exns = 0;
+    wall_clock = 0.0;
+    gc_minor_words = 0.0;
+    gc_major_words = 0.0;
+  }
+
+let merge a b =
+  {
+    runs = a.runs + b.runs;
+    sent = counts_add a.sent b.sent;
+    delivered = counts_add a.delivered b.delivered;
+    dropped = counts_add a.dropped b.dropped;
+    batches = a.batches + b.batches;
+    steps = a.steps + b.steps;
+    starved = a.starved + b.starved;
+    invalid_decisions = a.invalid_decisions + b.invalid_decisions;
+    scheduler_exns = a.scheduler_exns + b.scheduler_exns;
+    wall_clock = a.wall_clock +. b.wall_clock;
+    gc_minor_words = a.gc_minor_words +. b.gc_minor_words;
+    gc_major_words = a.gc_major_words +. b.gc_major_words;
+  }
+
+let sent_total m = counts_total m.sent
+let delivered_total m = counts_total m.delivered
+let dropped_total m = counts_total m.dropped
+
+let det_fields m =
+  [
+    ("runs", m.runs);
+    ("sent", counts_total m.sent);
+    ("sent_p2p", m.sent.p2p);
+    ("sent_p2m", m.sent.p2m);
+    ("sent_m2p", m.sent.m2p);
+    ("sent_self", m.sent.self);
+    ("delivered", counts_total m.delivered);
+    ("delivered_p2p", m.delivered.p2p);
+    ("delivered_p2m", m.delivered.p2m);
+    ("delivered_m2p", m.delivered.m2p);
+    ("delivered_self", m.delivered.self);
+    ("dropped", counts_total m.dropped);
+    ("dropped_p2p", m.dropped.p2p);
+    ("dropped_p2m", m.dropped.p2m);
+    ("dropped_m2p", m.dropped.m2p);
+    ("dropped_self", m.dropped.self);
+    ("batches", m.batches);
+    ("steps", m.steps);
+    ("starved", m.starved);
+    ("invalid_decisions", m.invalid_decisions);
+    ("scheduler_exns", m.scheduler_exns);
+  ]
+
+let det_repr m =
+  String.concat ","
+    (List.map (fun (k, v) -> k ^ "=" ^ string_of_int v) (det_fields m))
+
+let pp fmt m =
+  Format.fprintf fmt
+    "@[<v>runs %d, steps %d, batches %d@,\
+     sent %d (p2p %d, p2m %d, m2p %d, self %d)@,\
+     delivered %d, dropped %d@,\
+     fallbacks: %d starvation, %d invalid-decision, %d scheduler-exn@,\
+     wall-clock %.3fs, gc %.0f minor / %.0f major words@]"
+    m.runs m.steps m.batches (counts_total m.sent) m.sent.p2p m.sent.p2m m.sent.m2p
+    m.sent.self (counts_total m.delivered) (counts_total m.dropped) m.starved
+    m.invalid_decisions m.scheduler_exns m.wall_clock m.gc_minor_words m.gc_major_words
+
+let summary_line m =
+  Printf.sprintf
+    "msgs: %d sent (p2p %d, p2m %d, m2p %d, self %d), %d delivered, %d dropped | runs %d, \
+     steps %d, batches %d | fallbacks: %d starved, %d invalid, %d sched-exn"
+    (counts_total m.sent) m.sent.p2p m.sent.p2m m.sent.m2p m.sent.self
+    (counts_total m.delivered) (counts_total m.dropped) m.runs m.steps m.batches m.starved
+    m.invalid_decisions m.scheduler_exns
+
+let counts_to_json c =
+  Json.Obj
+    [
+      ("total", Json.Int (counts_total c));
+      ("p2p", Json.Int c.p2p);
+      ("p2m", Json.Int c.p2m);
+      ("m2p", Json.Int c.m2p);
+      ("self", Json.Int c.self);
+    ]
+
+let to_json m =
+  Json.Obj
+    [
+      ( "deterministic",
+        Json.Obj
+          [
+            ("runs", Json.Int m.runs);
+            ("sent", counts_to_json m.sent);
+            ("delivered", counts_to_json m.delivered);
+            ("dropped", counts_to_json m.dropped);
+            ("batches", Json.Int m.batches);
+            ("steps", Json.Int m.steps);
+            ("starved", Json.Int m.starved);
+            ("invalid_decisions", Json.Int m.invalid_decisions);
+            ("scheduler_exns", Json.Int m.scheduler_exns);
+          ] );
+      ( "environmental",
+        Json.Obj
+          [
+            ("wall_clock_s", Json.Float m.wall_clock);
+            ("gc_minor_words", Json.Float m.gc_minor_words);
+            ("gc_major_words", Json.Float m.gc_major_words);
+          ] );
+    ]
+
+(* Message classes, from the (src, dst) pair and the mediator pid. *)
+let class_index ~mediator ~src ~dst =
+  if src = dst then 3
+  else
+    match mediator with
+    | Some m when src = m -> 2
+    | Some m when dst = m -> 1
+    | _ -> 0
+
+module Builder = struct
+  type t = {
+    mediator : int option;
+    sent : int array;
+    delivered : int array;
+    dropped : int array;
+    mutable starved : int;
+    mutable invalid_decisions : int;
+    mutable scheduler_exns : int;
+    t0 : float;
+    gc0_minor : float;
+    gc0_major : float;
+  }
+
+  let create ~mediator =
+    let gc = Gc.quick_stat () in
+    {
+      mediator;
+      sent = Array.make 4 0;
+      delivered = Array.make 4 0;
+      dropped = Array.make 4 0;
+      starved = 0;
+      invalid_decisions = 0;
+      scheduler_exns = 0;
+      t0 = Unix.gettimeofday ();
+      gc0_minor = gc.Gc.minor_words;
+      gc0_major = gc.Gc.major_words;
+    }
+
+  let bump b arr ~src ~dst =
+    let i = class_index ~mediator:b.mediator ~src ~dst in
+    arr.(i) <- arr.(i) + 1
+
+  let sent b ~src ~dst = bump b b.sent ~src ~dst
+  let delivered b ~src ~dst = bump b b.delivered ~src ~dst
+  let dropped b ~src ~dst = bump b b.dropped ~src ~dst
+  let starved b = b.starved <- b.starved + 1
+  let invalid_decision b = b.invalid_decisions <- b.invalid_decisions + 1
+  let scheduler_exn b = b.scheduler_exns <- b.scheduler_exns + 1
+
+  let counts_of arr = { p2p = arr.(0); p2m = arr.(1); m2p = arr.(2); self = arr.(3) }
+
+  let finish b ~batches ~steps =
+    let gc = Gc.quick_stat () in
+    {
+      runs = 1;
+      sent = counts_of b.sent;
+      delivered = counts_of b.delivered;
+      dropped = counts_of b.dropped;
+      batches;
+      steps;
+      starved = b.starved;
+      invalid_decisions = b.invalid_decisions;
+      scheduler_exns = b.scheduler_exns;
+      wall_clock = Unix.gettimeofday () -. b.t0;
+      gc_minor_words = gc.Gc.minor_words -. b.gc0_minor;
+      gc_major_words = gc.Gc.major_words -. b.gc0_major;
+    }
+end

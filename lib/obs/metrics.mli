@@ -1,0 +1,87 @@
+(** Per-run simulator metrics.
+
+    A {!t} is collected by every [Sim.Runner.run] (one record per run,
+    [runs = 1]) and summed with {!merge}. The record splits into two
+    groups:
+
+    - {e deterministic} counters — message counts per (src, dst) class,
+      batches, steps, starvation force-delivers, invalid-scheduler-
+      decision fallbacks, non-fatal scheduler-exception fallbacks. These
+      are pure functions of the run's seed and participate in the
+      determinism contract (DESIGN.md section 9): any fold of them in
+      seed order is byte-identical at every [-j].
+    - {e environmental} fields — wall-clock, GC minor/major words
+      allocated during the run. These depend on the machine and on which
+      domain ran the trial and are excluded from every determinism diff
+      ({!det_repr} and the ["deterministic"] JSON subtree omit them).
+
+    Message classes: [p2p] player-to-player, [p2m] player-to-mediator,
+    [m2p] mediator-to-player, [self] src = dst (the Section 6.1
+    signalling channel). Runs without a mediator count everything as
+    [p2p]/[self]. Start signals are not messages and are never counted. *)
+
+type counts = { p2p : int; p2m : int; m2p : int; self : int }
+
+val counts_zero : counts
+val counts_total : counts -> int
+val counts_add : counts -> counts -> counts
+
+type t = {
+  runs : int;  (** merged run count; 1 for a single run *)
+  sent : counts;
+  delivered : counts;
+  dropped : counts;
+  batches : int;  (** process activations that emitted effects *)
+  steps : int;  (** delivery steps *)
+  starved : int;  (** fairness-bound force-delivers overriding the scheduler *)
+  invalid_decisions : int;  (** [Deliver id] with an unknown id, fell back to oldest *)
+  scheduler_exns : int;  (** non-fatal scheduler exceptions, fell back to oldest *)
+  wall_clock : float;  (** seconds; environmental *)
+  gc_minor_words : float;  (** environmental *)
+  gc_major_words : float;  (** environmental *)
+}
+
+val zero : t
+
+val merge : t -> t -> t
+(** Field-wise sum; associative, commutative, [zero] neutral. *)
+
+val sent_total : t -> int
+val delivered_total : t -> int
+val dropped_total : t -> int
+
+val det_fields : t -> (string * int) list
+(** The deterministic counters as labelled scalars, fixed order. *)
+
+val det_repr : t -> string
+(** Canonical one-line rendering of {!det_fields} — the value the
+    differential [-j 1] vs [-j N] harness compares byte-for-byte. *)
+
+val pp : Format.formatter -> t -> unit
+(** Full human rendering, environmental fields included. *)
+
+val summary_line : t -> string
+(** One deterministic line for experiment tables (no wall-clock/GC). *)
+
+val to_json : t -> Json.t
+(** [{"deterministic": {...}, "environmental": {...}}] — consumers diff
+    the ["deterministic"] subtree only. *)
+
+val class_index : mediator:int option -> src:int -> dst:int -> int
+(** 0 = p2p, 1 = p2m, 2 = m2p, 3 = self. *)
+
+(** Mutable accumulator the driver fills while a run executes; [create]
+    snapshots the clock and GC counters, [finish] takes the deltas. *)
+module Builder : sig
+  type metrics := t
+  type t
+
+  val create : mediator:int option -> t
+  val sent : t -> src:int -> dst:int -> unit
+  val delivered : t -> src:int -> dst:int -> unit
+  val dropped : t -> src:int -> dst:int -> unit
+  val starved : t -> unit
+  val invalid_decision : t -> unit
+  val scheduler_exn : t -> unit
+  val finish : t -> batches:int -> steps:int -> metrics
+end

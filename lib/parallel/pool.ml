@@ -73,7 +73,10 @@ let worker_loop t =
 let create ?domains () =
   let requested =
     match domains with
-    | Some d -> max 1 (min d 128)
+    | Some d ->
+        if d < 1 then
+          invalid_arg (Printf.sprintf "Pool.create: domains must be >= 1 (got %d)" d)
+        else min d 128
     | None -> max 1 (min (Domain.recommended_domain_count ()) 128)
   in
   let t =

@@ -20,7 +20,10 @@ type t
 val create : ?domains:int -> unit -> t
 (** [create ~domains ()] spawns [domains - 1] worker domains (the
     calling domain participates in every job, so [domains] is the total
-    parallelism). [domains] defaults to
+    parallelism).
+    @raise Invalid_argument when [domains < 1] — callers (the bench/CLI
+    [-j] parsers) must validate user input rather than rely on silent
+    clamping. [domains] defaults to
     [Domain.recommended_domain_count ()] and is clamped to [[1, 128]].
     Remember to {!shutdown} — worker domains are joined there. *)
 

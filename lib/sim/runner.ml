@@ -25,6 +25,8 @@ type ('m, _) item = {
 
 let run (cfg : ('m, 'a) config) : 'a outcome =
   let n = Array.length cfg.processes in
+  cfg.scheduler.Scheduler.reset ();
+  let mb = Obs.Metrics.Builder.create ~mediator:cfg.mediator in
   let halted = Array.make n false in
   let started = Array.make n false in
   let moves = Array.make n None in
@@ -61,6 +63,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
     | None -> ()
     | Some _ ->
         incr messages_sent;
+        Obs.Metrics.Builder.sent mb ~src ~dst;
         emit (Sent { src; dst; seq = s });
         emit_pat (Scheduler.P_sent { src; dst; seq = s })
   in
@@ -114,6 +117,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
         | None -> activate_start dst
         | Some m ->
             incr messages_delivered;
+            Obs.Metrics.Builder.delivered mb ~src ~dst;
             emit (Delivered { src; dst; seq = s });
             emit_pat (Scheduler.P_delivered { src; dst; seq = s });
             if batch >= 0 then Hashtbl.replace delivered_batches batch ();
@@ -154,6 +158,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
             (match item.payload with
             | None -> ()
             | Some _ ->
+                Obs.Metrics.Builder.dropped mb ~src:v.src ~dst:v.dst;
                 emit (Dropped { src = v.src; dst = v.dst; seq = v.seq });
                 emit_pat (Scheduler.P_dropped { src = v.src; dst = v.dst; seq = v.seq })));
         drop ()
@@ -189,13 +194,26 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
       in
       match starving with
       | Some v ->
+          Obs.Metrics.Builder.starved mb;
           deliver v.id;
           incr steps
       | None -> (
+          (* A scheduler failure must not be silently converted into FIFO
+             delivery: fatal exceptions (resource exhaustion, violated
+             assertions — i.e. genuine scheduler bugs) re-raise with
+             their backtrace; anything else falls back to oldest-first
+             and is RECORDED in the run metrics. *)
           let decision =
-            try
+            match
               cfg.scheduler.choose ~step:!steps ~history:!pattern ~pending:pending_set
-            with _ -> Deliver (Pending_set.oldest pending_set).id
+            with
+            | d -> d
+            | exception ((Stack_overflow | Out_of_memory | Assert_failure _) as e) ->
+                let bt = Printexc.get_raw_backtrace () in
+                Printexc.raise_with_backtrace e bt
+            | exception _ ->
+                Obs.Metrics.Builder.scheduler_exn mb;
+                Deliver (Pending_set.oldest pending_set).id
           in
           match decision with
           | Deliver id when Hashtbl.mem items id ->
@@ -203,6 +221,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
               incr steps
           | Deliver _ ->
               (* invalid id: fall back to oldest *)
+              Obs.Metrics.Builder.invalid_decision mb;
               deliver (Pending_set.oldest pending_set).id;
               incr steps
           | Stop_delivery ->
@@ -213,6 +232,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
               end
               else begin
                 (* Non-relaxed schedulers may not stop: force oldest. *)
+                Obs.Metrics.Builder.invalid_decision mb;
                 deliver (Pending_set.oldest pending_set).id;
                 incr steps
               end)
@@ -226,6 +246,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
     steps = !steps;
     trace = List.rev !trace;
     halted;
+    metrics = Obs.Metrics.Builder.finish mb ~batches:!next_batch ~steps:!steps;
   }
 
 let moves_with_wills processes (o : 'a outcome) =

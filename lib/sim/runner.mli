@@ -31,7 +31,13 @@ val config :
   ('m, 'a) config
 
 val run : ('m, 'a) config -> 'a Types.outcome
-(** Execute one complete history. *)
+(** Execute one complete history. Calls [scheduler.reset] first (per-run
+    freshness for stateful schedulers) and fills the outcome's
+    [metrics] record. Scheduler exceptions: [Stack_overflow],
+    [Out_of_memory] and [Assert_failure] propagate (with backtrace);
+    any other exception from [scheduler.choose] falls back to
+    oldest-first delivery and increments [metrics.scheduler_exns] —
+    never a silent FIFO degradation. *)
 
 val moves_with_wills :
   ('m, 'a) Types.process array -> 'a Types.outcome -> 'a option array

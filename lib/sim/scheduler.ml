@@ -9,6 +9,7 @@ type pattern_event =
 type t = {
   name : string;
   relaxed : bool;
+  reset : unit -> unit;
   choose : step:int -> history:pattern_event list -> pending:Pending_set.t -> Types.decision;
 }
 
@@ -18,6 +19,7 @@ let fifo () =
   {
     name = "fifo";
     relaxed = false;
+    reset = ignore;
     choose = (fun ~step:_ ~history:_ ~pending -> deliver (Pending_set.oldest pending));
   }
 
@@ -25,6 +27,7 @@ let lifo () =
   {
     name = "lifo";
     relaxed = false;
+    reset = ignore;
     choose = (fun ~step:_ ~history:_ ~pending -> deliver (Pending_set.newest pending));
   }
 
@@ -32,6 +35,7 @@ let random rng =
   {
     name = "random";
     relaxed = false;
+    reset = ignore;
     choose =
       (fun ~step:_ ~history:_ ~pending ->
         deliver (Pending_set.nth pending (Random.State.int rng (Pending_set.count pending))));
@@ -45,6 +49,7 @@ let avoid ~name pred rng =
   {
     name;
     relaxed = false;
+    reset = ignore;
     choose =
       (fun ~step:_ ~history:_ ~pending ->
         match Pending_set.choose_where pending (fun v -> not (pred v)) ~rng with
@@ -66,6 +71,7 @@ let prioritise ~players rng =
     name =
       Printf.sprintf "prioritise[%s]" (String.concat "," (List.map string_of_int players));
     relaxed = false;
+    reset = ignore;
     choose =
       (fun ~step:_ ~history:_ ~pending ->
         let favoured (v : Types.pending_view) = List.mem v.Types.src players in
@@ -82,6 +88,7 @@ let round_robin () =
   {
     name = "round-robin";
     relaxed = false;
+    reset = (fun () -> next_dst := 0);
     choose =
       (fun ~step:_ ~history:_ ~pending ->
         (* smallest destination >= !next_dst with a pending message,
@@ -120,6 +127,7 @@ let relaxed_stop_after k =
   {
     name = Printf.sprintf "relaxed-stop-after-%d" k;
     relaxed = true;
+    reset = (fun () -> delivered := 0);
     choose =
       (fun ~step:_ ~history:_ ~pending ->
         if !delivered >= k then Types.Stop_delivery
@@ -133,6 +141,7 @@ let relaxed_random ~stop_prob rng =
   {
     name = Printf.sprintf "relaxed-random-%.3f" stop_prob;
     relaxed = true;
+    reset = ignore;
     choose =
       (fun ~step:_ ~history:_ ~pending ->
         if Random.State.float rng 1.0 < stop_prob then Types.Stop_delivery
@@ -161,6 +170,10 @@ let adaptive_laggard rng =
   {
     name = "adaptive-laggard";
     relaxed = false;
+    reset =
+      (fun () ->
+        Hashtbl.reset counts;
+        seen := []);
     choose =
       (fun ~step:_ ~history ~pending ->
         absorb history;
@@ -181,7 +194,7 @@ let adaptive_laggard rng =
             | None -> deliver (Pending_set.oldest pending)));
   }
 
-let custom ~name ~relaxed choose = { name; relaxed; choose }
+let custom ?(reset = ignore) ~name ~relaxed choose = { name; relaxed; reset; choose }
 
 let standard_library rng =
   let split () = Random.State.make [| Random.State.bits rng |] in

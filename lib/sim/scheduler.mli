@@ -6,8 +6,15 @@
     triples, never payloads — matching the secure-channel assumption and
     the visibility used in the counting argument of Lemma 6.8.
 
-    A scheduler value carries internal state; create a fresh one per run
-    (the constructors are factories). *)
+    A scheduler value carries internal state; the constructors are
+    factories. Decision state (round-robin cursor, adaptive counters,
+    relaxed stop counters) is cleared by [reset], which [Runner.run]
+    invokes at the start of every run, so reusing one scheduler value
+    across a sweep no longer leaks adversary state between runs. Random
+    streams are deliberately NOT reset: a reused [random]-family
+    scheduler still explores different delivery orders per run (and a
+    fresh one per seed stays the rule for seed-determinism, see
+    [Verify.map_trials]). *)
 
 type pattern_event =
   | P_sent of { src : int; dst : int; seq : int }
@@ -23,6 +30,9 @@ type t = {
       (** Relaxed schedulers (mediator game only, Section 5) may stop
           delivering; non-relaxed schedulers must eventually deliver
           everything (the driver enforces this with a starvation bound). *)
+  reset : unit -> unit;
+      (** Clear per-run decision state (never random streams). Invoked by
+          [Runner.run] before the first decision of every run. *)
   choose : step:int -> history:pattern_event list -> pending:Pending_set.t -> Types.decision;
       (** [history] is reverse-chronological. [pending] is always
           non-empty when called. *)
@@ -70,10 +80,13 @@ val relaxed_random : stop_prob:float -> Random.State.t -> t
     [stop_prob]. *)
 
 val custom :
+  ?reset:(unit -> unit) ->
   name:string ->
   relaxed:bool ->
   (step:int -> history:pattern_event list -> pending:Pending_set.t -> Types.decision) ->
   t
+(** [?reset] defaults to a no-op: stateless custom schedulers need not
+    care; stateful ones should clear their decision state there. *)
 
 val standard_library : Random.State.t -> t list
 (** The non-relaxed schedulers used when quantifying "for all σe" in

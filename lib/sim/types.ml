@@ -70,4 +70,7 @@ type 'a outcome = {
   steps : int;
   trace : 'a trace_event list;  (** chronological *)
   halted : bool array;
+  metrics : Obs.Metrics.t;
+      (** per-run observability record (message classes, fallbacks,
+          wall-clock, GC) — see [Obs.Metrics] for the determinism split *)
 }

@@ -61,6 +61,16 @@ let test_pool_exception_propagates () =
       | _ -> Alcotest.fail "expected the worker exception to propagate"
       | exception Failure msg -> Alcotest.(check string) "exn carried" "boom at 57" msg)
 
+let test_pool_create_rejects_nonpositive () =
+  (* -j validation lives in the CLIs; the pool itself must refuse the
+     nonsense rather than silently clamp it *)
+  List.iter
+    (fun d ->
+      match Pool.create ~domains:d () with
+      | _ -> Alcotest.failf "Pool.create ~domains:%d should raise" d
+      | exception Invalid_argument _ -> ())
+    [ 0; -1; -8 ]
+
 let test_pool_reusable_after_failure () =
   (* a failed job must not wedge the workers for the next one *)
   Pool.with_pool ~domains:4 (fun pool ->
@@ -89,6 +99,21 @@ let test_expected_utilities_pool_invariant () =
           ~scheduler_of:Common.scheduler_of ~seed:7 ()
       in
       Alcotest.(check (array (float 0.0))) "utilities bit-identical" seq par)
+
+let test_metrics_fold_pool_invariant () =
+  (* the ?metrics aggregate is folded by the submitter in seed order, so
+     its deterministic counters must be byte-identical at any -j *)
+  let collect pool =
+    let agg = Obs.Agg.create () in
+    ignore
+      (Verify.expected_utilities ?pool ~metrics:agg plan_majority ~samples:12
+         ~scheduler_of:Common.scheduler_of ~seed:7 ());
+    (Obs.Metrics.det_repr (Obs.Agg.total agg), Obs.Agg.summary_repr (Obs.Agg.summary agg))
+  in
+  let seq = collect None in
+  Pool.with_pool ~domains:4 (fun pool ->
+      let par = collect (Some pool) in
+      Alcotest.(check (pair string string)) "metrics byte-identical" seq par)
 
 let test_implementation_distance_pool_invariant () =
   let types = Array.make 5 0 in
@@ -121,7 +146,13 @@ let experiments : (string * (Common.ctx -> Common.table)) list =
     ("a1", Experiments.A1.run);
   ]
 
-let table_repr (t : Common.table) = Common.to_csv t ^ "|" ^ t.Common.verdict
+(* rows + verdict + the deterministic metric counters: a table (and its
+   observability record) must be a pure function of the budget *)
+let table_repr (t : Common.table) =
+  let metrics =
+    match t.Common.metrics with None -> "-" | Some m -> Obs.Metrics.det_repr m
+  in
+  Common.to_csv t ^ "|" ^ t.Common.verdict ^ "|" ^ metrics
 
 let differential_case (id, run) =
   Alcotest.test_case id `Slow (fun () ->
@@ -219,12 +250,15 @@ let () =
         [
           Alcotest.test_case "empty range" `Quick test_map_seeded_empty;
           Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "create rejects domains < 1" `Quick
+            test_pool_create_rejects_nonpositive;
           Alcotest.test_case "reusable after failure" `Quick test_pool_reusable_after_failure;
         ]
         @ qsuite [ prop_map_seeded_invariant ] );
       ( "verify-invariance",
         [
           Alcotest.test_case "expected_utilities" `Quick test_expected_utilities_pool_invariant;
+          Alcotest.test_case "metrics fold" `Quick test_metrics_fold_pool_invariant;
           Alcotest.test_case "implementation_distance" `Quick
             test_implementation_distance_pool_invariant;
         ] );
