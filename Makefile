@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-all: build lint par-check
+all: build lint par-check chaos
 
 build:
 	dune build @all
@@ -20,6 +20,19 @@ lint:
 	dune build @check
 	dune exec bin/ctmed.exe -- lint
 	dune exec test/test_analysis.exe -- -c
+
+# Chaos suite (DESIGN.md section 11): fault-injection sweep at the smoke
+# budget, byte-identical across -j (diff), then the graceful-degradation
+# path — a deliberately hung trial must yield a DEGRADED row and exit
+# code 3, never a sweep abort.
+chaos:
+	dune exec bench/main.exe -- smoke chaos -j 4 diff
+	@dune exec bench/main.exe -- smoke hang >/dev/null 2>&1; \
+	  st=$$?; \
+	  if [ $$st -ne 3 ]; then \
+	    echo "chaos: hung run should exit 3 (degraded), got $$st" >&2; exit 1; \
+	  fi; \
+	  echo "chaos: hung run degraded with exit 3, as required"
 
 test:
 	dune runtest
@@ -57,4 +70,4 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all build lint par-check test test-verbose bench bench-full bench-csv bench-json examples clean
+.PHONY: all build lint par-check chaos test test-verbose bench bench-full bench-csv bench-json examples clean

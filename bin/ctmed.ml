@@ -20,6 +20,10 @@ let specs : (string * (unit -> Mediator.Spec.t)) list =
 
 let experiment_ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "a1" ]
 
+(* explicit-only: the fault-injection sweep runs when named, never as
+   part of "all experiments" *)
+let chaos_ids = [ "chaos"; "hang" ]
+
 (* --- list --- *)
 
 let list_cmd =
@@ -29,6 +33,9 @@ let list_cmd =
     List.iter (fun (name, _) -> Printf.printf "  %s\n" name) specs;
     Printf.printf "\nExperiments (ctmed experiment <id>):\n";
     List.iter (fun id -> Printf.printf "  %s\n" id) experiment_ids;
+    List.iter
+      (fun id -> Printf.printf "  %s (only when named explicitly)\n" id)
+      chaos_ids;
     Printf.printf "  micro\n"
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
@@ -44,6 +51,14 @@ let theorem_conv =
     | s -> Error (`Msg ("unknown theorem: " ^ s))
   in
   Arg.conv (parse, fun fmt th -> Cheaptalk.Compile.pp_theorem fmt th)
+
+let faults_conv =
+  let parse s =
+    match Faults.of_string s with
+    | c -> Ok c
+    | exception Invalid_argument msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun fmt c -> Format.pp_print_string fmt (Faults.to_string c))
 
 let run_cmd =
   let doc = "Compile a mediator spec to cheap talk and run one history." in
@@ -65,7 +80,27 @@ let run_cmd =
       & info [ "metrics" ]
           ~doc:"print the run's observability record (message classes, steps, fallbacks)")
   in
-  let run spec_name theorem k t seed metrics =
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some faults_conv) None
+      & info [ "faults" ] ~docv:"SPEC"
+          ~doc:
+            "inject channel faults from a deterministic plan, e.g. \
+             $(b,dup=0.1,corrupt=0.05,delay=0.2,crash=0.1) (optional \
+             $(b,delay_decisions=N), $(b,crash_window=N)); the plan is a pure function of \
+             the run seed")
+  in
+  let fuel_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:
+            "watchdog: end the run as Timed_out after $(docv) scheduler decisions (a hung \
+             system degrades instead of spinning)")
+  in
+  let run spec_name theorem k t seed metrics faults fuel =
     match List.assoc_opt spec_name specs with
     | None ->
         Printf.eprintf "unknown spec %s (try: ctmed list)\n" spec_name;
@@ -82,8 +117,14 @@ let run_cmd =
               (Cheaptalk.Compile.theorem_name theorem)
               n k t plan.Cheaptalk.Compile.degree plan.Cheaptalk.Compile.faults;
             let r =
-              Cheaptalk.Verify.run_once plan ~types:(Array.make n 0)
-                ~scheduler:(Sim.Scheduler.random_seeded seed) ~seed
+              (* an invalid watchdog/fault configuration is a usage
+                 error, not a crash with a backtrace *)
+              try
+                Cheaptalk.Verify.run_once ?faults ?fuel plan ~types:(Array.make n 0)
+                  ~scheduler:(Sim.Scheduler.random_seeded seed) ~seed
+              with Invalid_argument msg ->
+                Printf.eprintf "ctmed run: %s\n" msg;
+                exit 2
             in
             Printf.printf "actions: [%s]\n"
               (String.concat " "
@@ -91,11 +132,20 @@ let run_cmd =
             Printf.printf "messages: %d, delivery steps: %d, deadlocked: %b\n"
               (Cheaptalk.Verify.messages_used r)
               r.Cheaptalk.Verify.outcome.Sim.Types.steps r.Cheaptalk.Verify.deadlocked;
-            if metrics then
-              Format.printf "%a@." Obs.Metrics.pp (Cheaptalk.Verify.metrics r))
+            (match r.Cheaptalk.Verify.outcome.Sim.Types.termination with
+            | Sim.Types.Timed_out -> Printf.printf "DEGRADED: watchdog ended the run\n"
+            | _ -> ());
+            let m = Cheaptalk.Verify.metrics r in
+            if Obs.Metrics.injected_total m > 0 then
+              Printf.printf "faults injected: %d dup, %d corrupt, %d delay, %d crash\n"
+                m.Obs.Metrics.injected_dup m.Obs.Metrics.injected_corrupt
+                m.Obs.Metrics.injected_delay m.Obs.Metrics.injected_crash;
+            if metrics then Format.printf "%a@." Obs.Metrics.pp m)
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ spec_arg $ theorem_arg $ k_arg $ t_arg $ seed_arg $ metrics_arg)
+    Term.(
+      const run $ spec_arg $ theorem_arg $ k_arg $ t_arg $ seed_arg $ metrics_arg
+      $ faults_arg $ fuel_arg)
 
 (* --- experiment --- *)
 
@@ -140,17 +190,28 @@ let experiment_cmd =
       | "e9" -> Some Experiments.E9.run
       | "e10" -> Some Experiments.E10.run
       | "a1" -> Some Experiments.A1.run
+      | "chaos" -> Some Experiments.Chaos.run
+      | "hang" -> Some Experiments.Chaos.run_hang
       | _ -> None
     in
+    let degraded = ref 0 in
     Parallel.Pool.with_pool ~domains:jobs (fun pool ->
         let ctx = Experiments.Common.ctx ~pool ~check_runs budget in
-        List.iter
-          (fun id ->
-            if want id then
-              match table_of id with
-              | Some run -> Experiments.Common.print_table (run ctx)
-              | None -> ())
-          experiment_ids)
+        let run_one id =
+          match table_of id with
+          | Some run ->
+              let table = run ctx in
+              Experiments.Common.print_table table;
+              degraded := !degraded + Experiments.Chaos.degraded_rows table
+          | None -> ()
+        in
+        List.iter (fun id -> if want id then run_one id) experiment_ids;
+        (* chaos/hang only when explicitly named *)
+        List.iter (fun id -> if List.mem id ids then run_one id) chaos_ids);
+    if !degraded > 0 then begin
+      Printf.eprintf "ctmed experiment: %d table row(s) DEGRADED\n" !degraded;
+      exit 3
+    end
   in
   Cmd.v (Cmd.info "experiment" ~doc)
     Term.(const run $ ids_arg $ full_arg $ lint_runs_arg $ jobs_arg)

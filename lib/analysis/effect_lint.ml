@@ -137,6 +137,20 @@ let check_trace ?n (o : 'a outcome) =
           let subject = Printf.sprintf "pid %d" p in
           if not (pid_ok p) then add (err ~subject "started pid out of range")
           else if started.(p) then add (err ~subject "started twice")
-          else started.(p) <- true)
+          else started.(p) <- true
+      | Fault { kind = Duplicate; src; dst; seq } ->
+          (* an injected duplicate is the environment's copy of a real
+             message: it plays the copy's [Sent] role (consumes the
+             channel's next seq, may later be delivered or dropped) but
+             the sender did not act, so the halted-sender and
+             monotonicity checks do not apply *)
+          let expected = 1 + (try Hashtbl.find next_seq (src, dst) with Not_found -> 0) in
+          Hashtbl.replace next_seq (src, dst) (max seq expected);
+          Hashtbl.replace in_flight (src, dst, seq) `Sent
+      | Fault _ ->
+          (* Corrupt/Delay/Crash_restart markers are informational: the
+             affected message's own Sent/Delivered events carry the
+             channel bookkeeping *)
+          ())
     o.trace;
   List.rev !fs

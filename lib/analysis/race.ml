@@ -104,7 +104,10 @@ let slots_of_trace trace =
       | Types.Sent { dst; _ } -> emit (S dst)
       | Types.Moved { action; _ } -> emit (M action)
       | Types.Halted _ -> emit H
-      | Types.Dropped _ -> ())
+      | Types.Dropped _ -> ()
+      (* injected channel faults are environment action, not an effect of
+         the activated process: they carry no ordering signature *)
+      | Types.Fault _ -> ())
     trace;
   List.rev !slots
 

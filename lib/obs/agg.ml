@@ -12,7 +12,11 @@ let create () = { total = Metrics.zero; per_run = []; n = 0 }
 
 let add t (m : Metrics.t) =
   t.total <- Metrics.merge t.total m;
-  t.per_run <- (Metrics.sent_total m, Metrics.delivered_total m, m.Metrics.steps) :: t.per_run;
+  (* runless records (e.g. Metrics.retries) adjust totals without
+     entering the per-run percentile distributions *)
+  if m.Metrics.runs > 0 then
+    t.per_run <-
+      (Metrics.sent_total m, Metrics.delivered_total m, m.Metrics.steps) :: t.per_run;
   t.n <- t.n + m.Metrics.runs
 
 let add_run = add

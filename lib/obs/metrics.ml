@@ -16,6 +16,12 @@ type t = {
   starved : int;
   invalid_decisions : int;
   scheduler_exns : int;
+  injected_dup : int;
+  injected_corrupt : int;
+  injected_delay : int;
+  injected_crash : int;
+  timed_out : int;
+  trial_retries : int;
   wall_clock : float;
   gc_minor_words : float;
   gc_major_words : float;
@@ -32,6 +38,12 @@ let zero =
     starved = 0;
     invalid_decisions = 0;
     scheduler_exns = 0;
+    injected_dup = 0;
+    injected_corrupt = 0;
+    injected_delay = 0;
+    injected_crash = 0;
+    timed_out = 0;
+    trial_retries = 0;
     wall_clock = 0.0;
     gc_minor_words = 0.0;
     gc_major_words = 0.0;
@@ -48,6 +60,12 @@ let merge a b =
     starved = a.starved + b.starved;
     invalid_decisions = a.invalid_decisions + b.invalid_decisions;
     scheduler_exns = a.scheduler_exns + b.scheduler_exns;
+    injected_dup = a.injected_dup + b.injected_dup;
+    injected_corrupt = a.injected_corrupt + b.injected_corrupt;
+    injected_delay = a.injected_delay + b.injected_delay;
+    injected_crash = a.injected_crash + b.injected_crash;
+    timed_out = a.timed_out + b.timed_out;
+    trial_retries = a.trial_retries + b.trial_retries;
     wall_clock = a.wall_clock +. b.wall_clock;
     gc_minor_words = a.gc_minor_words +. b.gc_minor_words;
     gc_major_words = a.gc_major_words +. b.gc_major_words;
@@ -80,7 +98,20 @@ let det_fields m =
     ("starved", m.starved);
     ("invalid_decisions", m.invalid_decisions);
     ("scheduler_exns", m.scheduler_exns);
+    ("injected_dup", m.injected_dup);
+    ("injected_corrupt", m.injected_corrupt);
+    ("injected_delay", m.injected_delay);
+    ("injected_crash", m.injected_crash);
+    ("timed_out", m.timed_out);
+    ("trial_retries", m.trial_retries);
   ]
+
+let injected_total m =
+  m.injected_dup + m.injected_corrupt + m.injected_delay + m.injected_crash
+
+(* A runless record carrying only retry counts ([runs = 0] keeps it out
+   of the per-run percentile distributions when folded into an Agg). *)
+let retries n = { zero with trial_retries = n }
 
 let det_repr m =
   String.concat ","
@@ -92,18 +123,29 @@ let pp fmt m =
      sent %d (p2p %d, p2m %d, m2p %d, self %d)@,\
      delivered %d, dropped %d@,\
      fallbacks: %d starvation, %d invalid-decision, %d scheduler-exn@,\
+     injected faults: %d dup, %d corrupt, %d delay, %d crash; %d timed-out, %d retried@,\
      wall-clock %.3fs, gc %.0f minor / %.0f major words@]"
     m.runs m.steps m.batches (counts_total m.sent) m.sent.p2p m.sent.p2m m.sent.m2p
     m.sent.self (counts_total m.delivered) (counts_total m.dropped) m.starved
-    m.invalid_decisions m.scheduler_exns m.wall_clock m.gc_minor_words m.gc_major_words
+    m.invalid_decisions m.scheduler_exns m.injected_dup m.injected_corrupt m.injected_delay
+    m.injected_crash m.timed_out m.trial_retries m.wall_clock m.gc_minor_words
+    m.gc_major_words
 
 let summary_line m =
-  Printf.sprintf
-    "msgs: %d sent (p2p %d, p2m %d, m2p %d, self %d), %d delivered, %d dropped | runs %d, \
-     steps %d, batches %d | fallbacks: %d starved, %d invalid, %d sched-exn"
-    (counts_total m.sent) m.sent.p2p m.sent.p2m m.sent.m2p m.sent.self
-    (counts_total m.delivered) (counts_total m.dropped) m.runs m.steps m.batches m.starved
-    m.invalid_decisions m.scheduler_exns
+  let base =
+    Printf.sprintf
+      "msgs: %d sent (p2p %d, p2m %d, m2p %d, self %d), %d delivered, %d dropped | runs %d, \
+       steps %d, batches %d | fallbacks: %d starved, %d invalid, %d sched-exn"
+      (counts_total m.sent) m.sent.p2p m.sent.p2m m.sent.m2p m.sent.self
+      (counts_total m.delivered) (counts_total m.dropped) m.runs m.steps m.batches m.starved
+      m.invalid_decisions m.scheduler_exns
+  in
+  if injected_total m = 0 && m.timed_out = 0 && m.trial_retries = 0 then base
+  else
+    base
+    ^ Printf.sprintf " | faults: %d dup, %d corrupt, %d delay, %d crash; %d timed-out, %d retried"
+        m.injected_dup m.injected_corrupt m.injected_delay m.injected_crash m.timed_out
+        m.trial_retries
 
 let counts_to_json c =
   Json.Obj
@@ -130,6 +172,16 @@ let to_json m =
             ("starved", Json.Int m.starved);
             ("invalid_decisions", Json.Int m.invalid_decisions);
             ("scheduler_exns", Json.Int m.scheduler_exns);
+            ( "injected",
+              Json.Obj
+                [
+                  ("dup", Json.Int m.injected_dup);
+                  ("corrupt", Json.Int m.injected_corrupt);
+                  ("delay", Json.Int m.injected_delay);
+                  ("crash", Json.Int m.injected_crash);
+                ] );
+            ("timed_out", Json.Int m.timed_out);
+            ("trial_retries", Json.Int m.trial_retries);
           ] );
       ( "environmental",
         Json.Obj
@@ -158,6 +210,11 @@ module Builder = struct
     mutable starved : int;
     mutable invalid_decisions : int;
     mutable scheduler_exns : int;
+    mutable injected_dup : int;
+    mutable injected_corrupt : int;
+    mutable injected_delay : int;
+    mutable injected_crash : int;
+    mutable timed_out : bool;
     t0 : float;
     gc0_minor : float;
     gc0_major : float;
@@ -173,6 +230,11 @@ module Builder = struct
       starved = 0;
       invalid_decisions = 0;
       scheduler_exns = 0;
+      injected_dup = 0;
+      injected_corrupt = 0;
+      injected_delay = 0;
+      injected_crash = 0;
+      timed_out = false;
       t0 = Unix.gettimeofday ();
       gc0_minor = gc.Gc.minor_words;
       gc0_major = gc.Gc.major_words;
@@ -188,6 +250,11 @@ module Builder = struct
   let starved b = b.starved <- b.starved + 1
   let invalid_decision b = b.invalid_decisions <- b.invalid_decisions + 1
   let scheduler_exn b = b.scheduler_exns <- b.scheduler_exns + 1
+  let injected_dup b = b.injected_dup <- b.injected_dup + 1
+  let injected_corrupt b = b.injected_corrupt <- b.injected_corrupt + 1
+  let injected_delay b = b.injected_delay <- b.injected_delay + 1
+  let injected_crash b = b.injected_crash <- b.injected_crash + 1
+  let timed_out b = b.timed_out <- true
 
   let counts_of arr = { p2p = arr.(0); p2m = arr.(1); m2p = arr.(2); self = arr.(3) }
 
@@ -203,6 +270,12 @@ module Builder = struct
       starved = b.starved;
       invalid_decisions = b.invalid_decisions;
       scheduler_exns = b.scheduler_exns;
+      injected_dup = b.injected_dup;
+      injected_corrupt = b.injected_corrupt;
+      injected_delay = b.injected_delay;
+      injected_crash = b.injected_crash;
+      timed_out = (if b.timed_out then 1 else 0);
+      trial_retries = 0;
       wall_clock = Unix.gettimeofday () -. b.t0;
       gc_minor_words = gc.Gc.minor_words -. b.gc0_minor;
       gc_major_words = gc.Gc.major_words -. b.gc0_major;

@@ -36,6 +36,12 @@ type t = {
   starved : int;  (** fairness-bound force-delivers overriding the scheduler *)
   invalid_decisions : int;  (** [Deliver id] with an unknown id, fell back to oldest *)
   scheduler_exns : int;  (** non-fatal scheduler exceptions, fell back to oldest *)
+  injected_dup : int;  (** channel faults injected by a [Faults] plan, by kind *)
+  injected_corrupt : int;
+  injected_delay : int;
+  injected_crash : int;  (** crash-restart windows that opened during the run *)
+  timed_out : int;  (** runs ended by the fuel/wall watchdog ([Timed_out]) *)
+  trial_retries : int;  (** harness-level trial re-runs (Verify.map_trials ?retries) *)
   wall_clock : float;  (** seconds; environmental *)
   gc_minor_words : float;  (** environmental *)
   gc_major_words : float;  (** environmental *)
@@ -49,6 +55,14 @@ val merge : t -> t -> t
 val sent_total : t -> int
 val delivered_total : t -> int
 val dropped_total : t -> int
+
+val injected_total : t -> int
+(** Sum of the four injected-fault counters. *)
+
+val retries : int -> t
+(** A runless record ([runs = 0]) carrying [trial_retries = n]: the
+    value the harness folds into an aggregate to account for re-run
+    trials without polluting per-run distributions. *)
 
 val det_fields : t -> (string * int) list
 (** The deterministic counters as labelled scalars, fixed order. *)
@@ -83,5 +97,10 @@ module Builder : sig
   val starved : t -> unit
   val invalid_decision : t -> unit
   val scheduler_exn : t -> unit
+  val injected_dup : t -> unit
+  val injected_corrupt : t -> unit
+  val injected_delay : t -> unit
+  val injected_crash : t -> unit
+  val timed_out : t -> unit
   val finish : t -> batches:int -> steps:int -> metrics
 end

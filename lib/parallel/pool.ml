@@ -4,11 +4,25 @@
    until it is exhausted. Per-seed results land in a seed-indexed slot,
    so the answer never depends on which domain ran which chunk. *)
 
+exception
+  Trial_failed of {
+    seed : int;
+    exn : exn;
+    backtrace : string;
+  }
+
+let () =
+  Printexc.register_printer (function
+    | Trial_failed { seed; exn; _ } ->
+        Some (Printf.sprintf "Trial_failed (seed %d): %s" seed (Printexc.to_string exn))
+    | _ -> None)
+
 type job = {
   hi : int;  (* exclusive upper seed *)
   chunk : int;
   next : int Atomic.t;  (* next unclaimed seed *)
-  failed : (exn * Printexc.raw_backtrace) option Atomic.t;
+  failed : (int * exn * Printexc.raw_backtrace) option Atomic.t;
+      (* (failing seed, exn, backtrace) — first one recorded wins *)
   run : int -> unit;  (* evaluate one seed and store its result *)
 }
 
@@ -34,13 +48,17 @@ let participate job =
     if Option.is_none (Atomic.get job.failed) then begin
       let start = Atomic.fetch_and_add job.next job.chunk in
       if start < job.hi then begin
+        (* track the seed being evaluated so a failure names the exact
+           replayable trial, not just the chunk *)
+        let s = ref start in
         (try
-           for s = start to min job.hi (start + job.chunk) - 1 do
-             job.run s
+           while !s < min job.hi (start + job.chunk) do
+             job.run !s;
+             incr s
            done
          with e ->
            let bt = Printexc.get_raw_backtrace () in
-           ignore (Atomic.compare_and_set job.failed None (Some (e, bt))));
+           ignore (Atomic.compare_and_set job.failed None (Some (!s, e, bt))));
         loop ()
       end
     end
@@ -123,10 +141,22 @@ let submit t job =
   t.current <- None;
   Mutex.unlock t.lock
 
+(* Wrap a trial failure with its seed; never double-wrap. *)
+let wrap_failure ~seed e bt =
+  match e with
+  | Trial_failed _ -> e
+  | _ -> Trial_failed { seed; exn = e; backtrace = Printexc.raw_backtrace_to_string bt }
+
 let map_seeded ?chunk ~pool ~seeds:(lo, hi) f =
   let total = hi - lo in
   if total < 0 then invalid_arg "Pool.map_seeded: hi < lo";
-  if domains pool = 1 || total <= 1 then Array.init total (fun i -> f (lo + i))
+  if domains pool = 1 || total <= 1 then
+    Array.init total (fun i ->
+        let s = lo + i in
+        try f s
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Printexc.raise_with_backtrace (wrap_failure ~seed:s e bt) bt)
   else begin
     let chunk =
       match chunk with
@@ -145,7 +175,7 @@ let map_seeded ?chunk ~pool ~seeds:(lo, hi) f =
     in
     submit pool job;
     match Atomic.get job.failed with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | Some (s, e, bt) -> Printexc.raise_with_backtrace (wrap_failure ~seed:s e bt) bt
     | None ->
         Array.map
           (function Some v -> v | None -> assert false (* every seed was claimed *))

@@ -11,7 +11,21 @@
 
     Exceptions raised by a worker (e.g. the effect-discipline linter
     failing a run) abort the remaining chunks and are re-raised, with
-    backtrace, in the calling domain. *)
+    backtrace, in the calling domain — wrapped as {!Trial_failed} so
+    the error names the exact replayable seed. *)
+
+exception
+  Trial_failed of {
+    seed : int;  (** the trial seed whose evaluation raised *)
+    exn : exn;  (** the original exception *)
+    backtrace : string;  (** its backtrace, captured at the raise site *)
+  }
+(** Raised by {!map_seeded} when [f] raises: replay with
+    [f seed] to reproduce. With several domains the reported seed is the
+    first failure {e recorded}, which may vary across runs when multiple
+    seeds fail concurrently (fail-fast is inherently racy); with a
+    single failing seed it is exact. Never nested: an [f] that already
+    raises [Trial_failed] propagates unchanged. *)
 
 type t
 (** A pool handle. [domains t = 1] means "run in the calling domain":

@@ -6,21 +6,45 @@ type ('m, 'a) config = {
   mediator : int option;
   max_steps : int;
   starvation_bound : int;
+  faults : Faults.Plan.t option;
+  fuzz : (src:pid -> dst:pid -> seq:int -> 'm -> 'm) option;
+  fuel : int option;
+  wall_limit : float option;
 }
 
-let config ?mediator ?max_steps ?starvation_bound ~scheduler processes =
+let config ?mediator ?max_steps ?starvation_bound ?faults ?fuzz ?fuel ?wall_limit
+    ~scheduler processes =
   let n = Array.length processes in
   let max_steps = match max_steps with Some m -> m | None -> 200_000 in
   let starvation_bound =
     match starvation_bound with Some b -> b | None -> 64 + (4 * n * n)
   in
-  { processes; scheduler; mediator; max_steps; starvation_bound }
+  if max_steps < 1 then
+    invalid_arg (Printf.sprintf "Runner.config: max_steps must be > 0 (got %d)" max_steps);
+  if starvation_bound < 1 then
+    invalid_arg
+      (Printf.sprintf "Runner.config: starvation_bound must be > 0 (got %d)" starvation_bound);
+  (match fuel with
+  | Some f when f < 1 ->
+      invalid_arg (Printf.sprintf "Runner.config: fuel must be > 0 (got %d)" f)
+  | _ -> ());
+  (match wall_limit with
+  | Some w when not (w > 0.0) ->
+      invalid_arg (Printf.sprintf "Runner.config: wall_limit must be > 0 (got %g)" w)
+  | _ -> ());
+  { processes; scheduler; mediator; max_steps; starvation_bound; faults; fuzz; fuel;
+    wall_limit }
 
-(* A pending item is either a start signal or a real message. *)
+(* A pending item is either a start signal or a real message. [fault] is
+   the plan's verdict for this message (computed once, at enqueue);
+   [delay_until] is the absolute decision count a Delay fault pins it
+   until (0 = not pinned). *)
 type ('m, _) item = {
   node : Pending_set.node;
   payload : 'm option; (* None = start signal *)
   enqueued_at_decision : int;
+  fault : fault_kind option;
+  delay_until : int;
 }
 
 let run (cfg : ('m, 'a) config) : 'a outcome =
@@ -44,6 +68,40 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
   let steps = ref 0 in
   let decisions = ref 0 in
   let delivered_batches : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let have_faults = Option.is_some cfg.faults in
+
+  (* Crash-restart windows are fixed per process before the run starts:
+     the plan's verdict depends on the pid alone, so they are identical
+     at any -j. A window defers deliveries to the process (messages stay
+     pending, nothing is lost) — the process resumes from its last state
+     when the window closes, unlike the permanent-crash transformer. *)
+  let crash_specs =
+    match cfg.faults with
+    | None -> [||]
+    | Some plan -> Array.init n (fun pid -> Faults.Plan.crash_window plan ~pid)
+  in
+  let crash_announced = Array.make n false in
+  let crashed pid =
+    pid >= 0
+    && pid < Array.length crash_specs
+    &&
+    match crash_specs.(pid) with
+    | Some (start, len) -> !decisions >= start && !decisions < start + len
+    | None -> false
+  in
+  let announce_crashes () =
+    Array.iteri
+      (fun pid spec ->
+        match spec with
+        | Some (start, len) when (not crash_announced.(pid)) && !decisions >= start ->
+            crash_announced.(pid) <- true;
+            Obs.Metrics.Builder.injected_crash mb;
+            emit (Fault { kind = Crash_restart; src = env_pid; dst = pid; seq = len });
+            emit_pat
+              (Scheduler.P_fault { kind = Crash_restart; src = env_pid; dst = pid; seq = len })
+        | _ -> ())
+      crash_specs
+  in
 
   let next_seq src dst =
     let key = (src, dst) in
@@ -52,27 +110,56 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
     k + 1
   in
 
-  let enqueue ~src ~dst ~payload ~batch =
+  (* [dup]: this enqueue is the injected copy of an already-delivered
+     message — it consumes the channel's next seq like a real send but
+     is announced as a Fault event (the environment duplicated it; the
+     sender did not send it), and is never faulted again. *)
+  let enqueue ?(dup = false) ~src ~dst ~payload ~batch () =
     let id = !next_id in
     incr next_id;
     let s = next_seq src dst in
     let view = { id; src; dst; seq = s; sent_step = !steps; batch } in
     let node = Pending_set.append pending_set view in
-    Hashtbl.replace items id { node; payload; enqueued_at_decision = !decisions };
+    let fault, delay_until =
+      if dup then (None, 0)
+      else
+        match (payload, cfg.faults) with
+        | Some _, Some plan -> (
+            match Faults.Plan.message_fault plan ~src ~dst ~seq:s with
+            | Some Delay as f ->
+                (f, !decisions + (Faults.Plan.config plan).Faults.delay_decisions)
+            | f -> (f, 0))
+        | _ -> (None, 0)
+    in
+    Hashtbl.replace items id
+      { node; payload; enqueued_at_decision = !decisions; fault; delay_until };
     match payload with
     | None -> ()
     | Some _ ->
         incr messages_sent;
         Obs.Metrics.Builder.sent mb ~src ~dst;
-        emit (Sent { src; dst; seq = s });
-        emit_pat (Scheduler.P_sent { src; dst; seq = s })
+        if dup then begin
+          Obs.Metrics.Builder.injected_dup mb;
+          emit (Fault { kind = Duplicate; src; dst; seq = s });
+          emit_pat (Scheduler.P_fault { kind = Duplicate; src; dst; seq = s })
+        end
+        else begin
+          emit (Sent { src; dst; seq = s });
+          emit_pat (Scheduler.P_sent { src; dst; seq = s });
+          match fault with
+          | Some Delay ->
+              Obs.Metrics.Builder.injected_delay mb;
+              emit (Fault { kind = Delay; src; dst; seq = s });
+              emit_pat (Scheduler.P_fault { kind = Delay; src; dst; seq = s })
+          | _ -> ()
+        end
   in
 
   let rec apply_effects pid batch effects =
     match effects with
     | [] -> ()
     | Send (dst, m) :: rest ->
-        if dst >= 0 && dst < n then enqueue ~src:pid ~dst ~payload:(Some m) ~batch;
+        if dst >= 0 && dst < n then enqueue ~src:pid ~dst ~payload:(Some m) ~batch ();
         apply_effects pid batch rest
     | Move a :: rest ->
         (match moves.(pid) with
@@ -103,7 +190,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
 
   (* Start signals for every process, in pid order. *)
   for pid = 0 to n - 1 do
-    enqueue ~src:env_pid ~dst:pid ~payload:None ~batch:(-1)
+    enqueue ~src:env_pid ~dst:pid ~payload:None ~batch:(-1) ()
   done;
 
   let deliver id =
@@ -118,9 +205,24 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
         | Some m ->
             incr messages_delivered;
             Obs.Metrics.Builder.delivered mb ~src ~dst;
+            let m =
+              match (item.fault, cfg.fuzz) with
+              | Some Corrupt, Some fuzz ->
+                  (* the channel mangles the payload in transit; without a
+                     fuzz hook for this message type the fault is inert
+                     and deliberately not counted *)
+                  Obs.Metrics.Builder.injected_corrupt mb;
+                  emit (Fault { kind = Corrupt; src; dst; seq = s });
+                  emit_pat (Scheduler.P_fault { kind = Corrupt; src; dst; seq = s });
+                  fuzz ~src ~dst ~seq:s m
+              | _ -> m
+            in
             emit (Delivered { src; dst; seq = s });
             emit_pat (Scheduler.P_delivered { src; dst; seq = s });
             if batch >= 0 then Hashtbl.replace delivered_batches batch ();
+            (match item.fault with
+            | Some Duplicate -> enqueue ~dup:true ~src ~dst ~payload:item.payload ~batch ()
+            | _ -> ());
             if not halted.(dst) then begin
               activate_start dst;
               if not halted.(dst) then begin
@@ -133,7 +235,8 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
 
   let drop_all_remaining () =
     (* Mediator-batch atomicity: finish partially delivered mediator
-       batches before dropping the rest. *)
+       batches before dropping the rest. Atomicity overrides Delay pins
+       and crash windows — a batch is delivered all-or-none. *)
     let is_mediator src = match cfg.mediator with Some m -> src = m | None -> false in
     let must_finish (v : pending_view) =
       is_mediator v.src && v.batch >= 0 && Hashtbl.mem delivered_batches v.batch
@@ -167,6 +270,33 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
     drop ()
   in
 
+  (* An item the environment is currently withholding: Delay-pinned, or
+     addressed to a process inside its crash-restart window. Scheduler
+     choices of a blocked item are redirected to the oldest deliverable
+     one; if nothing is deliverable the decision is burnt (pins and
+     windows expire at fixed decision counts, so this always clears). *)
+  let blocked id =
+    match Hashtbl.find_opt items id with
+    | None -> true
+    | Some it ->
+        it.delay_until > !decisions || crashed (Pending_set.view_of it.node).dst
+  in
+  let oldest_deliverable () =
+    Pending_set.find pending_set (fun (v : pending_view) -> not (blocked v.id))
+  in
+
+  let t_start = if Option.is_some cfg.wall_limit then Unix.gettimeofday () else 0.0 in
+  let fuel_exhausted () =
+    match cfg.fuel with Some f -> !decisions >= f | None -> false
+  in
+  let wall_exceeded () =
+    match cfg.wall_limit with
+    | None -> false
+    | Some limit ->
+        (* throttled: the clock is only consulted every 256 decisions *)
+        !decisions land 255 = 0 && Unix.gettimeofday () -. t_start > limit
+  in
+
   let termination = ref Quiescent in
   let running = ref true in
   while !running do
@@ -178,17 +308,32 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
       termination := Cutoff;
       running := false
     end
+    else if fuel_exhausted () || wall_exceeded () then begin
+      (* watchdog: end the run loudly — remaining messages are dropped so
+         sent = delivered + dropped conservation still holds *)
+      drop_all_remaining ();
+      Obs.Metrics.Builder.timed_out mb;
+      termination := Timed_out;
+      running := false
+    end
     else begin
       incr decisions;
+      if have_faults then announce_crashes ();
       (* Fairness: force-deliver the oldest message once it is starved past
          the bound ([enqueued_at_decision] is monotone in send order, so
-         the oldest pending message is always the most-starved one). *)
+         the oldest pending message is always the most-starved one). The
+         override beats a Delay pin — that is exactly the guarantee Delay
+         faults stress — but not a crash window (the destination cannot
+         receive while silent; windows are finite). *)
       let starving =
         if cfg.scheduler.relaxed then None
         else begin
           let v = Pending_set.oldest pending_set in
           match Hashtbl.find_opt items v.id with
-          | Some it when !decisions - it.enqueued_at_decision > cfg.starvation_bound -> Some v
+          | Some it
+            when !decisions - it.enqueued_at_decision > cfg.starvation_bound
+                 && not (crashed v.dst) ->
+              Some v
           | _ -> None
         end
       in
@@ -215,15 +360,24 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
                 Obs.Metrics.Builder.scheduler_exn mb;
                 Deliver (Pending_set.oldest pending_set).id
           in
+          let deliver_fallback () =
+            match oldest_deliverable () with
+            | Some v ->
+                deliver v.id;
+                incr steps
+            | None -> () (* everything withheld: burn the decision *)
+          in
           match decision with
           | Deliver id when Hashtbl.mem items id ->
-              deliver id;
-              incr steps
+              if have_faults && blocked id then deliver_fallback ()
+              else begin
+                deliver id;
+                incr steps
+              end
           | Deliver _ ->
               (* invalid id: fall back to oldest *)
               Obs.Metrics.Builder.invalid_decision mb;
-              deliver (Pending_set.oldest pending_set).id;
-              incr steps
+              deliver_fallback ()
           | Stop_delivery ->
               if cfg.scheduler.relaxed then begin
                 drop_all_remaining ();
@@ -233,8 +387,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
               else begin
                 (* Non-relaxed schedulers may not stop: force oldest. *)
                 Obs.Metrics.Builder.invalid_decision mb;
-                deliver (Pending_set.oldest pending_set).id;
-                incr steps
+                deliver_fallback ()
               end)
     end
   done;
@@ -265,5 +418,6 @@ let message_pattern (o : 'a outcome) =
       | Dropped { src; dst; seq } -> Some (Scheduler.P_dropped { src; dst; seq })
       | Moved { who; _ } -> Some (Scheduler.P_moved who)
       | Halted p -> Some (Scheduler.P_halted p)
-      | Started p -> Some (Scheduler.P_started p))
+      | Started p -> Some (Scheduler.P_started p)
+      | Fault { kind; src; dst; seq } -> Some (Scheduler.P_fault { kind; src; dst; seq }))
     o.trace

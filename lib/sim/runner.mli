@@ -12,7 +12,16 @@
     is force-delivered (oldest first), overriding the scheduler. Relaxed
     schedulers may issue [Stop_delivery]; the driver then completes any
     partially delivered same-batch group of mediator messages (the
-    atomicity rule of Section 5) before dropping the rest. *)
+    atomicity rule of Section 5) before dropping the rest.
+
+    A [Faults.Plan] adds channel-level faults on top (DESIGN.md §11):
+    duplicated patterns, in-transit corruption via the [fuzz] hook,
+    Delay pins the fairness override must break, and crash-restart
+    windows during which deliveries to a process are deferred (never
+    dropped). Every injected fault is counted in the run's metrics and
+    emitted as a [Fault] trace/pattern event; injection is a pure
+    function of the plan's seed and the message's (src, dst, seq), so
+    faulted runs keep the byte-identity-at-any-[-j] contract. *)
 
 type ('m, 'a) config = {
   processes : ('m, 'a) Types.process array;
@@ -20,15 +29,36 @@ type ('m, 'a) config = {
   mediator : int option;  (** pid of the mediator process, if any *)
   max_steps : int;  (** cutoff guarding against livelock; default 200_000 *)
   starvation_bound : int;  (** fairness bound; default 64 + 4*(n^2) *)
+  faults : Faults.Plan.t option;
+      (** channel-fault plan consulted at every enqueue/delivery; [None]
+          (the default) injects nothing and costs nothing *)
+  fuzz : (src:Types.pid -> dst:Types.pid -> seq:int -> 'm -> 'm) option;
+      (** payload mangler applied when the plan marks a message
+          [Corrupt]; without it Corrupt verdicts are inert (a fault the
+          message type cannot express is not counted) *)
+  fuel : int option;
+      (** watchdog: end the run as [Timed_out] after this many scheduler
+          decisions (deterministic — decisions, unlike steps, also tick
+          on burnt/vetoed choices, so a wedged run cannot spin) *)
+  wall_limit : float option;
+      (** watchdog: end the run as [Timed_out] after this many seconds.
+          Environmental by nature — never enable it in a run whose trace
+          participates in a byte-identity diff *)
 }
 
 val config :
   ?mediator:int ->
   ?max_steps:int ->
   ?starvation_bound:int ->
+  ?faults:Faults.Plan.t ->
+  ?fuzz:(src:Types.pid -> dst:Types.pid -> seq:int -> 'm -> 'm) ->
+  ?fuel:int ->
+  ?wall_limit:float ->
   scheduler:Scheduler.t ->
   ('m, 'a) Types.process array ->
   ('m, 'a) config
+(** @raise Invalid_argument when [max_steps], [starvation_bound] or
+    [fuel] is not positive, or [wall_limit] is not > 0. *)
 
 val run : ('m, 'a) config -> 'a Types.outcome
 (** Execute one complete history. Calls [scheduler.reset] first (per-run

@@ -5,6 +5,7 @@ type pattern_event =
   | P_moved of int
   | P_halted of int
   | P_started of int
+  | P_fault of { kind : Faults.kind; src : int; dst : int; seq : int }
 
 type t = {
   name : string;

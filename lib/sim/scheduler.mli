@@ -23,6 +23,10 @@ type pattern_event =
   | P_moved of int
   | P_halted of int
   | P_started of int
+  | P_fault of { kind : Faults.kind; src : int; dst : int; seq : int }
+      (** An injected channel fault (see [Faults]): schedulers observe
+          faults like any other pattern event — the environment knows
+          what it did to its own channels. *)
 
 type t = {
   name : string;

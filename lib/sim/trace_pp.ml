@@ -3,10 +3,18 @@ open Types
 let pp_event fmt = function
   | Sent { src; dst; seq } -> Format.fprintf fmt "%d --%d--> %d" src seq dst
   | Delivered { src; dst; seq } -> Format.fprintf fmt "%d ==%d==> %d" src seq dst
-  | Dropped { src; dst; seq } -> Format.fprintf fmt "%d --%d--x %d (dropped)" src seq dst
+  | Dropped { src; dst; seq } -> Format.fprintf fmt "%d xx%dxx| %d  DROPPED" src seq dst
   | Moved { who; _ } -> Format.fprintf fmt "%d MOVES" who
   | Halted p -> Format.fprintf fmt "%d HALTS" p
   | Started p -> Format.fprintf fmt "%d starts" p
+  | Fault { kind = Duplicate; src; dst; seq } ->
+      Format.fprintf fmt "%d ++%d++> %d  FAULT dup-injected" src seq dst
+  | Fault { kind = Corrupt; src; dst; seq } ->
+      Format.fprintf fmt "%d ~~%d~~> %d  FAULT corrupted in transit" src seq dst
+  | Fault { kind = Delay; src; dst; seq } ->
+      Format.fprintf fmt "%d ..%d..> %d  FAULT delay-pinned" src seq dst
+  | Fault { kind = Crash_restart; dst; seq; _ } ->
+      Format.fprintf fmt "%d !!CRASH!!  FAULT silent for %d decisions" dst seq
 
 let chart ?(limit = 200) (o : 'a outcome) =
   let buf = Buffer.create 1024 in
@@ -42,7 +50,7 @@ let stats (o : 'a outcome) =
       | Moved { who; _ } ->
           moves := (who, !move_index) :: !moves;
           incr move_index
-      | Delivered _ | Dropped _ | Halted _ | Started _ -> ())
+      | Delivered _ | Dropped _ | Halted _ | Started _ | Fault _ -> ())
     o.trace;
   {
     sends_per_pair =

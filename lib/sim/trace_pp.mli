@@ -7,8 +7,11 @@ val pp_event : Format.formatter -> 'a Types.trace_event -> unit
 
 val chart : ?limit:int -> 'a Types.outcome -> string
 (** A line-per-event sequence chart: sends as [i --seq--> j], deliveries
-    as [i ==seq==> j], moves, halts, drops. [limit] truncates long traces
-    (default 200 events) with a trailing summary line. *)
+    as [i ==seq==> j], drops as [i xxseqxx| j  DROPPED] (visually
+    distinct from a delivery in long traces), injected faults with
+    per-kind glyphs ([++ dup], [~~ corrupt], [.. delay], [!!CRASH!!]),
+    moves and halts. [limit] truncates long traces (default 200 events)
+    with a trailing summary line. *)
 
 type stats = {
   sends_per_pair : ((int * int) * int) list;  (** sorted, descending *)

@@ -39,8 +39,22 @@ type pending_view = {
   batch : int;
 }
 
+type fault_kind = Faults.kind =
+  | Duplicate
+  | Corrupt
+  | Delay
+  | Crash_restart
+      (** Channel-fault kinds (re-exported from [Faults] so trace
+          consumers need not depend on that library directly). *)
+
 (** Trace events: exactly the message-pattern alphabet of Lemma 6.8 plus
-    move/halt markers. *)
+    move/halt markers, plus injected-fault markers. A [Fault] event is
+    environment action, not process behaviour: for [Duplicate] it plays
+    the role of the duplicate copy's [Sent] (the copy's [seq] extends the
+    channel numbering); for the other kinds it is purely informational
+    and precedes the affected delivery ([Corrupt]), marks the pinning
+    ([Delay]) or the window opening ([Crash_restart], with [src] the
+    environment and [seq] the window length). *)
 type 'a trace_event =
   | Sent of { src : pid; dst : pid; seq : int }
   | Delivered of { src : pid; dst : pid; seq : int }
@@ -48,6 +62,7 @@ type 'a trace_event =
   | Moved of { who : pid; action : 'a }
   | Halted of pid
   | Started of pid
+  | Fault of { kind : fault_kind; src : pid; dst : pid; seq : int }
 
 type decision =
   | Deliver of int  (** id of the pending message to deliver next *)
@@ -61,6 +76,9 @@ type termination =
   | Quiescent  (** no pending messages but some processes never halted *)
   | Deadlocked  (** a relaxed scheduler stopped delivery *)
   | Cutoff  (** step limit reached with messages still pending (livelock) *)
+  | Timed_out
+      (** the per-run watchdog (decision fuel or wall-clock limit)
+          expired; remaining messages were dropped, conservation holds *)
 
 type 'a outcome = {
   moves : 'a option array;  (** per-player move in the underlying game *)

@@ -246,6 +246,130 @@ let test_starvation_counted () =
   in
   Alcotest.(check bool) "starvation counted" true (o.T.metrics.Metrics.starved > 0)
 
+let metrics_with_sent s =
+  { Metrics.zero with Metrics.runs = 1; sent = { Metrics.counts_zero with Metrics.p2p = s } }
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection accounting (ISSUE: deterministic fault plane) *)
+
+let heavy_faults =
+  Faults.make ~dup:0.15 ~corrupt:0.1 ~delay:0.1 ~crash:0.5 ~delay_decisions:5
+    ~crash_window:3 ()
+
+(* identity fuzz: Corrupt faults are counted and traced without changing
+   the protocol's behaviour *)
+let id_fuzz ~src:_ ~dst:_ ~seq:_ (j : int) = j
+
+let faulted_run ~seed ~rounds =
+  Runner.run
+    (Runner.config ~scheduler:(Scheduler.fifo ())
+       ~faults:(Faults.Plan.make ~seed heavy_faults)
+       ~fuzz:id_fuzz
+       [| ping_pong ~rounds 0; ping_pong ~rounds 1 |])
+
+let count_trace_faults (o : int T.outcome) =
+  List.fold_left
+    (fun (d, c, dl, cr) ev ->
+      match ev with
+      | T.Fault { kind = T.Duplicate; _ } -> (d + 1, c, dl, cr)
+      | T.Fault { kind = T.Corrupt; _ } -> (d, c + 1, dl, cr)
+      | T.Fault { kind = T.Delay; _ } -> (d, c, dl + 1, cr)
+      | T.Fault { kind = T.Crash_restart; _ } -> (d, c, dl, cr + 1)
+      | _ -> (d, c, dl, cr))
+    (0, 0, 0, 0) o.T.trace
+
+let test_fault_counters_in_det_fields () =
+  let labels = List.map fst (Metrics.det_fields Metrics.zero) in
+  List.iter
+    (fun l -> Alcotest.(check bool) (l ^ " in det_fields") true (List.mem l labels))
+    [
+      "injected_dup";
+      "injected_corrupt";
+      "injected_delay";
+      "injected_crash";
+      "timed_out";
+      "trial_retries";
+    ]
+
+let test_every_injected_fault_accounted () =
+  (* sent = delivered + dropped holds with duplicates in flight, and
+     each injected-fault counter equals its trace-event count *)
+  let some_dup = ref false and some_crash = ref false in
+  for seed = 1 to 20 do
+    let o = faulted_run ~seed ~rounds:12 in
+    let m = o.T.metrics in
+    let d, c, dl, cr = count_trace_faults o in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: sent = delivered + dropped" seed)
+      (Metrics.sent_total m)
+      (Metrics.delivered_total m + Metrics.dropped_total m);
+    Alcotest.(check int) (Printf.sprintf "seed %d: dup" seed) d m.Metrics.injected_dup;
+    Alcotest.(check int) (Printf.sprintf "seed %d: corrupt" seed) c m.Metrics.injected_corrupt;
+    Alcotest.(check int) (Printf.sprintf "seed %d: delay" seed) dl m.Metrics.injected_delay;
+    Alcotest.(check int) (Printf.sprintf "seed %d: crash" seed) cr m.Metrics.injected_crash;
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d: injected_total" seed)
+      (d + c + dl + cr) (Metrics.injected_total m);
+    if m.Metrics.injected_dup > 0 then some_dup := true;
+    if m.Metrics.injected_crash > 0 then some_crash := true
+  done;
+  Alcotest.(check bool) "duplicates actually injected" true !some_dup;
+  Alcotest.(check bool) "crash windows actually opened" true !some_crash
+
+let test_zero_rate_plan_inert () =
+  (* a plan with all rates zero must leave the run byte-identical to a
+     faultless one *)
+  let plain =
+    Runner.run
+      (Runner.config ~scheduler:(Scheduler.fifo ())
+         [| ping_pong ~rounds:6 0; ping_pong ~rounds:6 1 |])
+  in
+  let nulled =
+    Runner.run
+      (Runner.config ~scheduler:(Scheduler.fifo ())
+         ~faults:(Faults.Plan.make ~seed:7 Faults.none)
+         ~fuzz:id_fuzz
+         [| ping_pong ~rounds:6 0; ping_pong ~rounds:6 1 |])
+  in
+  Alcotest.(check bool) "digests equal" true (digest plain = digest nulled);
+  Alcotest.(check int) "nothing injected" 0 (Metrics.injected_total nulled.T.metrics)
+
+let test_timed_out_counted_and_conserved () =
+  (* two processes that ping-pong forever: only the fuel watchdog ends
+     the run, the tail is dropped (conservation holds), and the
+     termination + counter say Timed_out *)
+  let forever me =
+    let other = 1 - me in
+    T.
+      {
+        start = (fun () -> if me = 0 then [ Send (other, 1) ] else []);
+        receive = (fun ~src:_ j -> [ Send (other, j + 1) ]);
+        will = (fun () -> None);
+      }
+  in
+  let o =
+    Runner.run
+      (Runner.config ~scheduler:(Scheduler.fifo ()) ~fuel:50 [| forever 0; forever 1 |])
+  in
+  let m = o.T.metrics in
+  Alcotest.(check bool) "terminated Timed_out" true (o.T.termination = T.Timed_out);
+  Alcotest.(check int) "timed_out counted" 1 m.Metrics.timed_out;
+  Alcotest.(check int) "sent = delivered + dropped" (Metrics.sent_total m)
+    (Metrics.delivered_total m + Metrics.dropped_total m);
+  Alcotest.(check bool) "tail dropped" true (Metrics.dropped_total m > 0)
+
+let test_agg_runless_retries () =
+  (* Metrics.retries folds into totals without entering per-run
+     percentile distributions *)
+  let agg = Agg.create () in
+  Agg.add agg (Metrics.retries 5);
+  Alcotest.(check int) "no runs recorded" 0 (Agg.count agg);
+  Alcotest.(check int) "retries in total" 5 (Agg.total agg).Metrics.trial_retries;
+  Agg.add agg (metrics_with_sent 10);
+  let s = Agg.summary agg in
+  Alcotest.(check int) "one run in summary" 1 s.Agg.runs;
+  Alcotest.(check (float 1e-9)) "percentiles unpolluted" 10.0 s.Agg.sent.Agg.mean
+
 (* ------------------------------------------------------------------ *)
 (* Per-run scheduler freshness (the stateful-reuse bugfix) *)
 
@@ -311,9 +435,6 @@ let test_relaxed_stop_counter_resets () =
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation *)
-
-let metrics_with_sent s =
-  { Metrics.zero with Metrics.runs = 1; sent = { Metrics.counts_zero with Metrics.p2p = s } }
 
 let test_agg_totals_and_percentiles () =
   let agg = Agg.create () in
@@ -445,6 +566,17 @@ let () =
             test_nonfatal_scheduler_exception_counted;
           Alcotest.test_case "invalid decision counted" `Quick test_invalid_decision_counted;
           Alcotest.test_case "starvation counted" `Quick test_starvation_counted;
+        ] );
+      ( "fault-accounting",
+        [
+          Alcotest.test_case "fault counters in det_fields" `Quick
+            test_fault_counters_in_det_fields;
+          Alcotest.test_case "every injected fault accounted" `Quick
+            test_every_injected_fault_accounted;
+          Alcotest.test_case "zero-rate plan is inert" `Quick test_zero_rate_plan_inert;
+          Alcotest.test_case "timed_out counted + conservation" `Quick
+            test_timed_out_counted_and_conserved;
+          Alcotest.test_case "runless retries record" `Quick test_agg_runless_retries;
         ] );
       ( "scheduler-freshness",
         [

@@ -54,12 +54,39 @@ let test_map_seeded_empty () =
         (Array.length (Pool.map_seeded ~pool ~seeds:(5, 5) payload)))
 
 let test_pool_exception_propagates () =
+  (* a worker failure is wrapped as Trial_failed naming the exact
+     replayable seed, with the original exception inside *)
   Pool.with_pool ~domains:4 (fun pool ->
       match Pool.map_seeded ~chunk:3 ~pool ~seeds:(0, 100) (fun s ->
                 if s = 57 then failwith "boom at 57" else s)
       with
       | _ -> Alcotest.fail "expected the worker exception to propagate"
-      | exception Failure msg -> Alcotest.(check string) "exn carried" "boom at 57" msg)
+      | exception Pool.Trial_failed { seed; exn = Failure msg; _ } ->
+          Alcotest.(check int) "failing seed named" 57 seed;
+          Alcotest.(check string) "original exn carried" "boom at 57" msg
+      | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e))
+
+let test_pool_failure_wrapped_sequentially () =
+  (* the sequential path (domains = 1) wraps identically: callers match
+     one exception shape at every -j *)
+  match Pool.map_seeded ~pool:Pool.sequential ~seeds:(10, 20) (fun s ->
+            if s = 13 then failwith "boom" else s)
+  with
+  | _ -> Alcotest.fail "expected Trial_failed"
+  | exception Pool.Trial_failed { seed = 13; exn = Failure msg; _ } ->
+      Alcotest.(check string) "original exn carried" "boom" msg
+  | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+
+let test_trial_failed_never_nested () =
+  (* an f that already raises Trial_failed propagates unchanged *)
+  let inner = Pool.Trial_failed { seed = 99; exn = Not_found; backtrace = "" } in
+  match Pool.map_seeded ~pool:Pool.sequential ~seeds:(0, 4) (fun s ->
+            if s = 2 then raise inner else s)
+  with
+  | _ -> Alcotest.fail "expected Trial_failed"
+  | exception Pool.Trial_failed { seed; exn; _ } ->
+      Alcotest.(check int) "inner seed preserved" 99 seed;
+      Alcotest.(check bool) "not double-wrapped" true (exn = Not_found)
 
 let test_pool_create_rejects_nonpositive () =
   (* -j validation lives in the CLIs; the pool itself must refuse the
@@ -75,7 +102,7 @@ let test_pool_reusable_after_failure () =
   (* a failed job must not wedge the workers for the next one *)
   Pool.with_pool ~domains:4 (fun pool ->
       (try ignore (Pool.map_seeded ~pool ~seeds:(0, 50) (fun _ -> failwith "die")) with
-      | Failure _ -> ());
+      | Pool.Trial_failed _ -> ());
       let r = Pool.map_seeded ~pool ~seeds:(0, 50) (fun s -> s * s) in
       Alcotest.(check int) "pool still works" (49 * 49) r.(49))
 
@@ -144,6 +171,11 @@ let experiments : (string * (Common.ctx -> Common.table)) list =
     ("e9", Experiments.E9.run);
     ("e10", Experiments.E10.run);
     ("a1", Experiments.A1.run);
+    (* the fault-injection sweep obeys the same contract: every injected
+       fault (and the retry bookkeeping) is decided by seed-derived
+       plans, so its table — fault counters included via det_repr — must
+       be byte-identical at any -j *)
+    ("chaos", Experiments.Chaos.run);
   ]
 
 (* rows + verdict + the deterministic metric counters: a table (and its
@@ -224,8 +256,9 @@ let test_seeded_bug_caught_in_worker_domain () =
   Pool.with_pool ~domains:4 (fun pool ->
       match Pool.map_seeded ~pool ~seeds:(0, 16) rogue_trial with
       | _ -> Alcotest.fail "seeded bug not caught in worker domain"
-      | exception Failure msg ->
-          Alcotest.(check bool) "lint failure surfaced" true (contains ~needle:"lint" msg))
+      | exception Pool.Trial_failed { exn = Failure msg; _ } ->
+          Alcotest.(check bool) "lint failure surfaced" true (contains ~needle:"lint" msg)
+      | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e))
 
 let test_race_fixture_caught_in_worker_domain () =
   (* ctmed lint's --seeded-bug fixture, analyzed inside a worker domain *)
@@ -250,6 +283,9 @@ let () =
         [
           Alcotest.test_case "empty range" `Quick test_map_seeded_empty;
           Alcotest.test_case "exception propagates" `Quick test_pool_exception_propagates;
+          Alcotest.test_case "failure wrapped sequentially" `Quick
+            test_pool_failure_wrapped_sequentially;
+          Alcotest.test_case "Trial_failed never nested" `Quick test_trial_failed_never_nested;
           Alcotest.test_case "create rejects domains < 1" `Quick
             test_pool_create_rejects_nonpositive;
           Alcotest.test_case "reusable after failure" `Quick test_pool_reusable_after_failure;
