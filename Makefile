@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-all: build lint par-check chaos
+all: build lint par-check chaos perf-gate
 
 build:
 	dune build @all
@@ -33,6 +33,14 @@ chaos:
 	    echo "chaos: hung run should exit 3 (degraded), got $$st" >&2; exit 1; \
 	  fi; \
 	  echo "chaos: hung run degraded with exit 3, as required"
+
+# Perf regression gate: rerun the smoke budget sequentially and compare
+# per-experiment wall-clock plus the kernel micro-benchmark estimates
+# against the committed baseline (BENCH_smoke.json). Exits 1 if anything
+# is slower than baseline * (1 + tolerance); being faster always passes.
+# Regenerate the baseline with `make bench-json` on a quiet machine.
+perf-gate:
+	dune exec bench/main.exe -- smoke -j 1 --baseline BENCH_smoke.json --tolerance 0.5
 
 test:
 	dune runtest
@@ -70,4 +78,4 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all build lint par-check chaos test test-verbose bench bench-full bench-csv bench-json examples clean
+.PHONY: all build lint par-check chaos perf-gate test test-verbose bench bench-full bench-csv bench-json examples clean

@@ -81,8 +81,93 @@ let table_to_json ~wall_clock (t : Experiments.Common.table) =
 let usage_exit msg =
   prerr_endline msg;
   prerr_endline
-    "usage: main.exe [smoke|quick|full] [csv] [json] [lint] [diff] [-j N] [ids...|chaos|hang]";
+    "usage: main.exe [smoke|quick|full] [csv] [json] [lint] [diff] [-j N] \
+     [--baseline FILE] [--tolerance FRAC] [ids...|chaos|hang]";
   exit 2
+
+(* --- perf regression gate -------------------------------------------
+   [--baseline FILE] compares this run's per-experiment wall-clocks and
+   micro-benchmark estimates against a previously committed
+   BENCH_<budget>.json; anything slower than baseline * (1 + tolerance)
+   is a regression and the run exits 1. Being faster never fails. The
+   baseline is read before the run starts, so a [json] run that
+   overwrites the file still diffs against the committed numbers.
+
+   Noise floors: experiments under 50 ms and micro estimates under 10 ns
+   at baseline are skipped — at that scale the relative band measures
+   jitter, not the code. *)
+
+let min_experiment_s = 0.05
+let min_micro_ns = 10.0
+
+type baseline = {
+  b_budget : string option;
+  b_experiments : (string * float) list; (* id -> wall_clock_s *)
+  b_micro : (string * float) list; (* bench name -> ns/run *)
+  b_total : float option;
+}
+
+let load_baseline file =
+  let doc = Obs.Json.of_file file in
+  let experiments =
+    match Obs.Json.member "experiments" doc with
+    | Some (Obs.Json.Obj fields) ->
+        List.filter_map
+          (fun (id, t) ->
+            match Option.bind (Obs.Json.member "wall_clock_s" t) Obs.Json.to_float_opt with
+            | Some w -> Some (id, w)
+            | None -> None)
+          fields
+    | _ -> []
+  in
+  let micro =
+    match Obs.Json.member "micro" doc with
+    | Some (Obs.Json.Obj fields) ->
+        List.filter_map
+          (fun (name, v) ->
+            match Obs.Json.to_float_opt v with
+            | Some ns -> Some (name, ns)
+            | None -> None)
+          fields
+    | _ -> []
+  in
+  {
+    b_budget = Option.bind (Obs.Json.member "budget" doc) Obs.Json.to_string_opt;
+    b_experiments = experiments;
+    b_micro = micro;
+    b_total =
+      Option.bind (Obs.Json.member "total_wall_clock_s" doc) Obs.Json.to_float_opt;
+  }
+
+let check_gate ~tolerance ~(baseline : baseline) ~timings ~micro ~total =
+  let regressions = ref [] in
+  let compare_one ~floor ~unit name base now =
+    if base >= floor then begin
+      let limit = base *. (1.0 +. tolerance) in
+      let verdict = if now > limit then "REGRESSED" else "ok" in
+      if now > limit then regressions := name :: !regressions;
+      Printf.printf "  %-44s %10.2f %s %10.2f %s (x%.2f) %s\n" name base unit now unit
+        (now /. base) verdict
+    end
+  in
+  Printf.printf "\n=== perf gate (tolerance +%.0f%%) ===\n" (tolerance *. 100.0);
+  Printf.printf "  %-44s %13s %13s\n" "" "baseline" "current";
+  List.iter
+    (fun (id, dt) ->
+      match List.assoc_opt id baseline.b_experiments with
+      | Some base -> compare_one ~floor:min_experiment_s ~unit:"s" id base dt
+      | None -> ())
+    timings;
+  List.iter
+    (fun (name, ns) ->
+      match List.assoc_opt name baseline.b_micro with
+      | Some base -> compare_one ~floor:min_micro_ns ~unit:"ns" name base ns
+      | None -> ())
+    micro;
+  (match baseline.b_total with
+  | Some base -> compare_one ~floor:min_experiment_s ~unit:"s" "total" base total
+  | None -> ());
+  List.rev !regressions
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -92,6 +177,8 @@ let () =
     if n < 1 then usage_exit (Printf.sprintf "-j %d: job count must be >= 1" n);
     jobs := n
   in
+  let baseline_file = ref None in
+  let tolerance = ref 0.5 in
   let rec strip_j acc = function
     | [] -> List.rev acc
     | "-j" :: n :: rest -> (
@@ -101,6 +188,17 @@ let () =
             strip_j acc rest
         | None -> usage_exit (Printf.sprintf "-j %s: not an integer" n))
     | [ "-j" ] -> usage_exit "-j: missing job count"
+    | "--baseline" :: file :: rest ->
+        baseline_file := Some file;
+        strip_j acc rest
+    | [ "--baseline" ] -> usage_exit "--baseline: missing file"
+    | "--tolerance" :: x :: rest -> (
+        match float_of_string_opt x with
+        | Some t when t >= 0.0 ->
+            tolerance := t;
+            strip_j acc rest
+        | _ -> usage_exit (Printf.sprintf "--tolerance %s: not a non-negative number" x))
+    | [ "--tolerance" ] -> usage_exit "--tolerance: missing value"
     | arg :: rest when String.length arg > 2 && String.sub arg 0 2 = "-j" -> (
         match int_of_string_opt (String.sub arg 2 (String.length arg - 2)) with
         | Some n ->
@@ -123,12 +221,30 @@ let () =
   let selected = List.filter (fun a -> not (List.mem a keywords)) args in
   let want id = selected = [] || List.mem id selected in
   let check_runs = lint || Cheaptalk.Verify.default_check_runs in
+  (* read the baseline up front: a [json] run may overwrite the file *)
+  let baseline =
+    match !baseline_file with
+    | None -> None
+    | Some file -> (
+        try Some (load_baseline file) with
+        | Obs.Json.Parse_error msg ->
+            usage_exit (Printf.sprintf "--baseline %s: %s" file msg)
+        | Sys_error msg -> usage_exit (Printf.sprintf "--baseline: %s" msg))
+  in
+  (match baseline with
+  | Some b when b.b_budget <> None && b.b_budget <> Some budget_name ->
+      usage_exit
+        (Printf.sprintf "--baseline: budget mismatch (baseline %s, this run %s)"
+           (Option.value ~default:"?" b.b_budget)
+           budget_name)
+  | _ -> ());
   let pool = Parallel.Pool.create ~domains:!jobs () in
   let ctx = Experiments.Common.ctx ~pool ~check_runs budget in
   let seq_ctx = Experiments.Common.ctx ~check_runs budget in
   let j = Parallel.Pool.domains pool in
   let mismatches = ref [] in
   let json_tables = ref [] in
+  let timings = ref [] in
   let degraded = ref 0 in
   let t0 = Unix.gettimeofday () in
   let run_one (id, run) =
@@ -139,6 +255,7 @@ let () =
     degraded := !degraded + Experiments.Chaos.degraded_rows table;
     if csv then Experiments.Common.write_csv ~dir:"results" table;
     if json then json_tables := (id, table, dt) :: !json_tables;
+    timings := (id, dt) :: !timings;
     if diff then begin
       let t1 = Unix.gettimeofday () in
       let seq_table = run seq_ctx in
@@ -160,7 +277,7 @@ let () =
        (fun (id, run) -> if List.mem id selected then run_one (id, run))
        chaos_experiments
    with Invalid_argument msg -> usage_exit ("invalid configuration: " ^ msg));
-  if want "micro" then Experiments.Micro.run ();
+  let micro_ms = if want "micro" then Experiments.Micro.run () else [] in
   let total = Unix.gettimeofday () -. t0 in
   Printf.printf "\nTotal: %.1fs (-j %d)\n" total j;
   Parallel.Pool.shutdown pool;
@@ -206,6 +323,9 @@ let () =
               (List.map
                  (fun (id, t, dt) -> (id, table_to_json ~wall_clock:dt t))
                  tables) );
+          ( "micro",
+            Obs.Json.Obj (List.map (fun (name, ns) -> (name, Obs.Json.Float ns)) micro_ms)
+          );
           ("complexity", Obs.Complexity.fit_to_json fit);
           ("faults", faults_json);
         ]
@@ -221,6 +341,18 @@ let () =
       Printf.eprintf "diff: tables differ between -j %d and -j 1: %s\n" j
         (String.concat " " (List.rev ids));
       exit 1);
+  (match baseline with
+  | None -> ()
+  | Some b -> (
+      match
+        check_gate ~tolerance:!tolerance ~baseline:b ~timings:(List.rev !timings)
+          ~micro:micro_ms ~total
+      with
+      | [] -> Printf.printf "perf gate: ok\n"
+      | regs ->
+          Printf.eprintf "perf gate: regression beyond +%.0f%%: %s\n" (!tolerance *. 100.0)
+            (String.concat " " regs);
+          exit 1));
   if !bound_violated then begin
     Printf.eprintf "complexity: a message count exceeded its O(nNc) bound\n";
     exit 1

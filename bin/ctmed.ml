@@ -484,7 +484,9 @@ let lint_cmd =
 
 let micro_cmd =
   let doc = "Substrate micro-benchmarks (Bechamel)." in
-  Cmd.v (Cmd.info "micro" ~doc) Term.(const Experiments.Micro.run $ const ())
+  Cmd.v
+    (Cmd.info "micro" ~doc)
+    Term.(const (fun () -> ignore (Experiments.Micro.run ())) $ const ())
 
 let main =
   let doc = "implementing mediators with asynchronous cheap talk" in

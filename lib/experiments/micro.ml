@@ -31,6 +31,96 @@ let bench_shamir_robust =
   Test.make ~name:"shamir/BW-decode n=9 e=2"
     (Staged.stage (fun () -> ignore (Shamir.reconstruct_robust ~t:2 ~max_errors:2 lst)))
 
+(* --- cached vs naive kernel pairs ---------------------------------------
+   Each optimised kernel is benchmarked against the pre-optimisation
+   reference in {!Shamir.Ref} (or the raw field/linalg primitive it
+   replaced), over identical inputs. The differential qcheck tests prove
+   the pairs agree; these rows measure what the agreement buys. *)
+
+let pair_shares =
+  Array.to_list
+    (Shamir.share (Random.State.make [| 11 |]) ~n:16 ~t:5 ~secret:(Gf.of_int 123))
+
+let bench_reconstruct_warm =
+  (* the first run warms the per-domain Lagrange cache; every measured
+     run after that is the memoised path *)
+  Test.make ~name:"shamir/reconstruct warm-cache n=16 t=5"
+    (Staged.stage (fun () -> ignore (Shamir.reconstruct ~t:5 pair_shares)))
+
+let bench_reconstruct_naive =
+  Test.make ~name:"shamir/reconstruct naive n=16 t=5"
+    (Staged.stage (fun () -> ignore (Shamir.Ref.reconstruct ~t:5 pair_shares)))
+
+let bench_bw_naive =
+  let shares = Shamir.share (Random.State.make [| 3 |]) ~n:9 ~t:2 ~secret:(Gf.of_int 7) in
+  let tampered = Array.copy shares in
+  tampered.(1) <- { tampered.(1) with Shamir.value = Gf.add tampered.(1).Shamir.value Gf.one };
+  tampered.(5) <- { tampered.(5) with Shamir.value = Gf.add tampered.(5).Shamir.value Gf.one };
+  let lst = Array.to_list tampered in
+  Test.make ~name:"shamir/BW-decode naive n=9 e=2"
+    (Staged.stage (fun () -> ignore (Shamir.Ref.reconstruct_robust ~t:2 ~max_errors:2 lst)))
+
+let lagrange_idx = List.init 8 (fun i -> (i * 3) + 1)
+
+let bench_lagrange_warm =
+  Test.make ~name:"shamir/lagrange-at-zero warm k=8"
+    (Staged.stage (fun () -> ignore (Shamir.lagrange_at_zero lagrange_idx)))
+
+let bench_lagrange_cold =
+  Test.make ~name:"shamir/lagrange-at-zero cold k=8"
+    (Staged.stage (fun () ->
+         Shamir.clear_caches ();
+         ignore (Shamir.lagrange_at_zero lagrange_idx)))
+
+let inv_inputs = Array.init 64 (fun i -> Gf.of_int ((i * 7919) + 13))
+
+let bench_batch_inv =
+  let dst = Array.make 64 Gf.zero in
+  Test.make ~name:"gf/batch-inv n=64"
+    (Staged.stage (fun () -> Gf.batch_inv_into dst inv_inputs))
+
+let bench_inv_each =
+  Test.make ~name:"gf/inv-euclid x64"
+    (Staged.stage (fun () ->
+         for i = 0 to 63 do
+           ignore (Gf.inv_euclid inv_inputs.(i))
+         done))
+
+(* A 12x12 Berlekamp-Welch-shaped system (full rank). The scratch path
+   refills reusable buffers then eliminates in place; the copying path
+   allocates and copies the whole system every solve (the old kernel). *)
+let solve_dim = 12
+
+let solve_m, solve_v =
+  let st = Random.State.make [| 17 |] in
+  let m =
+    Array.init solve_dim (fun i ->
+        Array.init solve_dim (fun j ->
+            (* Vandermonde-style rows: x_i^j, guaranteed invertible *)
+            let x = Gf.of_int (i + 2) in
+            let rec pow acc k = if k = 0 then acc else pow (Gf.mul acc x) (k - 1) in
+            pow Gf.one j))
+  in
+  let v = Array.init solve_dim (fun _ -> Gf.random st) in
+  (m, v)
+
+let bench_solve_scratch =
+  let scratch = Field.Linalg.Scratch.create () in
+  Test.make ~name:"linalg/solve scratch 12x12"
+    (Staged.stage (fun () ->
+         Field.Linalg.Scratch.prepare scratch ~rows:solve_dim ~cols:solve_dim;
+         let m = Field.Linalg.Scratch.matrix scratch in
+         let v = Field.Linalg.Scratch.rhs scratch in
+         for i = 0 to solve_dim - 1 do
+           Array.blit solve_m.(i) 0 m.(i) 0 solve_dim;
+           v.(i) <- solve_v.(i)
+         done;
+         ignore (Field.Linalg.Scratch.solve scratch ~rows:solve_dim ~cols:solve_dim)))
+
+let bench_solve_copying =
+  Test.make ~name:"linalg/solve copying 12x12"
+    (Staged.stage (fun () -> ignore (Field.Linalg.solve solve_m solve_v)))
+
 let run_sim procs sched = ignore (Sim.Runner.run (Sim.Runner.config ~scheduler:sched procs))
 
 let bench_rbc =
@@ -137,8 +227,17 @@ let all_tests =
   [
     bench_gf_mul;
     bench_gf_inv;
+    bench_batch_inv;
+    bench_inv_each;
+    bench_solve_scratch;
+    bench_solve_copying;
     bench_shamir_share;
     bench_shamir_robust;
+    bench_bw_naive;
+    bench_reconstruct_warm;
+    bench_reconstruct_naive;
+    bench_lagrange_warm;
+    bench_lagrange_cold;
     bench_rbc;
     bench_aba;
     bench_avss;
@@ -146,6 +245,18 @@ let all_tests =
     bench_cheaptalk;
   ]
 
+let pp_ns est =
+  let v, unit =
+    if est > 1e9 then (est /. 1e9, "s")
+    else if est > 1e6 then (est /. 1e6, "ms")
+    else if est > 1e3 then (est /. 1e3, "us")
+    else (est, "ns")
+  in
+  Printf.sprintf "%.2f %s" v unit
+
+(* Returns (benchmark name, estimated ns/run) in declaration order, so the
+   bench driver can export the estimates to JSON and the perf gate can
+   diff them against a committed baseline. *)
 let run () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -157,6 +268,7 @@ let run () =
   Printf.printf "\n=== S1-S5: substrate micro-benchmarks (Bechamel) ===\n\n";
   Printf.printf "%-40s %16s\n" "benchmark" "time/run";
   Printf.printf "%s\n" (String.make 58 '-');
+  let measurements = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
@@ -165,13 +277,23 @@ let run () =
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
           | Some [ est ] ->
-              let v, unit =
-                if est > 1e9 then (est /. 1e9, "s")
-                else if est > 1e6 then (est /. 1e6, "ms")
-                else if est > 1e3 then (est /. 1e3, "us")
-                else (est, "ns")
-              in
-              Printf.printf "%-40s %12.2f %s\n" name v unit
+              measurements := (name, est) :: !measurements;
+              Printf.printf "%-40s %16s\n" name (pp_ns est)
           | _ -> Printf.printf "%-40s %16s\n" name "n/a")
         analyzed)
-    all_tests
+    all_tests;
+  let ms = List.rev !measurements in
+  (* headline ratios for the kernel pairs *)
+  let ratio slow fast =
+    match (List.assoc_opt slow ms, List.assoc_opt fast ms) with
+    | Some s, Some f when f > 0.0 ->
+        Printf.printf "  %-52s %6.1fx\n" (Printf.sprintf "%s vs %s" fast slow) (s /. f)
+    | _ -> ()
+  in
+  Printf.printf "\nkernel speedups (naive / optimised):\n";
+  ratio "shamir/reconstruct naive n=16 t=5" "shamir/reconstruct warm-cache n=16 t=5";
+  ratio "shamir/BW-decode naive n=9 e=2" "shamir/BW-decode n=9 e=2";
+  ratio "shamir/lagrange-at-zero cold k=8" "shamir/lagrange-at-zero warm k=8";
+  ratio "gf/inv-euclid x64" "gf/batch-inv n=64";
+  ratio "linalg/solve copying 12x12" "linalg/solve scratch 12x12";
+  ms

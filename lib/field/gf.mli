@@ -26,7 +26,30 @@ val neg : t -> t
 val mul : t -> t -> t
 
 val inv : t -> t
-(** Multiplicative inverse. @raise Division_by_zero on [zero]. *)
+(** Multiplicative inverse. Elements within [inv_table_size] of either end
+    of the field (the Lagrange-denominator range: small share-index
+    differences and their negations) are answered from a table precomputed
+    at module initialisation; everything else runs extended Euclid.
+    @raise Division_by_zero on [zero]. *)
+
+val inv_euclid : t -> t
+(** The uncached extended-Euclid inverse — the reference implementation
+    behind {!inv}, exposed for differential tests and micro-benchmarks.
+    @raise Division_by_zero on [zero]. *)
+
+val inv_table_size : int
+(** Bound of the precomputed inverse table consulted by {!inv}. *)
+
+val batch_inv : t array -> t array
+(** [batch_inv a] is [Array.map inv a] via Montgomery's trick: one field
+    inversion plus 3(n-1) multiplications for the whole array.
+    @raise Division_by_zero if any element is [zero]. *)
+
+val batch_inv_into : t array -> t array -> unit
+(** [batch_inv_into dst src] writes element-wise inverses of [src] into
+    [dst] without allocating. @raise Invalid_argument on length mismatch
+    or when [dst] physically aliases [src]; @raise Division_by_zero if any
+    element is [zero] (in which case [dst]'s contents are unspecified). *)
 
 val div : t -> t -> t
 (** [div a b = mul a (inv b)]. @raise Division_by_zero if [b = zero]. *)

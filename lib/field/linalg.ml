@@ -8,61 +8,58 @@ let check_shapes a b =
     Array.iter (fun r -> if Array.length r <> cols then invalid_arg "Linalg.solve: ragged matrix") a
   end
 
-(* Reduce [m] (rows) with the augmented column [v] to row echelon form in
-   place; returns the list of (row, pivot-column) pairs in order. *)
-let eliminate m v =
-  let rows = Array.length m in
-  let cols = if rows = 0 then 0 else Array.length m.(0) in
-  let pivots = ref [] in
-  let r = ref 0 in
+(* Reduce the logical [rows] x [cols] top-left block of [m] with the
+   augmented column [v] to reduced row echelon form in place. Physical row
+   arrays may be longer than [cols] (scratch reuse); only the logical block
+   is read or written. The pivot column of echelon row r is recorded in
+   [pivcols.(r)]; returns the number of pivots. *)
+let eliminate_sub m v ~rows ~cols ~pivcols =
+  let npiv = ref 0 in
   for c = 0 to cols - 1 do
-    if !r < rows then begin
+    if !npiv < rows then begin
       (* find pivot row *)
       let pr = ref (-1) in
-      for i = !r to rows - 1 do
+      for i = !npiv to rows - 1 do
         if !pr < 0 && not (Gf.equal m.(i).(c) Gf.zero) then pr := i
       done;
       if !pr >= 0 then begin
+        let r = !npiv in
         let pi = !pr in
         (* swap *)
-        let tmp = m.(!r) in
-        m.(!r) <- m.(pi);
+        let tmp = m.(r) in
+        m.(r) <- m.(pi);
         m.(pi) <- tmp;
-        let tv = v.(!r) in
-        v.(!r) <- v.(pi);
+        let tv = v.(r) in
+        v.(r) <- v.(pi);
         v.(pi) <- tv;
         (* normalise pivot row *)
-        let inv = Gf.inv m.(!r).(c) in
+        let inv = Gf.inv m.(r).(c) in
         for j = c to cols - 1 do
-          m.(!r).(j) <- Gf.mul m.(!r).(j) inv
+          m.(r).(j) <- Gf.mul m.(r).(j) inv
         done;
-        v.(!r) <- Gf.mul v.(!r) inv;
+        v.(r) <- Gf.mul v.(r) inv;
         (* eliminate below and above *)
         for i = 0 to rows - 1 do
-          if i <> !r && not (Gf.equal m.(i).(c) Gf.zero) then begin
+          if i <> r && not (Gf.equal m.(i).(c) Gf.zero) then begin
             let f = m.(i).(c) in
             for j = c to cols - 1 do
-              m.(i).(j) <- Gf.sub m.(i).(j) (Gf.mul f m.(!r).(j))
+              m.(i).(j) <- Gf.sub m.(i).(j) (Gf.mul f m.(r).(j))
             done;
-            v.(i) <- Gf.sub v.(i) (Gf.mul f v.(!r))
+            v.(i) <- Gf.sub v.(i) (Gf.mul f v.(r))
           end
         done;
-        pivots := (!r, c) :: !pivots;
-        incr r
+        pivcols.(r) <- c;
+        incr npiv
       end
     end
   done;
-  List.rev !pivots
+  !npiv
 
-let solve a b =
-  check_shapes a b;
-  let rows = Array.length a in
-  let cols = if rows = 0 then 0 else Array.length a.(0) in
-  let m = copy_matrix a in
-  let v = Array.copy b in
-  let pivots = eliminate m v in
-  (* Inconsistent if some zero row has nonzero rhs *)
-  let npiv = List.length pivots in
+(* Shared back end: [m]/[v] are already owned by the caller and reduced in
+   place; extract some solution (free variables zero) or detect
+   inconsistency. *)
+let solve_owned m v ~rows ~cols ~pivcols =
+  let npiv = eliminate_sub m v ~rows ~cols ~pivcols in
   let inconsistent = ref false in
   for i = npiv to rows - 1 do
     if not (Gf.equal v.(i) Gf.zero) then inconsistent := true
@@ -70,9 +67,23 @@ let solve a b =
   if !inconsistent then None
   else begin
     let x = Array.make cols Gf.zero in
-    List.iter (fun (r, c) -> x.(c) <- v.(r)) pivots;
+    for r = 0 to npiv - 1 do
+      x.(pivcols.(r)) <- v.(r)
+    done;
     Some x
   end
+
+let solve_in_place a b =
+  check_shapes a b;
+  let rows = Array.length a in
+  let cols = if rows = 0 then 0 else Array.length a.(0) in
+  solve_owned a b ~rows ~cols ~pivcols:(Array.make rows 0)
+
+let solve a b =
+  check_shapes a b;
+  let rows = Array.length a in
+  let cols = if rows = 0 then 0 else Array.length a.(0) in
+  solve_owned (copy_matrix a) (Array.copy b) ~rows ~cols ~pivcols:(Array.make rows 0)
 
 let rank a =
   let rows = Array.length a in
@@ -80,7 +91,8 @@ let rank a =
   else begin
     let m = copy_matrix a in
     let v = Array.make rows Gf.zero in
-    List.length (eliminate m v)
+    let cols = Array.length a.(0) in
+    eliminate_sub m v ~rows ~cols ~pivcols:(Array.make rows 0)
   end
 
 let mat_vec a x =
@@ -91,3 +103,35 @@ let mat_vec a x =
       Array.iteri (fun j aij -> acc := Gf.add !acc (Gf.mul aij x.(j))) row;
       !acc)
     a
+
+module Scratch = struct
+  (* Row buffers are grown geometrically and never shrink; a scratch is
+     owned by exactly one domain (callers keep one per domain, e.g. in
+     [Domain.DLS]). Physical rows can be wider than the logical [cols] of
+     any one solve — [eliminate_sub] never touches the excess. *)
+  type t = {
+    mutable m : Gf.t array array;
+    mutable v : Gf.t array;
+    mutable pivcols : int array;
+  }
+
+  let create () = { m = [||]; v = [||]; pivcols = [||] }
+
+  let grow n = max 8 (max n (2 * n))
+
+  let prepare s ~rows ~cols =
+    if rows < 0 || cols < 0 then invalid_arg "Linalg.Scratch.prepare";
+    let phys_rows = Array.length s.m in
+    let phys_cols = if phys_rows = 0 then 0 else Array.length s.m.(0) in
+    if phys_rows < rows || phys_cols < cols then begin
+      let nr = max (grow rows) phys_rows and nc = max (grow cols) phys_cols in
+      s.m <- Array.init nr (fun _ -> Array.make nc Gf.zero);
+      s.v <- Array.make nr Gf.zero;
+      s.pivcols <- Array.make nr 0
+    end
+
+  let matrix s = s.m
+  let rhs s = s.v
+
+  let solve s ~rows ~cols = solve_owned s.m s.v ~rows ~cols ~pivcols:s.pivcols
+end

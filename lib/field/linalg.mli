@@ -1,6 +1,12 @@
 (** Linear algebra over {!Gf}: Gaussian elimination, used by the
     Berlekamp-Welch decoder in {!module:Shamir} to solve for the error
-    locator and message polynomials. *)
+    locator and message polynomials.
+
+    Three entry points share one in-place elimination kernel:
+    {!solve} copies its inputs (reference semantics), {!solve_in_place}
+    destroys them (zero copies for freshly built systems), and
+    {!Scratch.solve} runs over caller-owned reusable buffers so a hot
+    decode loop allocates nothing per solve beyond the solution vector. *)
 
 val solve : Gf.t array array -> Gf.t array -> Gf.t array option
 (** [solve a b] returns some solution x of the linear system A·x = b, or
@@ -8,8 +14,38 @@ val solve : Gf.t array array -> Gf.t array -> Gf.t array option
     under-determined, free variables are set to zero. [a] is an array of
     rows; it is not modified. @raise Invalid_argument on shape mismatch. *)
 
+val solve_in_place : Gf.t array array -> Gf.t array -> Gf.t array option
+(** Like {!solve} but eliminates directly in the caller's arrays, which
+    are left in reduced row echelon form. Use when the system was built
+    for this one solve anyway. Same result as {!solve} on equal inputs. *)
+
 val rank : Gf.t array array -> int
 (** Rank of the matrix. *)
 
 val mat_vec : Gf.t array array -> Gf.t array -> Gf.t array
 (** Matrix-vector product. *)
+
+(** Reusable elimination buffers for hot solve loops. A scratch must be
+    owned by a single domain at a time (keep one per domain, e.g. under
+    [Domain.DLS]); it grows geometrically and never shrinks. *)
+module Scratch : sig
+  type t
+
+  val create : unit -> t
+
+  val prepare : t -> rows:int -> cols:int -> unit
+  (** Ensure capacity for a [rows] x [cols] system. Must be called before
+      filling {!matrix}/{!rhs} for those dimensions. *)
+
+  val matrix : t -> Gf.t array array
+  (** The row buffers — fill the top-left [rows] x [cols] block after
+      {!prepare}. Physical rows may be longer than the logical width;
+      the excess is ignored. *)
+
+  val rhs : t -> Gf.t array
+  (** The right-hand-side buffer — fill the first [rows] entries. *)
+
+  val solve : t -> rows:int -> cols:int -> Gf.t array option
+  (** Solve the logical system currently in the buffers (destroying it).
+      Same result as {!solve} on the equivalent copied system. *)
+end

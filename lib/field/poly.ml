@@ -88,18 +88,30 @@ let interpolate points =
     | x :: rest -> List.exists (Gf.equal x) rest || dup rest
   in
   if dup xs then invalid_arg "Poly.interpolate: duplicate x coordinate";
-  (* Sum of y_i * prod_{j<>i} (X - x_j)/(x_i - x_j) *)
-  let term (xi, yi) =
-    let num, denom =
-      List.fold_left
-        (fun (num, denom) (xj, _) ->
-          if Gf.equal xi xj then (num, denom)
-          else (mul num (of_coeffs [| Gf.neg xj; Gf.one |]), Gf.mul denom (Gf.sub xi xj)))
-        (one, Gf.one) points
-    in
-    scale (Gf.mul yi (Gf.inv denom)) num
+  (* Sum of y_i * prod_{j<>i} (X - x_j)/(x_i - x_j); all the denominator
+     inversions are batched (Montgomery) into a single field inversion. *)
+  let pts = Array.of_list points in
+  let denoms =
+    Array.map
+      (fun (xi, _) ->
+        Array.fold_left
+          (fun d (xj, _) -> if Gf.equal xi xj then d else Gf.mul d (Gf.sub xi xj))
+          Gf.one pts)
+      pts
   in
-  List.fold_left (fun acc pt -> add acc (term pt)) zero points
+  let inv_denoms = if Array.length pts = 0 then [||] else Gf.batch_inv denoms in
+  let term i (xi, yi) =
+    let num =
+      Array.fold_left
+        (fun num (xj, _) ->
+          if Gf.equal xi xj then num else mul num (of_coeffs [| Gf.neg xj; Gf.one |]))
+        one pts
+    in
+    scale (Gf.mul yi inv_denoms.(i)) num
+  in
+  let acc = ref zero in
+  Array.iteri (fun i pt -> acc := add !acc (term i pt)) pts;
+  !acc
 
 let random st ~degree =
   if degree < 0 then zero

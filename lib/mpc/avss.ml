@@ -21,9 +21,14 @@ type t = {
   mutable row : Poly.t option;
   mutable row_received : bool; (* a Row message was already processed *)
   mutable points_sent : bool;
-  points : (int, Gf.t) Hashtbl.t; (* src -> claimed f_src(me) = f_me(src) *)
+  (* Per-pid state lives in flat arrays (pids are dense 0..n-1): the old
+     per-instance Hashtbls cost a polymorphic hash + bucket walk on every
+     progress scan, which dominated the simulator profile. *)
+  points : Gf.t option array; (* src -> claimed f_src(me) = f_me(src) *)
+  mutable n_points : int;
   mutable readied : bool;
-  ready_from : (int, unit) Hashtbl.t;
+  ready : bool array;
+  mutable n_ready : int;
   mutable accepted_share : Gf.t option;
 }
 
@@ -48,9 +53,11 @@ let create ~n ~degree ~faults ~me ~dealer =
     row = None;
     row_received = false;
     points_sent = false;
-    points = Hashtbl.create 8;
+    points = Array.make n None;
+    n_points = 0;
     readied = false;
-    ready_from = Hashtbl.create 8;
+    ready = Array.make n false;
+    n_ready = 0;
     accepted_share = None;
   }
 
@@ -64,10 +71,13 @@ let others s = List.filter (fun i -> i <> s.me) (List.init s.n (fun i -> i))
 let point_of _s i = Gf.of_int (i + 1)
 
 let matching_points s row =
-  Hashtbl.fold
-    (fun src p acc -> if Gf.equal (Poly.eval row (point_of s src)) p then acc + 1 else acc)
-    s.points 0
-  + 1 (* our own point trivially matches *)
+  let acc = ref 1 (* our own point trivially matches *) in
+  for src = 0 to s.n - 1 do
+    match s.points.(src) with
+    | Some p -> if Gf.equal (Poly.eval row (point_of s src)) p then incr acc
+    | None -> ()
+  done;
+  !acc
 
 let send_points s row =
   if s.points_sent then []
@@ -80,11 +90,14 @@ let send_ready s =
   if s.readied then []
   else begin
     s.readied <- true;
-    Hashtbl.replace s.ready_from s.me ();
+    if not s.ready.(s.me) then begin
+      s.ready.(s.me) <- true;
+      s.n_ready <- s.n_ready + 1
+    end;
     List.map (fun j -> (j, Ready)) (others s)
   end
 
-let ready_count s = Hashtbl.length s.ready_from
+let ready_count s = s.n_ready
 
 (* Attempt to recover our row from cross points: the points (j, p_j) we
    received lie on our row. Adopt a decoded row only when it is certified
@@ -93,12 +106,25 @@ let try_recover_row s =
   match s.row with
   | Some _ -> None
   | None ->
-      let pts = Hashtbl.fold (fun src p acc -> (point_of s src, p) :: acc) s.points [] in
-      let r = List.length pts in
+      (* Collect received cross points in pid order (the decoded row is
+         the unique certified polynomial, so point order cannot change
+         the result — only the cache keys). *)
+      let r = s.n_points in
+      let xs = Array.make r Gf.zero in
+      let ys = Array.make r Gf.zero in
+      let i = ref 0 in
+      for src = 0 to s.n - 1 do
+        match s.points.(src) with
+        | Some p ->
+            xs.(!i) <- point_of s src;
+            ys.(!i) <- p;
+            incr i
+        | None -> ()
+      done;
       let rec try_e e =
         if e > s.faults || s.deg + s.faults + 1 + e > r then None
         else
-          match Shamir.decode ~degree:s.deg ~max_errors:e pts with
+          match Shamir.decode_arrays ~degree:s.deg ~max_errors:e xs ys with
           | Some row -> Some row
           | None -> try_e (e + 1)
       in
@@ -169,14 +195,16 @@ let handle s ~src m =
         end
       end
   | Point p ->
-      if Hashtbl.mem s.points src then nothing
+      if src < 0 || src >= s.n || Option.is_some s.points.(src) then nothing
       else begin
-        Hashtbl.replace s.points src p;
+        s.points.(src) <- Some p;
+        s.n_points <- s.n_points + 1;
         progress s
       end
   | Ready ->
-      if Hashtbl.mem s.ready_from src then nothing
+      if src < 0 || src >= s.n || s.ready.(src) then nothing
       else begin
-        Hashtbl.replace s.ready_from src ();
+        s.ready.(src) <- true;
+        s.n_ready <- s.n_ready + 1;
         progress s
       end

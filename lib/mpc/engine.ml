@@ -35,6 +35,13 @@ type mul_state = {
   mutable reduced : bool;
 }
 
+(* All per-session/per-vote state lives in dense arrays: session and vote
+   ids enumerate a fixed finite space (n dealers x {input, randomness
+   slots, multiplication gates}), so each id maps to a stable small
+   integer and the old polymorphic-variant-keyed Hashtbls — whose
+   caml_hash + structural-compare walks dominated the settle-loop
+   profile — become O(1) array reads. Malformed ids (out-of-range dealer,
+   slot, or gate) map to index -1 and their messages are ignored. *)
 type t = {
   n : int;
   deg : int; (* sharing degree (privacy threshold) *)
@@ -44,17 +51,19 @@ type t = {
   input : Gf.t;
   rng : Random.State.t;
   coin_seed : int;
-  sessions : (session_id, Avss.t) Hashtbl.t;
-  votes : (vote_id, Aba.t) Hashtbl.t;
-  proposed : (vote_id, unit) Hashtbl.t;
+  mul_pos : int array; (* gate index -> dense mul-gate position, -1 otherwise *)
+  sessions : Avss.t option array; (* session_index-indexed, created on demand *)
+  votes : Aba.t option array; (* vote_index-indexed, created on demand *)
+  proposed : bool array; (* vote_index-indexed *)
   mutable core : int list option;
   rand_shares : Gf.t option array;
   gate_shares : Gf.t option array;
-  muls : (int, mul_state) Hashtbl.t;
+  muls : mul_state array; (* mul_pos-indexed *)
   mul_gate_ids : int list;
   stages : int array array; (* per stage: one output gate per player *)
   stage_sent : bool array;
-  output_points : (int * int, Gf.t) Hashtbl.t; (* (stage, src) -> share of MY stage output *)
+  output_points : Gf.t option array; (* stage*n + src -> share of MY stage output *)
+  stage_npoints : int array;
   stage_results : Gf.t option array;
   mutable result : Gf.t option;
 }
@@ -82,6 +91,18 @@ let create ?stages ~n ~degree ~faults ~me ~circuit ~input ~rng ~coin_seed () =
             invalid_arg "Engine.create: stage references missing gate")
         st)
     stages;
+  let n_gates = Array.length circuit.Circuit.gates in
+  let mul_pos = Array.make n_gates (-1) in
+  let n_mul = ref 0 in
+  for i = 0 to n_gates - 1 do
+    match circuit.Circuit.gates.(i) with
+    | Circuit.Mul _ ->
+        mul_pos.(i) <- !n_mul;
+        incr n_mul
+    | _ -> ()
+  done;
+  let n_mul = !n_mul in
+  let n_random = circuit.Circuit.n_random in
   {
     n;
     deg = degree;
@@ -91,21 +112,22 @@ let create ?stages ~n ~degree ~faults ~me ~circuit ~input ~rng ~coin_seed () =
     input;
     rng;
     coin_seed;
-    sessions = Hashtbl.create 32;
-    votes = Hashtbl.create 32;
-    proposed = Hashtbl.create 32;
+    mul_pos;
+    sessions = Array.make (n * (1 + n_random + n_mul)) None;
+    votes = Array.make (n * (1 + n_mul)) None;
+    proposed = Array.make (n * (1 + n_mul)) false;
     core = None;
-    rand_shares = Array.make circuit.Circuit.n_random None;
-    gate_shares = Array.make (Array.length circuit.Circuit.gates) None;
-    muls = Hashtbl.create 8;
+    rand_shares = Array.make n_random None;
+    gate_shares = Array.make n_gates None;
+    muls = Array.init n_mul (fun _ -> { started = false; reduced = false });
     mul_gate_ids =
       List.filter
-        (fun i ->
-          match circuit.Circuit.gates.(i) with Circuit.Mul _ -> true | _ -> false)
-        (List.init (Array.length circuit.Circuit.gates) (fun i -> i));
+        (fun i -> mul_pos.(i) >= 0)
+        (List.init n_gates (fun i -> i));
     stages;
     stage_sent = Array.make (Array.length stages) false;
-    output_points = Hashtbl.create 8;
+    output_points = Array.make (Array.length stages * n) None;
+    stage_npoints = Array.make (Array.length stages) 0;
     stage_results = Array.make (Array.length stages) None;
     result = None;
   }
@@ -113,79 +135,114 @@ let create ?stages ~n ~degree ~faults ~me ~circuit ~input ~rng ~coin_seed () =
 let dealer_of = function
   | Input_share d | Rand_share (d, _) | Mul_share (_, d) -> d
 
+(* Dense index of a session id, -1 when malformed. Layout:
+   [0, n)                      Input_share d
+   [n, n + k_max*n)            Rand_share (d, k) at n + k*n + d
+   [n*(1+k_max), ...)          Mul_share (g, d) at n*(1+k_max) + mul_pos(g)*n + d *)
+let session_index e = function
+  | Input_share d -> if d < 0 || d >= e.n then -1 else d
+  | Rand_share (d, k) ->
+      if d < 0 || d >= e.n || k < 0 || k >= e.circuit.Circuit.n_random then -1
+      else e.n + (k * e.n) + d
+  | Mul_share (g, d) ->
+      if
+        d < 0 || d >= e.n || g < 0
+        || g >= Array.length e.mul_pos
+        || e.mul_pos.(g) < 0
+      then -1
+      else (e.n * (1 + e.circuit.Circuit.n_random)) + (e.mul_pos.(g) * e.n) + d
+
+let vote_index e = function
+  | Input_vote d -> if d < 0 || d >= e.n then -1 else d
+  | Mul_vote (g, d) ->
+      if
+        d < 0 || d >= e.n || g < 0
+        || g >= Array.length e.mul_pos
+        || e.mul_pos.(g) < 0
+      then -1
+      else e.n + (e.mul_pos.(g) * e.n) + d
+
 (* A stable per-vote instance number so every player derives the same
    common coin for the same agreement. *)
 let instance_of e = function
   | Input_vote d -> d
   | Mul_vote (g, d) -> e.n + (g * e.n) + d
 
+(* [session]/[vote] create on demand; callers pass well-formed ids (the
+   message path validates the index first). *)
 let session e sid =
-  match Hashtbl.find_opt e.sessions sid with
+  let i = session_index e sid in
+  match e.sessions.(i) with
   | Some s -> s
   | None ->
-      let s = Avss.create ~n:e.n ~degree:e.deg ~faults:e.faults ~me:e.me ~dealer:(dealer_of sid) in
-      Hashtbl.replace e.sessions sid s;
+      let s =
+        Avss.create ~n:e.n ~degree:e.deg ~faults:e.faults ~me:e.me ~dealer:(dealer_of sid)
+      in
+      e.sessions.(i) <- Some s;
       s
 
 let vote e vid =
-  match Hashtbl.find_opt e.votes vid with
+  let i = vote_index e vid in
+  match e.votes.(i) with
   | Some v -> v
   | None ->
       let coin = Coin.optimistic ~seed:e.coin_seed ~instance:(instance_of e vid) in
       let v = Aba.create ~n:e.n ~f:e.faults ~me:e.me ~coin in
-      Hashtbl.replace e.votes vid v;
+      e.votes.(i) <- Some v;
       v
 
 let wrap_share sid sends = List.map (fun (dst, m) -> (dst, Share_msg (sid, m))) sends
 let wrap_vote vid sends = List.map (fun (dst, m) -> (dst, Vote_msg (vid, m))) sends
 
 let propose e vid value =
-  if Hashtbl.mem e.proposed vid then []
+  let i = vote_index e vid in
+  if e.proposed.(i) then []
   else begin
-    Hashtbl.replace e.proposed vid ();
+    e.proposed.(i) <- true;
     wrap_vote vid (Aba.propose (vote e vid) value).Aba.sends
   end
 
-let decision_of e vid =
-  match Hashtbl.find_opt e.votes vid with None -> None | Some v -> Aba.decision v
+let decision_at e i = match e.votes.(i) with None -> None | Some v -> Aba.decision v
 
-let session_accepted e sid =
-  match Hashtbl.find_opt e.sessions sid with
-  | None -> false
-  | Some s -> Avss.is_accepted s
+let session_accepted_at e i =
+  match e.sessions.(i) with None -> false | Some s -> Avss.is_accepted s
 
-let session_share e sid =
-  match Hashtbl.find_opt e.sessions sid with None -> None | Some s -> Avss.share s
+let session_share_at e i =
+  match e.sessions.(i) with None -> None | Some s -> Avss.share s
+
+let session_share e sid = session_share_at e (session_index e sid)
 
 (* Dealer d's input bundle: its input sharing plus every randomness
-   contribution. *)
-let bundle e d =
-  Input_share d :: List.init e.circuit.Circuit.n_random (fun k -> Rand_share (d, k))
-
-let bundle_accepted e d = List.for_all (session_accepted e) (bundle e d)
+   contribution (contiguous session indices d, n+d, 2n+d, ...). *)
+let bundle_accepted e d =
+  let ok = ref (session_accepted_at e d) in
+  let k = ref 0 in
+  while !ok && !k < e.circuit.Circuit.n_random do
+    if not (session_accepted_at e (e.n + (!k * e.n) + d)) then ok := false;
+    incr k
+  done;
+  !ok
 
 let mul_gates e = e.mul_gate_ids
-
-let mul_state e g =
-  match Hashtbl.find_opt e.muls g with
-  | Some st -> st
-  | None ->
-      let st = { started = false; reduced = false } in
-      Hashtbl.replace e.muls g st;
-      st
+let mul_state e g = e.muls.(e.mul_pos.(g))
 
 (* --- the cascade: run all progress rules to a local fixpoint --- *)
 
-let input_votes e = List.init e.n (fun d -> Input_vote d)
-let gate_votes e g = List.init e.n (fun d -> Mul_vote (g, d))
+(* Input votes occupy vote indices [0, n); gate g's votes occupy the
+   contiguous block [n + mul_pos(g)*n, n + (mul_pos(g)+1)*n). *)
+let count_yes_block e ~base =
+  let acc = ref 0 in
+  for d = 0 to e.n - 1 do
+    if decision_at e (base + d) = Some true then incr acc
+  done;
+  !acc
 
-let count_yes e vids =
-  List.fold_left
-    (fun acc vid -> if decision_of e vid = Some true then acc + 1 else acc)
-    0 vids
-
-let all_decided e vids =
-  List.for_all (fun vid -> Option.is_some (decision_of e vid)) vids
+let all_decided_block e ~base =
+  let ok = ref true in
+  for d = 0 to e.n - 1 do
+    if Option.is_none (decision_at e (base + d)) then ok := false
+  done;
+  !ok
 
 let settle e =
   let chunks = ref [] in
@@ -202,23 +259,23 @@ let settle e =
 
     (* Propose YES for input dealers whose whole bundle we accepted. *)
     for d = 0 to e.n - 1 do
-      if (not (Hashtbl.mem e.proposed (Input_vote d))) && bundle_accepted e d then
+      if (not e.proposed.(d)) && bundle_accepted e d then
         step (propose e (Input_vote d) true)
     done;
 
     (* Input close-out: n-f accepted dealers seen -> vote NO on the rest. *)
-    if count_yes e (input_votes e) >= e.n - e.faults then
-      List.iter
-        (fun vid -> if not (Hashtbl.mem e.proposed vid) then step (propose e vid false))
-        (input_votes e);
+    if count_yes_block e ~base:0 >= e.n - e.faults then
+      for d = 0 to e.n - 1 do
+        if not e.proposed.(d) then step (propose e (Input_vote d) false)
+      done;
 
     (* Input completion: all votes decided and accepted bundles in hand. *)
     (match e.core with
     | Some _ -> ()
     | None ->
-        if all_decided e (input_votes e) then begin
+        if all_decided_block e ~base:0 then begin
           let yes =
-            List.filter (fun d -> decision_of e (Input_vote d) = Some true)
+            List.filter (fun d -> decision_at e d = Some true)
               (List.init e.n (fun d -> d))
           in
           if List.for_all (bundle_accepted e) yes then begin
@@ -228,7 +285,7 @@ let settle e =
               let sum =
                 List.fold_left
                   (fun s d ->
-                    match session_share e (Rand_share (d, k)) with
+                    match session_share_at e (e.n + (k * e.n) + d) with
                     | Some v -> Gf.add s v
                     | None -> s)
                   Gf.zero yes
@@ -293,32 +350,33 @@ let settle e =
           (fun gi ->
             let st = mul_state e gi in
             if st.started && not st.reduced then begin
+              let vote_base = e.n + (e.mul_pos.(gi) * e.n) in
+              let share_base =
+                (e.n * (1 + e.circuit.Circuit.n_random)) + (e.mul_pos.(gi) * e.n)
+              in
               (* Vote YES for contributors whose resharing we accepted. *)
               for d = 0 to e.n - 1 do
-                let vid = Mul_vote (gi, d) in
-                if
-                  (not (Hashtbl.mem e.proposed vid))
-                  && session_accepted e (Mul_share (gi, d))
-                then step (propose e vid true)
+                if (not e.proposed.(vote_base + d)) && session_accepted_at e (share_base + d)
+                then step (propose e (Mul_vote (gi, d)) true)
               done;
               (* Close-out once enough contributors for a degree-2d
                  interpolation are in. *)
-              if count_yes e (gate_votes e gi) >= (2 * e.deg) + 1 then
-                List.iter
-                  (fun vid ->
-                    if not (Hashtbl.mem e.proposed vid) then step (propose e vid false))
-                  (gate_votes e gi);
+              if count_yes_block e ~base:vote_base >= (2 * e.deg) + 1 then
+                for d = 0 to e.n - 1 do
+                  if not e.proposed.(vote_base + d) then
+                    step (propose e (Mul_vote (gi, d)) false)
+                done;
               (* Reduction: all votes decided, all YES resharings in hand. *)
-              if all_decided e (gate_votes e gi) then begin
+              if all_decided_block e ~base:vote_base then begin
                 let contributors =
                   List.filter
-                    (fun d -> decision_of e (Mul_vote (gi, d)) = Some true)
+                    (fun d -> decision_at e (vote_base + d) = Some true)
                     (List.init e.n (fun d -> d))
                 in
                 if
                   List.length contributors >= (2 * e.deg) + 1
                   && List.for_all
-                       (fun d -> session_accepted e (Mul_share (gi, d)))
+                       (fun d -> session_accepted_at e (share_base + d))
                        contributors
                 then begin
                   let lambda =
@@ -328,7 +386,7 @@ let settle e =
                     List.fold_left
                       (fun s d ->
                         let coeff = List.assoc (d + 1) lambda in
-                        match session_share e (Mul_share (gi, d)) with
+                        match session_share_at e (share_base + d) with
                         | Some v -> Gf.add s (Gf.mul coeff v)
                         | None -> s)
                       Gf.zero contributors
@@ -358,7 +416,10 @@ let settle e =
                 match e.gate_shares.(outs.(o)) with
                 | Some v ->
                     if o = e.me then begin
-                      Hashtbl.replace e.output_points (si, e.me) v;
+                      if Option.is_none e.output_points.((si * e.n) + e.me) then begin
+                        e.output_points.((si * e.n) + e.me) <- Some v;
+                        e.stage_npoints.(si) <- e.stage_npoints.(si) + 1
+                      end;
                       None
                     end
                     else Some (o, Output_msg (si, v))
@@ -369,27 +430,40 @@ let settle e =
         end)
       e.stages;
 
-    (* Stage reconstruction via online error correction. *)
+    (* Stage reconstruction via online error correction. The point arrays
+       are only materialised once enough shares are in for the e = 0
+       attempt to be admissible (r >= 2t+1). *)
     Array.iteri
       (fun si r ->
         match r with
         | Some _ -> ()
         | None ->
-            let points =
-              Hashtbl.fold
-                (fun (s, src) v acc -> if s = si then (src + 1, v) :: acc else acc)
-                e.output_points []
-            in
-            (* Reveals are robust up to the sharing degree: rational
-               players may corrupt their shares even when the fault budget
-               is lower, and n >= 3*degree + 1 regimes must absorb that
-               (Theorem 4.4's cotermination argument). *)
-            (match Shamir.online_decode ~t:e.deg ~max_faults:(max e.deg e.faults) points with
-            | Some v ->
-                e.stage_results.(si) <- Some v;
-                if si = Array.length e.stages - 1 then e.result <- Some v;
-                progressed := true
-            | None -> ()))
+            let npts = e.stage_npoints.(si) in
+            if npts >= (2 * e.deg) + 1 then begin
+              let idx = Array.make npts 0 in
+              let ys = Array.make npts Gf.zero in
+              let i = ref 0 in
+              for src = 0 to e.n - 1 do
+                match e.output_points.((si * e.n) + src) with
+                | Some v ->
+                    idx.(!i) <- src + 1;
+                    ys.(!i) <- v;
+                    incr i
+                | None -> ()
+              done;
+              (* Reveals are robust up to the sharing degree: rational
+                 players may corrupt their shares even when the fault budget
+                 is lower, and n >= 3*degree + 1 regimes must absorb that
+                 (Theorem 4.4's cotermination argument). *)
+              match
+                Shamir.online_decode_arrays ~t:e.deg ~max_faults:(max e.deg e.faults) idx ys
+              with
+              | Some v ->
+                  e.stage_results.(si) <- Some v;
+                  if si = Array.length e.stages - 1 then e.result <- Some v;
+                  progressed := true
+              | None -> ()
+            end)
       e.stage_results
   done;
   List.concat (List.rev !chunks)
@@ -419,17 +493,27 @@ let handle (e : t) ~src m =
   let sends =
     match m with
     | Share_msg (sid, sub) ->
-        let r = Avss.handle (session e sid) ~src sub in
-        wrap_share sid r.Avss.sends
+        if session_index e sid < 0 then []
+        else begin
+          let r = Avss.handle (session e sid) ~src sub in
+          wrap_share sid r.Avss.sends
+        end
     | Vote_msg (vid, sub) ->
-        let r = Aba.handle (vote e vid) ~src sub in
-        wrap_vote vid r.Aba.sends
+        if vote_index e vid < 0 then []
+        else begin
+          let r = Aba.handle (vote e vid) ~src sub in
+          wrap_vote vid r.Aba.sends
+        end
     | Output_msg (stage, v) ->
         if
           stage >= 0
           && stage < Array.length e.stages
-          && not (Hashtbl.mem e.output_points (stage, src))
-        then Hashtbl.replace e.output_points (stage, src) v;
+          && src >= 0 && src < e.n
+          && Option.is_none e.output_points.((stage * e.n) + src)
+        then begin
+          e.output_points.((stage * e.n) + src) <- Some v;
+          e.stage_npoints.(stage) <- e.stage_npoints.(stage) + 1
+        end;
         []
   in
   let more = settle e in

@@ -1,7 +1,8 @@
-(** A minimal JSON value and pretty serializer — just enough for the
-    bench harness to emit BENCH_<id>.json without external dependencies.
-    Strings are escaped per RFC 8259; NaN/infinite floats serialize as
-    [null]. *)
+(** A minimal JSON value, pretty serializer, and parser — just enough for
+    the bench harness to emit BENCH_<id>.json and read a committed
+    baseline back (the perf regression gate) without external
+    dependencies. Strings are escaped per RFC 8259; NaN/infinite floats
+    serialize as [null]. *)
 
 type t =
   | Null
@@ -14,3 +15,27 @@ type t =
 
 val to_string : ?indent:int -> t -> string
 val to_file : string -> t -> unit
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** RFC 8259 parser (objects keep field order; duplicate keys keep the
+    first occurrence under {!member}). Numbers parse as [Int] when they
+    fit, [Float] otherwise. @raise Parse_error on malformed input. *)
+
+val of_file : string -> t
+(** @raise Parse_error on malformed input, [Sys_error] on I/O failure. *)
+
+(** {1 Accessors} *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] is the field's value; [None] on missing field
+    or non-object. *)
+
+val to_float_opt : t -> float option
+(** [Int]s widen to float. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option
+val to_obj_opt : t -> (string * t) list option

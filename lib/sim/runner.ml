@@ -59,15 +59,50 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
   let emit ev = trace := ev :: !trace in
   let emit_pat p = pattern := p :: !pattern in
   let pending_set = Pending_set.create () in
-  let items : (int, ('m, 'a) item) Hashtbl.t = Hashtbl.create 64 in
+  (* Item ids are dense (assigned 0, 1, 2, ...), so per-item state lives in
+     a growable array indexed by id instead of an int-keyed Hashtbl — the
+     per-delivery find/remove pair becomes two array accesses. Delivered
+     slots are cleared to [None] so items die young. *)
+  let items : ('m, 'a) item option array ref = ref (Array.make 1024 None) in
+  let item_get id = if id >= 0 && id < Array.length !items then !items.(id) else None in
+  let item_mem id = Option.is_some (item_get id) in
+  let item_clear id = !items.(id) <- None in
+  let item_set id it =
+    let cap = Array.length !items in
+    if id >= cap then begin
+      let bigger = Array.make (max (2 * cap) (id + 1)) None in
+      Array.blit !items 0 bigger 0 cap;
+      items := bigger
+    end;
+    !items.(id) <- Some it
+  in
   let next_id = ref 0 in
   let next_batch = ref 0 in
-  let seq : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  (* Channel sequence numbers, indexed (src+1)*n + dst: sources are
+     [env_pid = -1] and 0..n-1, destinations 0..n-1. *)
+  let seq = Array.make ((n + 1) * n) 0 in
   let messages_sent = ref 0 in
   let messages_delivered = ref 0 in
   let steps = ref 0 in
   let decisions = ref 0 in
-  let delivered_batches : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* Batch ids are dense too: a growable bitset replaces the unit Hashtbl. *)
+  let delivered_batches = ref (Bytes.make 64 '\000') in
+  let batch_mark b =
+    let byte = b lsr 3 in
+    let cap = Bytes.length !delivered_batches in
+    if byte >= cap then begin
+      let bigger = Bytes.make (max (2 * cap) (byte + 1)) '\000' in
+      Bytes.blit !delivered_batches 0 bigger 0 cap;
+      delivered_batches := bigger
+    end;
+    Bytes.unsafe_set !delivered_batches byte
+      (Char.chr (Char.code (Bytes.unsafe_get !delivered_batches byte) lor (1 lsl (b land 7))))
+  in
+  let batch_mem b =
+    let byte = b lsr 3 in
+    byte < Bytes.length !delivered_batches
+    && Char.code (Bytes.unsafe_get !delivered_batches byte) land (1 lsl (b land 7)) <> 0
+  in
   let have_faults = Option.is_some cfg.faults in
 
   (* Crash-restart windows are fixed per process before the run starts:
@@ -104,10 +139,10 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
   in
 
   let next_seq src dst =
-    let key = (src, dst) in
-    let k = try Hashtbl.find seq key with Not_found -> 0 in
-    Hashtbl.replace seq key (k + 1);
-    k + 1
+    let key = ((src + 1) * n) + dst in
+    let k = seq.(key) + 1 in
+    seq.(key) <- k;
+    k
   in
 
   (* [dup]: this enqueue is the injected copy of an already-delivered
@@ -131,8 +166,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
             | f -> (f, 0))
         | _ -> (None, 0)
     in
-    Hashtbl.replace items id
-      { node; payload; enqueued_at_decision = !decisions; fault; delay_until };
+    item_set id { node; payload; enqueued_at_decision = !decisions; fault; delay_until };
     match payload with
     | None -> ()
     | Some _ ->
@@ -194,10 +228,10 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
   done;
 
   let deliver id =
-    match Hashtbl.find_opt items id with
+    match item_get id with
     | None -> ()
     | Some item ->
-        Hashtbl.remove items id;
+        item_clear id;
         Pending_set.remove pending_set item.node;
         let { src; dst; seq = s; batch; _ } = Pending_set.view_of item.node in
         (match item.payload with
@@ -219,7 +253,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
             in
             emit (Delivered { src; dst; seq = s });
             emit_pat (Scheduler.P_delivered { src; dst; seq = s });
-            if batch >= 0 then Hashtbl.replace delivered_batches batch ();
+            if batch >= 0 then batch_mark batch;
             (match item.fault with
             | Some Duplicate -> enqueue ~dup:true ~src ~dst ~payload:item.payload ~batch ()
             | _ -> ());
@@ -239,7 +273,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
        and crash windows — a batch is delivered all-or-none. *)
     let is_mediator src = match cfg.mediator with Some m -> src = m | None -> false in
     let must_finish (v : pending_view) =
-      is_mediator v.src && v.batch >= 0 && Hashtbl.mem delivered_batches v.batch
+      is_mediator v.src && v.batch >= 0 && batch_mem v.batch
     in
     let rec finish () =
       match Pending_set.find pending_set must_finish with
@@ -253,10 +287,10 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
     let rec drop () =
       if not (Pending_set.is_empty pending_set) then begin
         let v = Pending_set.oldest pending_set in
-        (match Hashtbl.find_opt items v.id with
+        (match item_get v.id with
         | None -> ()
         | Some item ->
-            Hashtbl.remove items v.id;
+            item_clear v.id;
             Pending_set.remove pending_set item.node;
             (match item.payload with
             | None -> ()
@@ -276,7 +310,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
      one; if nothing is deliverable the decision is burnt (pins and
      windows expire at fixed decision counts, so this always clears). *)
   let blocked id =
-    match Hashtbl.find_opt items id with
+    match item_get id with
     | None -> true
     | Some it ->
         it.delay_until > !decisions || crashed (Pending_set.view_of it.node).dst
@@ -329,7 +363,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
         if cfg.scheduler.relaxed then None
         else begin
           let v = Pending_set.oldest pending_set in
-          match Hashtbl.find_opt items v.id with
+          match item_get v.id with
           | Some it
             when !decisions - it.enqueued_at_decision > cfg.starvation_bound
                  && not (crashed v.dst) ->
@@ -368,7 +402,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
             | None -> () (* everything withheld: burn the decision *)
           in
           match decision with
-          | Deliver id when Hashtbl.mem items id ->
+          | Deliver id when item_mem id ->
               if have_faults && blocked id then deliver_fallback ()
               else begin
                 deliver id;

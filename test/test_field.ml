@@ -174,6 +174,88 @@ let prop_linalg_solution_valid =
       | None -> false (* constructed to be consistent *)
       | Some x -> Array.for_all2 Gf.equal (Linalg.mat_vec a x) b)
 
+(* --- differential tests: optimised kernels vs their reference paths --- *)
+
+let prop_inv_table_matches_euclid =
+  (* inv consults the precomputed table for small k and p-k; it must agree
+     with the extended-Euclid path everywhere, table edges included *)
+  QCheck.Test.make ~name:"inv = inv_euclid (table + both edges)" ~count:300 QCheck.pos_int
+    (fun seed ->
+      let rng = Random.State.make [| seed; 7 |] in
+      let a =
+        match Random.State.int rng 4 with
+        | 0 -> Gf.of_int (1 + Random.State.int rng (Gf.inv_table_size - 1)) (* table hit *)
+        | 1 ->
+            (* negated table hit *)
+            Gf.of_int (Gf.p - 1 - Random.State.int rng (Gf.inv_table_size - 1))
+        | 2 -> Gf.of_int (Gf.inv_table_size + Random.State.int rng 1000) (* past the table *)
+        | _ -> Gf.random_nonzero rng
+      in
+      Gf.equal (Gf.inv a) (Gf.inv_euclid a))
+
+let prop_batch_inv_matches_inv =
+  QCheck.Test.make ~name:"batch_inv = pointwise inv" ~count:300 QCheck.pos_int (fun seed ->
+      let rng = Random.State.make [| seed; 8 |] in
+      let n = 1 + Random.State.int rng 40 in
+      let xs = Array.init n (fun _ -> Gf.random_nonzero rng) in
+      let ys = Gf.batch_inv xs in
+      Array.for_all2 Gf.equal ys (Array.map Gf.inv xs))
+
+let test_batch_inv_edges () =
+  Alcotest.(check bool) "empty" true (Gf.batch_inv [||] = [||]);
+  let one = Gf.batch_inv [| Gf.one |] in
+  check_gf "singleton" Gf.one one.(0);
+  Alcotest.check_raises "zero element" Division_by_zero (fun () ->
+      ignore (Gf.batch_inv [| Gf.one; Gf.zero |]));
+  Alcotest.check_raises "aliased dst" (Invalid_argument "Gf.batch_inv_into: dst aliases src")
+    (fun () ->
+      let xs = [| Gf.one |] in
+      Gf.batch_inv_into xs xs)
+
+let random_system rng =
+  let rows = 1 + Random.State.int rng 6 in
+  let cols = 1 + Random.State.int rng 6 in
+  let a = Array.init rows (fun _ -> Array.init cols (fun _ -> Gf.random rng)) in
+  let b =
+    (* half consistent (b in the column space), half arbitrary — so the
+       None/Some agreement is exercised on both sides *)
+    if Random.State.bool rng then
+      Linalg.mat_vec a (Array.init cols (fun _ -> Gf.random rng))
+    else Array.init rows (fun _ -> Gf.random rng)
+  in
+  (rows, cols, a, b)
+
+let copy_system a b = (Array.map Array.copy a, Array.copy b)
+
+let prop_solve_in_place_matches_solve =
+  QCheck.Test.make ~name:"solve_in_place = solve (incl. singular/inconsistent)" ~count:300
+    QCheck.pos_int (fun seed ->
+      let rng = Random.State.make [| seed; 9 |] in
+      let _, _, a, b = random_system rng in
+      let a', b' = copy_system a b in
+      Linalg.solve a b = Linalg.solve_in_place a' b')
+
+let prop_scratch_matches_solve =
+  QCheck.Test.make ~name:"Scratch.solve = solve (reused buffers)" ~count:300 QCheck.pos_int
+    (fun seed ->
+      let rng = Random.State.make [| seed; 10 |] in
+      let scratch = Linalg.Scratch.create () in
+      (* several systems through ONE scratch: stale contents from the
+         previous solve must never leak into the next *)
+      let ok = ref true in
+      for _ = 1 to 5 do
+        let rows, cols, a, b = random_system rng in
+        Linalg.Scratch.prepare scratch ~rows ~cols;
+        let m = Linalg.Scratch.matrix scratch in
+        let v = Linalg.Scratch.rhs scratch in
+        for i = 0 to rows - 1 do
+          Array.blit a.(i) 0 m.(i) 0 cols;
+          v.(i) <- b.(i)
+        done;
+        if Linalg.Scratch.solve scratch ~rows ~cols <> Linalg.solve a b then ok := false
+      done;
+      !ok)
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -207,4 +289,13 @@ let () =
           Alcotest.test_case "rank" `Quick test_linalg_rank;
         ] );
       ("linalg-props", qsuite [ prop_linalg_solution_valid ]);
+      ( "differential",
+        Alcotest.test_case "batch-inv edges" `Quick test_batch_inv_edges
+        :: qsuite
+             [
+               prop_inv_table_matches_euclid;
+               prop_batch_inv_matches_inv;
+               prop_solve_in_place_matches_solve;
+               prop_scratch_matches_solve;
+             ] );
     ]

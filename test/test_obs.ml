@@ -525,6 +525,57 @@ let test_json_nonfinite_floats () =
   Alcotest.(check string) "nan is null" "null" (Json.to_string (Json.Float Float.nan));
   Alcotest.(check string) "inf is null" "null" (Json.to_string (Json.Float Float.infinity))
 
+let test_json_parse_roundtrip () =
+  (* the perf gate reads BENCH_smoke.json back: parse(print(v)) = v for
+     every shape the emitter produces *)
+  let doc =
+    Json.Obj
+      [
+        ("budget", Json.String "smoke");
+        ("jobs", Json.Int 4);
+        ("total_wall_clock_s", Json.Float 12.5);
+        ("escaped", Json.String "a\"b\\c\nd\te");
+        ("unicode", Json.String "Theorem 4.1 \xe2\x80\x94 exact");
+        ( "experiments",
+          Json.Obj
+            [
+              ("e1", Json.Obj [ ("wall_clock_s", Json.Float 7.25); ("ok", Json.Bool true) ]);
+              ("e2", Json.Obj [ ("rows", Json.List [ Json.Null; Json.Int (-3) ]) ]);
+            ] );
+        ("micro", Json.Obj [ ("gf/mul", Json.Float 2.0e-9) ]);
+        ("empty_list", Json.List []);
+        ("empty_obj", Json.Obj []);
+      ]
+  in
+  Alcotest.(check bool) "roundtrip" true (Json.of_string (Json.to_string doc) = doc);
+  (* escapes decode to the original characters *)
+  Alcotest.(check bool) "escape decode" true
+    (Json.of_string {|"a\"b\\c\nd\teA"|} = Json.String "a\"b\\c\nd\teA")
+
+let test_json_parse_errors () =
+  let fails s =
+    match Json.of_string s with
+    | exception Json.Parse_error _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "trailing garbage" true (fails "{} x");
+  Alcotest.(check bool) "unterminated string" true (fails {|"abc|});
+  Alcotest.(check bool) "bare word" true (fails "xyz");
+  Alcotest.(check bool) "missing colon" true (fails {|{"a" 1}|});
+  Alcotest.(check bool) "missing bracket" true (fails "[1, 2")
+
+let test_json_accessors () =
+  let doc = Json.of_string {|{"a": {"b": 3}, "xs": [1.5, 2], "s": "hi"}|} in
+  Alcotest.(check (option int)) "nested int" (Some 3)
+    Option.(bind (Json.member "a" doc) (Json.member "b") |> Fun.flip bind Json.to_int_opt);
+  Alcotest.(check bool) "int widens to float" true
+    (Option.bind (Json.member "a" doc) (Json.member "b")
+     |> Fun.flip Option.bind Json.to_float_opt
+    = Some 3.0);
+  Alcotest.(check (option string)) "string" (Some "hi")
+    (Option.bind (Json.member "s" doc) Json.to_string_opt);
+  Alcotest.(check bool) "missing member" true (Json.member "zz" doc = None)
+
 let test_metrics_json_split () =
   let s = Json.to_string (Metrics.to_json sample_metrics) in
   let contains needle hay =
@@ -602,6 +653,9 @@ let () =
           Alcotest.test_case "escaping" `Quick test_json_escaping;
           Alcotest.test_case "structure" `Quick test_json_structure;
           Alcotest.test_case "non-finite floats" `Quick test_json_nonfinite_floats;
+          Alcotest.test_case "parse roundtrip" `Quick test_json_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
           Alcotest.test_case "metrics split" `Quick test_metrics_json_split;
         ] );
     ]

@@ -221,6 +221,47 @@ let prop_concurrent_plans_match =
       let got_a = Domain.join da and got_b = Domain.join db in
       got_a = expect_a && got_b = expect_b)
 
+(* Shamir's Lagrange caches are per-domain (Domain.DLS): concurrent
+   domains hammering the same index sets must each get the same answers
+   as a fresh cold-cache domain, and a domain's cache must fill without
+   any cross-domain interference. *)
+let prop_shamir_cache_domain_safety =
+  QCheck.Test.make ~count:8 ~name:"shamir caches are per-domain and value-transparent"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let job dseed () =
+        Shamir.clear_caches ();
+        let rng = Random.State.make [| dseed; 55 |] in
+        let digests =
+          List.init 20 (fun i ->
+              let t = 1 + ((dseed + i) mod 4) in
+              let n = (2 * t) + 3 in
+              let secret = Field.Gf.random rng in
+              let shares = Shamir.share rng ~n ~t ~secret in
+              let tampered = Array.copy shares in
+              tampered.(i mod n) <-
+                {
+                  tampered.(i mod n) with
+                  Shamir.value = Field.Gf.add tampered.(i mod n).Shamir.value Field.Gf.one;
+                };
+              (* repeated index sets: the second call of each pair is a
+                 cache hit *)
+              let r1 = Shamir.reconstruct ~t (Array.to_list shares) in
+              let r2 = Shamir.reconstruct ~t (Array.to_list shares) in
+              let rr = Shamir.reconstruct_robust ~t ~max_errors:1 (Array.to_list tampered) in
+              (r1, r2, rr, Some secret))
+        in
+        (digests, Shamir.cache_size () > 0)
+      in
+      let expected = List.map (fun d -> job d ()) [ seed; seed + 1; seed + 2 ] in
+      let domains = List.map (fun d -> Domain.spawn (job d)) [ seed; seed + 1; seed + 2 ] in
+      let got = List.map Domain.join domains in
+      got = expected
+      && List.for_all
+           (fun (digests, warm) ->
+             warm && List.for_all (fun (r1, r2, rr, s) -> r1 = s && r2 = s && rr = s) digests)
+           got)
+
 (* ------------------------------------------------------------------ *)
 (* Linting from worker domains *)
 
@@ -299,7 +340,8 @@ let () =
             test_implementation_distance_pool_invariant;
         ] );
       ("tables-differential", List.map differential_case experiments);
-      ("domain-safety", qsuite [ prop_concurrent_plans_match ]);
+      ( "domain-safety",
+        qsuite [ prop_concurrent_plans_match; prop_shamir_cache_domain_safety ] );
       ( "lint-under-j",
         [
           Alcotest.test_case "clean plan lints clean across domains" `Quick

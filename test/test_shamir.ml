@@ -139,6 +139,104 @@ let prop_robust_with_errors =
       | Some s -> Gf.equal s secret
       | None -> false)
 
+(* --- differential tests: optimised kernels vs Shamir.Ref -------------
+   The memoised/array kernels must agree with the naive reference
+   implementations on every input — including duplicate indices and
+   corrupted shares — so the caches can never change an experiment
+   value. *)
+
+let test_out_of_range_rejected () =
+  let rng = rng () in
+  let shares = Array.to_list (Shamir.share rng ~n:4 ~t:1 ~secret:Gf.one) in
+  let bad idx = { Shamir.index = idx; value = Gf.one } in
+  List.iter
+    (fun idx ->
+      Alcotest.(check bool)
+        (Printf.sprintf "index %d rejected" idx)
+        true
+        (Shamir.reconstruct ~t:1 (bad idx :: List.tl shares) = None))
+    [ 0; -1; -5; Shamir.max_index + 1 ]
+
+let prop_reconstruct_matches_ref =
+  QCheck.Test.make ~name:"reconstruct = Ref.reconstruct (incl. duplicates)" ~count:300
+    QCheck.pos_int (fun seed ->
+      let rng = Random.State.make [| seed; 101 |] in
+      let t = Random.State.int rng 5 in
+      let n = t + 1 + Random.State.int rng 6 in
+      let shares = Shamir.share rng ~n ~t ~secret:(Gf.random rng) in
+      let lst =
+        let base = Array.to_list shares in
+        if Random.State.bool rng then
+          (* duplicate a random index: both paths must reject *)
+          match base with x :: rest -> x :: x :: rest | [] -> base
+        else base
+      in
+      Shamir.reconstruct ~t lst = Shamir.Ref.reconstruct ~t lst)
+
+let prop_decode_matches_ref =
+  QCheck.Test.make ~name:"decode = Ref.decode (corrupted shares)" ~count:200
+    QCheck.pos_int (fun seed ->
+      let rng = Random.State.make [| seed; 202 |] in
+      let t = Random.State.int rng 4 in
+      let e = Random.State.int rng 3 in
+      let n = t + 1 + (2 * e) + Random.State.int rng 3 in
+      let secret = Gf.random rng in
+      let shares = Shamir.share rng ~n ~t ~secret in
+      let tampered = Array.copy shares in
+      for _ = 1 to e do
+        let v = Random.State.int rng n in
+        tampered.(v) <-
+          { tampered.(v) with Shamir.value = Gf.add tampered.(v).Shamir.value (Gf.random_nonzero rng) }
+      done;
+      let pts =
+        Array.to_list
+          (Array.map
+             (fun (s : Shamir.share) -> (Gf.of_int s.Shamir.index, s.Shamir.value))
+             tampered)
+      in
+      let a = Shamir.decode ~degree:t ~max_errors:e pts in
+      let b = Shamir.Ref.decode ~degree:t ~max_errors:e pts in
+      match (a, b) with
+      | None, None -> true
+      | Some f, Some g -> Field.Poly.equal f g
+      | _ -> false)
+
+let prop_robust_matches_ref =
+  QCheck.Test.make ~name:"reconstruct_robust = Ref.reconstruct_robust" ~count:200
+    QCheck.pos_int (fun seed ->
+      let rng = Random.State.make [| seed; 303 |] in
+      let t = Random.State.int rng 4 in
+      let e = Random.State.int rng 3 in
+      let n = t + 1 + (2 * e) + Random.State.int rng 3 in
+      let shares = Shamir.share rng ~n ~t ~secret:(Gf.random rng) in
+      let tampered = Array.copy shares in
+      (* corrupt up to e+1 shares: sometimes more than the budget, so the
+         None paths are compared too *)
+      for _ = 1 to Random.State.int rng (e + 2) do
+        let v = Random.State.int rng n in
+        tampered.(v) <-
+          { tampered.(v) with Shamir.value = Gf.add tampered.(v).Shamir.value (Gf.random_nonzero rng) }
+      done;
+      let lst = Array.to_list tampered in
+      Shamir.reconstruct_robust ~t ~max_errors:e lst
+      = Shamir.Ref.reconstruct_robust ~t ~max_errors:e lst)
+
+let prop_lagrange_matches_ref =
+  QCheck.Test.make ~name:"lagrange_at_zero = Ref.lagrange_at_zero" ~count:300
+    QCheck.pos_int (fun seed ->
+      let rng = Random.State.make [| seed; 404 |] in
+      let k = 1 + Random.State.int rng 8 in
+      (* distinct 1-based indices via partial shuffle of 1..20 *)
+      let pool = Array.init 20 (fun i -> i + 1) in
+      for i = 0 to k - 1 do
+        let j = i + Random.State.int rng (20 - i) in
+        let tmp = pool.(i) in
+        pool.(i) <- pool.(j);
+        pool.(j) <- tmp
+      done;
+      let idx = Array.to_list (Array.sub pool 0 k) in
+      Shamir.lagrange_at_zero idx = Shamir.Ref.lagrange_at_zero idx)
+
 let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~long:false) tests
 
 let () =
@@ -153,6 +251,15 @@ let () =
           Alcotest.test_case "too many errors" `Quick test_robust_too_many_errors;
           Alcotest.test_case "decode exact" `Quick test_decode_exact;
           Alcotest.test_case "verify consistent" `Quick test_verify_consistent;
+          Alcotest.test_case "out-of-range indices" `Quick test_out_of_range_rejected;
         ] );
       ("props", qsuite [ prop_roundtrip; prop_robust_with_errors ]);
+      ( "differential",
+        qsuite
+          [
+            prop_reconstruct_matches_ref;
+            prop_decode_matches_ref;
+            prop_robust_matches_ref;
+            prop_lagrange_matches_ref;
+          ] );
     ]
