@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-all: build lint par-check chaos perf-gate
+all: build lint check par-check chaos perf-gate
 
 build:
 	dune build @all
@@ -34,6 +34,13 @@ chaos:
 	  fi; \
 	  echo "chaos: hung run degraded with exit 3, as required"
 
+# Model checker over the fixture catalog (DESIGN.md section 13): DPOR
+# verdicts for the quorum-vote fixtures, the relaxed mediator game
+# (STOP-batch atomicity) and the section 6.4 coalition stall; exits
+# non-zero when any verdict contradicts its expectation.
+check:
+	dune exec bin/ctmed.exe -- check
+
 # Perf regression gate: rerun the smoke budget sequentially and compare
 # per-experiment wall-clock plus the kernel micro-benchmark estimates
 # against the committed baseline (BENCH_smoke.json). Exits 1 if anything
@@ -62,7 +69,7 @@ bench-csv:
 # BENCH_smoke.json actually carries every experiment plus the fit.
 bench-json:
 	dune exec bench/main.exe -- smoke json
-	@for key in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 a1 complexity; do \
+	@for key in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 a1 complexity model_check; do \
 	  grep -q "\"$$key\"" BENCH_smoke.json \
 	    || { echo "bench-json: BENCH_smoke.json is missing \"$$key\"" >&2; exit 1; }; \
 	done
@@ -78,4 +85,4 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all build lint par-check chaos perf-gate test test-verbose bench bench-full bench-csv bench-json examples clean
+.PHONY: all build lint check par-check chaos perf-gate test test-verbose bench bench-full bench-csv bench-json examples clean

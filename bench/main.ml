@@ -104,6 +104,7 @@ type baseline = {
   b_budget : string option;
   b_experiments : (string * float) list; (* id -> wall_clock_s *)
   b_micro : (string * float) list; (* bench name -> ns/run *)
+  b_model_check : (string * float) list; (* counter -> value *)
   b_total : float option;
 }
 
@@ -131,15 +132,54 @@ let load_baseline file =
           fields
     | _ -> []
   in
+  let model_check =
+    match Obs.Json.member "model_check" doc with
+    | Some (Obs.Json.Obj fields) ->
+        List.filter_map
+          (fun (name, v) ->
+            match Obs.Json.to_float_opt v with
+            | Some x -> Some (name, x)
+            | None -> None)
+          fields
+    | _ -> []
+  in
   {
     b_budget = Option.bind (Obs.Json.member "budget" doc) Obs.Json.to_string_opt;
     b_experiments = experiments;
     b_micro = micro;
+    b_model_check = model_check;
     b_total =
       Option.bind (Obs.Json.member "total_wall_clock_s" doc) Obs.Json.to_float_opt;
   }
 
-let check_gate ~tolerance ~(baseline : baseline) ~timings ~micro ~total =
+(* Deterministic model-checker counters over the fixture catalog: the
+   DPOR replay count and distinct-state totals are pure functions of the
+   fixtures, so any drift against the baseline is a real search
+   regression (a weakened independence relation or broken sleep sets),
+   not noise. The slow §6.4 fixture is excluded — its counters are
+   budget-capped, not search-determined. *)
+let model_check_measure ~pool () =
+  let dpor_runs, naive_runs, naive_capped = Experiments.Check.reduction ~pool () in
+  let states, runs =
+    List.fold_left
+      (fun (states, runs) (f : Experiments.Check.fixture) ->
+        if f.Experiments.Check.name = "pitfall64" then (states, runs)
+        else
+          let r = f.Experiments.Check.run ~pool () in
+          let s = r.Experiments.Check.stats in
+          (states + s.Analysis.Mc.states, runs + s.Analysis.Mc.runs))
+      (0, 0) Experiments.Check.fixtures
+  in
+  ( [
+      ("dpor_runs", float_of_int dpor_runs);
+      ("naive_runs", float_of_int naive_runs);
+      ("reduction_ratio", float_of_int naive_runs /. float_of_int dpor_runs);
+      ("catalog_runs", float_of_int runs);
+      ("states_explored", float_of_int states);
+    ],
+    naive_capped )
+
+let check_gate ~tolerance ~(baseline : baseline) ~timings ~micro ~model_check ~total =
   let regressions = ref [] in
   let compare_one ~floor ~unit name base now =
     if base >= floor then begin
@@ -164,6 +204,18 @@ let check_gate ~tolerance ~(baseline : baseline) ~timings ~micro ~total =
       | Some base -> compare_one ~floor:min_micro_ns ~unit:"ns" name base ns
       | None -> ())
     micro;
+  (* model-check counters are deterministic: lower is better for the
+     replay/state totals, so the timing comparison applies verbatim;
+     the reduction ratio (bigger is better) is reported in the JSON but
+     gated through dpor_runs, its only moving part *)
+  List.iter
+    (fun (name, v) ->
+      if name <> "reduction_ratio" then
+        match List.assoc_opt name baseline.b_model_check with
+        | Some base ->
+            compare_one ~floor:1.0 ~unit:"" ("model_check." ^ name) base v
+        | None -> ())
+    model_check;
   (match baseline.b_total with
   | Some base -> compare_one ~floor:min_experiment_s ~unit:"s" "total" base total
   | None -> ());
@@ -278,6 +330,10 @@ let () =
        chaos_experiments
    with Invalid_argument msg -> usage_exit ("invalid configuration: " ^ msg));
   let micro_ms = if want "micro" then Experiments.Micro.run () else [] in
+  let mc_counters, mc_naive_capped =
+    if json || baseline <> None then model_check_measure ~pool ()
+    else ([], false)
+  in
   let total = Unix.gettimeofday () -. t0 in
   Printf.printf "\nTotal: %.1fs (-j %d)\n" total j;
   Parallel.Pool.shutdown pool;
@@ -328,6 +384,10 @@ let () =
           );
           ("complexity", Obs.Complexity.fit_to_json fit);
           ("faults", faults_json);
+          ( "model_check",
+            Obs.Json.Obj
+              (List.map (fun (name, v) -> (name, Obs.Json.Float v)) mc_counters
+              @ [ ("naive_capped", Obs.Json.Bool mc_naive_capped) ]) );
         ]
     in
     let path = Printf.sprintf "BENCH_%s.json" budget_name in
@@ -346,7 +406,7 @@ let () =
   | Some b -> (
       match
         check_gate ~tolerance:!tolerance ~baseline:b ~timings:(List.rev !timings)
-          ~micro:micro_ms ~total
+          ~micro:micro_ms ~model_check:mc_counters ~total
       with
       | [] -> Printf.printf "perf gate: ok\n"
       | regs ->

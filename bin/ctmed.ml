@@ -1,7 +1,8 @@
 (* ctmed — command-line front end for the mediator/cheap-talk library.
 
-   ctmed list                 catalog of specs and experiments
+   ctmed list                 catalog of specs, experiments and check fixtures
    ctmed run SPEC [opts]      one cheap-talk history of a compiled spec
+   ctmed check [FIXTURES]     model-check the fixture catalog (DPOR/naive/graph)
    ctmed lint [opts]          static + dynamic analysis over the bundled examples
    ctmed experiment [IDS]     the paper experiments (E1..E10, A1)
    ctmed micro                substrate micro-benchmarks *)
@@ -36,7 +37,15 @@ let list_cmd =
     List.iter
       (fun id -> Printf.printf "  %s (only when named explicitly)\n" id)
       chaos_ids;
-    Printf.printf "  micro\n"
+    Printf.printf "  micro\n";
+    Printf.printf "\nModel-check fixtures (ctmed check <fixture>):\n";
+    List.iter
+      (fun (f : Experiments.Check.fixture) ->
+        Printf.printf "  %-18s %s%s\n" f.Experiments.Check.name
+          f.Experiments.Check.descr
+          (if f.Experiments.Check.expect_violation then " [expects a violation]"
+           else ""))
+      Experiments.Check.fixtures
   in
   Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
 
@@ -474,6 +483,32 @@ let lint_cmd =
     in
     section "races" race_findings;
 
+    (* 5. model checker: exhaustive DPOR verdicts over the small fixtures
+       (the violating catalog entries stay behind --seeded-bug, mirroring
+       the race section) *)
+    let mc_over name ?properties ?relaxed make =
+      List.map
+        (fun f -> { f with F.subject = name ^ ": " ^ f.F.subject })
+        (Analysis.Mc.findings ~subject:"verdict"
+           (Analysis.Mc.check ?properties (Analysis.Mc.of_processes ?relaxed make)))
+    in
+    let mc_findings =
+      mc_over "ping-pong" Analysis.Fixtures.ping_pong
+      @ mc_over "quorum-n4"
+          ~properties:[ Analysis.Fixtures.quorum_validity ]
+          (Analysis.Fixtures.quorum_vote ~n:4 ~zeros:1)
+      @ mc_over "quorum-n3 (relaxed)" ~relaxed:true
+          (Analysis.Fixtures.quorum_vote ~n:3 ~zeros:2)
+      @ mc_over "pairs" (Analysis.Fixtures.pairs ~m:3)
+      @
+      if seeded_bug then
+        mc_over "quorum-n3 (seeded)"
+          ~properties:[ Analysis.Fixtures.quorum_validity ]
+          (Analysis.Fixtures.quorum_vote ~n:3 ~zeros:2)
+      else []
+    in
+    section "model-check" mc_findings;
+
     Printf.printf "\nlint: %d error%s, %d warning%s\n" !total_errors
       (if !total_errors = 1 then "" else "s")
       !total_warnings
@@ -481,6 +516,91 @@ let lint_cmd =
     if !total_errors > 0 then exit 1
   in
   Cmd.v (Cmd.info "lint" ~doc) Term.(const run $ verbose_arg $ seeded_bug_arg)
+
+(* --- check: the model checker over the fixture catalog --- *)
+
+let check_cmd =
+  let doc =
+    "Model-check the fixture catalog: dynamic partial-order reduction (default) with state \
+     fingerprinting, deadlock/starvation verdicts and minimized counterexample traces; \
+     $(b,--naive) swaps in the Sim.Explore reference enumeration and $(b,--graph) the \
+     fingerprint-keyed breadth-first search. Exits non-zero when any fixture's verdict \
+     contradicts its expectation."
+  in
+  let fixtures_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"FIXTURE" ~doc:"fixture names (default: all; see ctmed list)")
+  in
+  let naive_arg =
+    Arg.(value & flag & info [ "naive" ] ~doc:"use the Sim.Explore reference backend")
+  in
+  let dpor_arg =
+    Arg.(value & flag & info [ "dpor" ] ~doc:"use partial-order reduction (the default)")
+  in
+  let graph_arg =
+    Arg.(value & flag & info [ "graph" ] ~doc:"use the fingerprint-keyed state search")
+  in
+  let max_states_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-states" ] ~doc:"search budget override (replays / queued branches)")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~doc:"worker domains (verdicts are identical at any -j)")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print the full canonical verdict")
+  in
+  let run names naive dpor graph max_states jobs verbose =
+    ignore dpor;
+    if jobs < 1 then (
+      Printf.eprintf "ctmed check: -j must be >= 1\n";
+      exit 2);
+    let module Check = Experiments.Check in
+    let backend =
+      if naive then Analysis.Mc.Naive
+      else if graph then Analysis.Mc.Graph
+      else Analysis.Mc.Dpor
+    in
+    let names = if names = [] then Check.names else names in
+    let failed = ref false in
+    Parallel.Pool.with_pool ~domains:jobs (fun pool ->
+        List.iter
+          (fun name ->
+            match Check.find name with
+            | None ->
+                Printf.printf "%-18s unknown fixture (see ctmed list)\n" name;
+                failed := true
+            | Some f -> (
+                match f.Check.run ~backend ~pool ?max_states () with
+                | exception Invalid_argument msg ->
+                    (* e.g. Graph on a relaxed or digest-less fixture *)
+                    Printf.printf "%-18s skipped: %s\n" name msg
+                | r ->
+                    let s = r.Check.stats in
+                    Printf.printf
+                      "%-18s %s  classes=%d deadlocks=%d runs=%d states=%d stop-cuts=%d%s%s\n"
+                      name
+                      (if r.Check.ok then
+                         if r.Check.pass then "PASS" else "FAIL (expected)"
+                       else "UNEXPECTED")
+                      r.Check.classes r.Check.deadlocks s.Analysis.Mc.runs
+                      s.Analysis.Mc.states s.Analysis.Mc.stop_cuts
+                      (if r.Check.exhaustive then "" else " (not exhaustive)")
+                      (if s.Analysis.Mc.capped then " (capped)" else "");
+                    if verbose then print_string r.Check.repr;
+                    (match r.Check.counterexample with
+                    | Some ce when verbose || not r.Check.ok -> print_string ce
+                    | _ -> ());
+                    if not r.Check.ok then failed := true))
+          names);
+    if !failed then exit 1
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const run $ fixtures_arg $ naive_arg $ dpor_arg $ graph_arg $ max_states_arg
+      $ jobs_arg $ verbose_arg)
 
 let micro_cmd =
   let doc = "Substrate micro-benchmarks (Bechamel)." in
@@ -491,6 +611,16 @@ let micro_cmd =
 let main =
   let doc = "implementing mediators with asynchronous cheap talk" in
   Cmd.group (Cmd.info "ctmed" ~doc)
-    [ list_cmd; run_cmd; lint_cmd; mediator_cmd; trace_cmd; lemma68_cmd; experiment_cmd; micro_cmd ]
+    [
+      list_cmd;
+      run_cmd;
+      check_cmd;
+      lint_cmd;
+      mediator_cmd;
+      trace_cmd;
+      lemma68_cmd;
+      experiment_cmd;
+      micro_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

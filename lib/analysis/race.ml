@@ -180,6 +180,10 @@ let candidates_of_slots ~n slots =
   done;
   List.rev !cands
 
+let candidates_of_outcome (o : 'a Types.outcome) =
+  let n = Array.length o.Types.moves in
+  candidates_of_slots ~n (slots_of_trace o.Types.trace)
+
 (* ------------------------------------------------------------------ *)
 
 type verdict = Outcome_race | Effect_race

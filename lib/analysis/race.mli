@@ -40,6 +40,19 @@ type entry = { e_src : int; e_dst : int; e_seq : int }
 
 val pp_entry : Format.formatter -> entry -> unit
 
+type candidate = { c_dst : int; c_first : entry; c_second : entry }
+(** Two deliveries to [c_dst] whose order was the scheduler's free choice
+    (the later message's send does not causally depend on the earlier
+    delivery). *)
+
+val candidates_of_outcome : 'a Sim.Types.outcome -> candidate list
+(** The candidate races of one observed run, from its trace alone
+    (vector-clock happens-before, as used by {!analyze}). Exposed so the
+    model checker can cross-validate its independence relation against
+    this detector's happens-before relation on shared fixtures: a pair is
+    a candidate here iff the two deliveries are dependent-but-reorderable
+    there ([Analysis.Mc]'s backtrack condition). *)
+
 type verdict =
   | Outcome_race  (** swapping the pair changes some player's final move *)
   | Effect_race

@@ -102,5 +102,12 @@ module Builder : sig
   val injected_delay : t -> unit
   val injected_crash : t -> unit
   val timed_out : t -> unit
+
+  val copy : t -> t
+  (** Independent snapshot of the accumulator (count arrays are copied,
+      the wall-clock/GC baselines are shared) — the clone hook
+      {!Sim.Runner.Step.clone} uses this so a branched run keeps
+      accumulating without disturbing its parent. *)
+
   val finish : t -> batches:int -> steps:int -> metrics
 end

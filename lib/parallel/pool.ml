@@ -182,6 +182,10 @@ let map_seeded ?chunk ~pool ~seeds:(lo, hi) f =
           slots
   end
 
+let map_array ?chunk ~pool arr f =
+  let n = Array.length arr in
+  map_seeded ?chunk ~pool ~seeds:(0, n) (fun i -> f arr.(i))
+
 let with_pool ?domains f =
   let pool = create ?domains () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -56,6 +56,14 @@ val map_seeded : ?chunk:int -> pool:t -> seeds:int * int -> (int -> 'a) -> 'a ar
     (default: range split ~8 ways per domain, at least 1) only affects
     scheduling granularity, never results. *)
 
+val map_array : ?chunk:int -> pool:t -> 'a array -> ('a -> 'b) -> 'b array
+(** [map_array ~pool arr f] is {!map_seeded} over [arr]'s indices:
+    [f arr.(i)] for every [i], result in index order — the deterministic
+    parallel map the model checker's frontier rounds use. [f] must obey
+    the same contract as a seeded trial: its result may depend only on
+    its argument. Failures are wrapped as {!Trial_failed} with the index
+    as the seed. *)
+
 val shutdown : t -> unit
 (** Stop and join the worker domains. Idempotent. After shutdown the
     pool behaves like {!sequential}. *)

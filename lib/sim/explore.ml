@@ -1,6 +1,8 @@
 type 'a result = {
   outcomes : 'a Types.outcome list;
   histories : int;
+  truncated : int;
+  capped : bool;
   exhaustive : bool;
 }
 
@@ -33,6 +35,7 @@ let scripted_run ~max_steps ~make prefix =
 let explore ?(max_histories = 10_000) ?(max_steps = 200) ~make () =
   let outcomes = ref [] in
   let histories = ref 0 in
+  let truncated = ref 0 in
   let stack = ref [ [] ] in
   let capped = ref false in
   while !stack <> [] && not !capped do
@@ -44,6 +47,11 @@ let explore ?(max_histories = 10_000) ?(max_steps = 200) ~make () =
         else begin
           let o, tail_counts = scripted_run ~max_steps ~make prefix in
           incr histories;
+          (* A history that hit [max_steps] is NOT a complete history: its
+             outcome is a Cutoff prefix of one. Count it separately so a
+             "clean" exploration cannot silently hide livelock truncation
+             behind complete-looking outcomes. *)
+          if o.Types.termination = Types.Cutoff then incr truncated;
           outcomes := o :: !outcomes;
           (* enqueue every sibling of the all-oldest tail *)
           let zeros m = List.init m (fun _ -> 0) in
@@ -55,11 +63,28 @@ let explore ?(max_histories = 10_000) ?(max_steps = 200) ~make () =
             tail_counts
         end
   done;
-  { outcomes = List.rev !outcomes; histories = !histories; exhaustive = not !capped }
+  {
+    outcomes = List.rev !outcomes;
+    histories = !histories;
+    truncated = !truncated;
+    capped = !capped;
+    exhaustive = (not !capped) && !truncated = 0;
+  }
 
-let all_outcomes_agree project r =
+type agreement = Agree | Disagree | Vacuous
+
+let agreement project r =
   match r.outcomes with
-  | [] -> true
+  | [] -> Vacuous
   | first :: rest ->
       let p0 = project first in
-      List.for_all (fun o -> project o = p0) rest
+      if List.for_all (fun o -> project o = p0) rest then Agree else Disagree
+
+let all_outcomes_agree project r =
+  match agreement project r with
+  | Agree -> true
+  | Disagree -> false
+  | Vacuous ->
+      invalid_arg
+        "Explore.all_outcomes_agree: no outcomes explored (vacuous agreement — \
+         use Explore.agreement for a three-valued verdict)"

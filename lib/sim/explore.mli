@@ -10,12 +10,22 @@
     The number of interleavings explodes factorially, so exploration is
     only meaningful for protocols with at most a dozen or so messages;
     [max_histories] caps the search and the result says whether the
-    enumeration was exhaustive. *)
+    enumeration was exhaustive. {!Analysis.Mc} builds the real model
+    checker (partial-order reduction, fingerprinting, liveness verdicts)
+    on top of the same semantics and uses this module as its naive
+    reference backend. *)
 
 type 'a result = {
-  outcomes : 'a Types.outcome list;  (** one per complete history explored *)
+  outcomes : 'a Types.outcome list;  (** one per history explored *)
   histories : int;
-  exhaustive : bool;  (** false if the cap stopped the search *)
+  truncated : int;
+      (** histories cut short by [max_steps] ([Cutoff] outcomes): these
+          are prefixes, not complete histories, and are counted
+          separately from the [capped] search-budget exhaustion *)
+  capped : bool;  (** true if [max_histories] stopped the search *)
+  exhaustive : bool;
+      (** every complete history visited: not capped {e and} nothing
+          truncated *)
 }
 
 val explore :
@@ -30,6 +40,15 @@ val explore :
     [max_histories] defaults to 10_000; [max_steps] bounds each history's
     length (default 200). *)
 
+type agreement =
+  | Agree  (** every explored outcome projects identically *)
+  | Disagree  (** at least two projections differ *)
+  | Vacuous  (** no outcomes explored — nothing was checked *)
+
+val agreement : ('a Types.outcome -> 'b) -> 'a result -> agreement
+(** Three-valued confluence verdict over the explored outcomes. *)
+
 val all_outcomes_agree : ('a Types.outcome -> 'b) -> 'a result -> bool
-(** True when the projection of every explored outcome is identical —
-    confluence of the protocol under scheduling. *)
+(** [agreement] collapsed to a boolean.
+    @raise Invalid_argument on zero outcomes — vacuous agreement is a
+    checker bug, never a pass. *)

@@ -47,62 +47,279 @@ type ('m, _) item = {
   delay_until : int;
 }
 
-let run (cfg : ('m, 'a) config) : 'a outcome =
-  let n = Array.length cfg.processes in
-  cfg.scheduler.Scheduler.reset ();
-  let mb = Obs.Metrics.Builder.create ~mediator:cfg.mediator in
-  let halted = Array.make n false in
-  let started = Array.make n false in
-  let moves = Array.make n None in
-  let trace = ref [] in
-  let pattern = ref [] in
-  let emit ev = trace := ev :: !trace in
-  let emit_pat p = pattern := p :: !pattern in
-  let pending_set = Pending_set.create () in
+(* The mutable driver state, shared between [run] (the scheduler-driven
+   loop) and [Step] (the model checker's replay-free branching hook).
+   Everything a history's evolution touches lives here; the scheduler,
+   fault plan wiring and watchdogs stay in [run]. *)
+type ('m, 'a) core = {
+  procs : ('m, 'a) process array;
+  n : int;
+  mediator : int option;
+  faults : Faults.Plan.t option;
+  fuzz : (src:pid -> dst:pid -> seq:int -> 'm -> 'm) option;
+  mb : Obs.Metrics.Builder.t;
+  halted : bool array;
+  started : bool array;
+  moves : 'a option array;
+  mutable trace : 'a trace_event list; (* newest first *)
+  mutable pattern : Scheduler.pattern_event list; (* newest first *)
+  pending : Pending_set.t;
   (* Item ids are dense (assigned 0, 1, 2, ...), so per-item state lives in
      a growable array indexed by id instead of an int-keyed Hashtbl — the
      per-delivery find/remove pair becomes two array accesses. Delivered
      slots are cleared to [None] so items die young. *)
-  let items : ('m, 'a) item option array ref = ref (Array.make 1024 None) in
-  let item_get id = if id >= 0 && id < Array.length !items then !items.(id) else None in
-  let item_mem id = Option.is_some (item_get id) in
-  let item_clear id = !items.(id) <- None in
-  let item_set id it =
-    let cap = Array.length !items in
-    if id >= cap then begin
-      let bigger = Array.make (max (2 * cap) (id + 1)) None in
-      Array.blit !items 0 bigger 0 cap;
-      items := bigger
-    end;
-    !items.(id) <- Some it
-  in
-  let next_id = ref 0 in
-  let next_batch = ref 0 in
+  mutable items : ('m, 'a) item option array;
+  mutable next_id : int;
+  mutable next_batch : int;
   (* Channel sequence numbers, indexed (src+1)*n + dst: sources are
      [env_pid = -1] and 0..n-1, destinations 0..n-1. *)
-  let seq = Array.make ((n + 1) * n) 0 in
-  let messages_sent = ref 0 in
-  let messages_delivered = ref 0 in
-  let steps = ref 0 in
-  let decisions = ref 0 in
+  seq : int array;
+  mutable messages_sent : int;
+  mutable messages_delivered : int;
+  mutable steps : int;
+  mutable decisions : int;
   (* Batch ids are dense too: a growable bitset replaces the unit Hashtbl. *)
-  let delivered_batches = ref (Bytes.make 64 '\000') in
-  let batch_mark b =
-    let byte = b lsr 3 in
-    let cap = Bytes.length !delivered_batches in
-    if byte >= cap then begin
-      let bigger = Bytes.make (max (2 * cap) (byte + 1)) '\000' in
-      Bytes.blit !delivered_batches 0 bigger 0 cap;
-      delivered_batches := bigger
-    end;
-    Bytes.unsafe_set !delivered_batches byte
-      (Char.chr (Char.code (Bytes.unsafe_get !delivered_batches byte) lor (1 lsl (b land 7))))
+  mutable delivered_batches : Bytes.t;
+}
+
+let create_core ?faults ?fuzz ~mediator procs =
+  let n = Array.length procs in
+  {
+    procs;
+    n;
+    mediator;
+    faults;
+    fuzz;
+    mb = Obs.Metrics.Builder.create ~mediator;
+    halted = Array.make n false;
+    started = Array.make n false;
+    moves = Array.make n None;
+    trace = [];
+    pattern = [];
+    pending = Pending_set.create ();
+    items = Array.make 1024 None;
+    next_id = 0;
+    next_batch = 0;
+    seq = Array.make ((n + 1) * n) 0;
+    messages_sent = 0;
+    messages_delivered = 0;
+    steps = 0;
+    decisions = 0;
+    delivered_batches = Bytes.make 64 '\000';
+  }
+
+let emit c ev = c.trace <- ev :: c.trace
+let emit_pat c p = c.pattern <- p :: c.pattern
+
+let item_get c id = if id >= 0 && id < Array.length c.items then c.items.(id) else None
+let item_mem c id = Option.is_some (item_get c id)
+let item_clear c id = c.items.(id) <- None
+
+let item_set c id it =
+  let cap = Array.length c.items in
+  if id >= cap then begin
+    let bigger = Array.make (max (2 * cap) (id + 1)) None in
+    Array.blit c.items 0 bigger 0 cap;
+    c.items <- bigger
+  end;
+  c.items.(id) <- Some it
+
+let batch_mark c b =
+  let byte = b lsr 3 in
+  let cap = Bytes.length c.delivered_batches in
+  if byte >= cap then begin
+    let bigger = Bytes.make (max (2 * cap) (byte + 1)) '\000' in
+    Bytes.blit c.delivered_batches 0 bigger 0 cap;
+    c.delivered_batches <- bigger
+  end;
+  Bytes.unsafe_set c.delivered_batches byte
+    (Char.chr (Char.code (Bytes.unsafe_get c.delivered_batches byte) lor (1 lsl (b land 7))))
+
+let batch_mem c b =
+  let byte = b lsr 3 in
+  byte < Bytes.length c.delivered_batches
+  && Char.code (Bytes.unsafe_get c.delivered_batches byte) land (1 lsl (b land 7)) <> 0
+
+let next_seq c src dst =
+  let key = ((src + 1) * c.n) + dst in
+  let k = c.seq.(key) + 1 in
+  c.seq.(key) <- k;
+  k
+
+(* [dup]: this enqueue is the injected copy of an already-delivered
+   message — it consumes the channel's next seq like a real send but
+   is announced as a Fault event (the environment duplicated it; the
+   sender did not send it), and is never faulted again. *)
+let enqueue ?(dup = false) c ~src ~dst ~payload ~batch () =
+  let id = c.next_id in
+  c.next_id <- id + 1;
+  let s = next_seq c src dst in
+  let view = { id; src; dst; seq = s; sent_step = c.steps; batch } in
+  let node = Pending_set.append c.pending view in
+  let fault, delay_until =
+    if dup then (None, 0)
+    else
+      match (payload, c.faults) with
+      | Some _, Some plan -> (
+          match Faults.Plan.message_fault plan ~src ~dst ~seq:s with
+          | Some Delay as f ->
+              (f, c.decisions + (Faults.Plan.config plan).Faults.delay_decisions)
+          | f -> (f, 0))
+      | _ -> (None, 0)
   in
-  let batch_mem b =
-    let byte = b lsr 3 in
-    byte < Bytes.length !delivered_batches
-    && Char.code (Bytes.unsafe_get !delivered_batches byte) land (1 lsl (b land 7)) <> 0
+  item_set c id { node; payload; enqueued_at_decision = c.decisions; fault; delay_until };
+  match payload with
+  | None -> ()
+  | Some _ ->
+      c.messages_sent <- c.messages_sent + 1;
+      Obs.Metrics.Builder.sent c.mb ~src ~dst;
+      if dup then begin
+        Obs.Metrics.Builder.injected_dup c.mb;
+        emit c (Fault { kind = Duplicate; src; dst; seq = s });
+        emit_pat c (Scheduler.P_fault { kind = Duplicate; src; dst; seq = s })
+      end
+      else begin
+        emit c (Sent { src; dst; seq = s });
+        emit_pat c (Scheduler.P_sent { src; dst; seq = s });
+        match fault with
+        | Some Delay ->
+            Obs.Metrics.Builder.injected_delay c.mb;
+            emit c (Fault { kind = Delay; src; dst; seq = s });
+            emit_pat c (Scheduler.P_fault { kind = Delay; src; dst; seq = s })
+        | _ -> ()
+      end
+
+let rec apply_effects c pid batch effects =
+  match effects with
+  | [] -> ()
+  | Send (dst, m) :: rest ->
+      if dst >= 0 && dst < c.n then enqueue c ~src:pid ~dst ~payload:(Some m) ~batch ();
+      apply_effects c pid batch rest
+  | Move a :: rest ->
+      (match c.moves.(pid) with
+      | Some _ -> () (* at most one action in the underlying game *)
+      | None ->
+          c.moves.(pid) <- Some a;
+          emit c (Moved { who = pid; action = a });
+          emit_pat c (Scheduler.P_moved pid));
+      apply_effects c pid batch rest
+  | Halt :: rest ->
+      if not c.halted.(pid) then begin
+        c.halted.(pid) <- true;
+        emit c (Halted pid);
+        emit_pat c (Scheduler.P_halted pid)
+      end;
+      apply_effects c pid batch rest
+
+and activate_start c pid =
+  if (not c.started.(pid)) && not c.halted.(pid) then begin
+    c.started.(pid) <- true;
+    emit c (Started pid);
+    emit_pat c (Scheduler.P_started pid);
+    let batch = c.next_batch in
+    c.next_batch <- batch + 1;
+    apply_effects c pid batch (c.procs.(pid).start ())
+  end
+
+(* Start signals for every process, in pid order. *)
+let enqueue_starts c =
+  for pid = 0 to c.n - 1 do
+    enqueue c ~src:env_pid ~dst:pid ~payload:None ~batch:(-1) ()
+  done
+
+let deliver c id =
+  match item_get c id with
+  | None -> ()
+  | Some item ->
+      item_clear c id;
+      Pending_set.remove c.pending item.node;
+      let { src; dst; seq = s; batch; _ } = Pending_set.view_of item.node in
+      (match item.payload with
+      | None -> activate_start c dst
+      | Some m ->
+          c.messages_delivered <- c.messages_delivered + 1;
+          Obs.Metrics.Builder.delivered c.mb ~src ~dst;
+          let m =
+            match (item.fault, c.fuzz) with
+            | Some Corrupt, Some fuzz ->
+                (* the channel mangles the payload in transit; without a
+                   fuzz hook for this message type the fault is inert
+                   and deliberately not counted *)
+                Obs.Metrics.Builder.injected_corrupt c.mb;
+                emit c (Fault { kind = Corrupt; src; dst; seq = s });
+                emit_pat c (Scheduler.P_fault { kind = Corrupt; src; dst; seq = s });
+                fuzz ~src ~dst ~seq:s m
+            | _ -> m
+          in
+          emit c (Delivered { src; dst; seq = s });
+          emit_pat c (Scheduler.P_delivered { src; dst; seq = s });
+          if batch >= 0 then batch_mark c batch;
+          (match item.fault with
+          | Some Duplicate -> enqueue ~dup:true c ~src ~dst ~payload:item.payload ~batch ()
+          | _ -> ());
+          if not c.halted.(dst) then begin
+            activate_start c dst;
+            if not c.halted.(dst) then begin
+              let b = c.next_batch in
+              c.next_batch <- b + 1;
+              apply_effects c dst b (c.procs.(dst).receive ~src m)
+            end
+          end)
+
+let drop_all_remaining c =
+  (* Mediator-batch atomicity: finish partially delivered mediator
+     batches before dropping the rest. Atomicity overrides Delay pins
+     and crash windows — a batch is delivered all-or-none. *)
+  let is_mediator src = match c.mediator with Some m -> src = m | None -> false in
+  let must_finish (v : pending_view) =
+    is_mediator v.src && v.batch >= 0 && batch_mem c v.batch
   in
+  let rec finish () =
+    match Pending_set.find c.pending must_finish with
+    | Some v ->
+        deliver c v.id;
+        c.steps <- c.steps + 1;
+        finish ()
+    | None -> ()
+  in
+  finish ();
+  let rec drop () =
+    if not (Pending_set.is_empty c.pending) then begin
+      let v = Pending_set.oldest c.pending in
+      (match item_get c v.id with
+      | None -> ()
+      | Some item ->
+          item_clear c v.id;
+          Pending_set.remove c.pending item.node;
+          (match item.payload with
+          | None -> ()
+          | Some _ ->
+              Obs.Metrics.Builder.dropped c.mb ~src:v.src ~dst:v.dst;
+              emit c (Dropped { src = v.src; dst = v.dst; seq = v.seq });
+              emit_pat c (Scheduler.P_dropped { src = v.src; dst = v.dst; seq = v.seq })));
+      drop ()
+    end
+  in
+  drop ()
+
+let outcome_of c termination =
+  {
+    moves = c.moves;
+    termination;
+    messages_sent = c.messages_sent;
+    messages_delivered = c.messages_delivered;
+    steps = c.steps;
+    trace = List.rev c.trace;
+    halted = c.halted;
+    metrics = Obs.Metrics.Builder.finish c.mb ~batches:c.next_batch ~steps:c.steps;
+  }
+
+let run (cfg : ('m, 'a) config) : 'a outcome =
+  cfg.scheduler.Scheduler.reset ();
+  let c =
+    create_core ?faults:cfg.faults ?fuzz:cfg.fuzz ~mediator:cfg.mediator cfg.processes
+  in
+  let n = c.n in
   let have_faults = Option.is_some cfg.faults in
 
   (* Crash-restart windows are fixed per process before the run starts:
@@ -121,188 +338,24 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
     && pid < Array.length crash_specs
     &&
     match crash_specs.(pid) with
-    | Some (start, len) -> !decisions >= start && !decisions < start + len
+    | Some (start, len) -> c.decisions >= start && c.decisions < start + len
     | None -> false
   in
   let announce_crashes () =
     Array.iteri
       (fun pid spec ->
         match spec with
-        | Some (start, len) when (not crash_announced.(pid)) && !decisions >= start ->
+        | Some (start, len) when (not crash_announced.(pid)) && c.decisions >= start ->
             crash_announced.(pid) <- true;
-            Obs.Metrics.Builder.injected_crash mb;
-            emit (Fault { kind = Crash_restart; src = env_pid; dst = pid; seq = len });
-            emit_pat
+            Obs.Metrics.Builder.injected_crash c.mb;
+            emit c (Fault { kind = Crash_restart; src = env_pid; dst = pid; seq = len });
+            emit_pat c
               (Scheduler.P_fault { kind = Crash_restart; src = env_pid; dst = pid; seq = len })
         | _ -> ())
       crash_specs
   in
 
-  let next_seq src dst =
-    let key = ((src + 1) * n) + dst in
-    let k = seq.(key) + 1 in
-    seq.(key) <- k;
-    k
-  in
-
-  (* [dup]: this enqueue is the injected copy of an already-delivered
-     message — it consumes the channel's next seq like a real send but
-     is announced as a Fault event (the environment duplicated it; the
-     sender did not send it), and is never faulted again. *)
-  let enqueue ?(dup = false) ~src ~dst ~payload ~batch () =
-    let id = !next_id in
-    incr next_id;
-    let s = next_seq src dst in
-    let view = { id; src; dst; seq = s; sent_step = !steps; batch } in
-    let node = Pending_set.append pending_set view in
-    let fault, delay_until =
-      if dup then (None, 0)
-      else
-        match (payload, cfg.faults) with
-        | Some _, Some plan -> (
-            match Faults.Plan.message_fault plan ~src ~dst ~seq:s with
-            | Some Delay as f ->
-                (f, !decisions + (Faults.Plan.config plan).Faults.delay_decisions)
-            | f -> (f, 0))
-        | _ -> (None, 0)
-    in
-    item_set id { node; payload; enqueued_at_decision = !decisions; fault; delay_until };
-    match payload with
-    | None -> ()
-    | Some _ ->
-        incr messages_sent;
-        Obs.Metrics.Builder.sent mb ~src ~dst;
-        if dup then begin
-          Obs.Metrics.Builder.injected_dup mb;
-          emit (Fault { kind = Duplicate; src; dst; seq = s });
-          emit_pat (Scheduler.P_fault { kind = Duplicate; src; dst; seq = s })
-        end
-        else begin
-          emit (Sent { src; dst; seq = s });
-          emit_pat (Scheduler.P_sent { src; dst; seq = s });
-          match fault with
-          | Some Delay ->
-              Obs.Metrics.Builder.injected_delay mb;
-              emit (Fault { kind = Delay; src; dst; seq = s });
-              emit_pat (Scheduler.P_fault { kind = Delay; src; dst; seq = s })
-          | _ -> ()
-        end
-  in
-
-  let rec apply_effects pid batch effects =
-    match effects with
-    | [] -> ()
-    | Send (dst, m) :: rest ->
-        if dst >= 0 && dst < n then enqueue ~src:pid ~dst ~payload:(Some m) ~batch ();
-        apply_effects pid batch rest
-    | Move a :: rest ->
-        (match moves.(pid) with
-        | Some _ -> () (* at most one action in the underlying game *)
-        | None ->
-            moves.(pid) <- Some a;
-            emit (Moved { who = pid; action = a });
-            emit_pat (Scheduler.P_moved pid));
-        apply_effects pid batch rest
-    | Halt :: rest ->
-        if not halted.(pid) then begin
-          halted.(pid) <- true;
-          emit (Halted pid);
-          emit_pat (Scheduler.P_halted pid)
-        end;
-        apply_effects pid batch rest
-
-  and activate_start pid =
-    if (not started.(pid)) && not halted.(pid) then begin
-      started.(pid) <- true;
-      emit (Started pid);
-      emit_pat (Scheduler.P_started pid);
-      let batch = !next_batch in
-      incr next_batch;
-      apply_effects pid batch (cfg.processes.(pid).start ())
-    end
-  in
-
-  (* Start signals for every process, in pid order. *)
-  for pid = 0 to n - 1 do
-    enqueue ~src:env_pid ~dst:pid ~payload:None ~batch:(-1) ()
-  done;
-
-  let deliver id =
-    match item_get id with
-    | None -> ()
-    | Some item ->
-        item_clear id;
-        Pending_set.remove pending_set item.node;
-        let { src; dst; seq = s; batch; _ } = Pending_set.view_of item.node in
-        (match item.payload with
-        | None -> activate_start dst
-        | Some m ->
-            incr messages_delivered;
-            Obs.Metrics.Builder.delivered mb ~src ~dst;
-            let m =
-              match (item.fault, cfg.fuzz) with
-              | Some Corrupt, Some fuzz ->
-                  (* the channel mangles the payload in transit; without a
-                     fuzz hook for this message type the fault is inert
-                     and deliberately not counted *)
-                  Obs.Metrics.Builder.injected_corrupt mb;
-                  emit (Fault { kind = Corrupt; src; dst; seq = s });
-                  emit_pat (Scheduler.P_fault { kind = Corrupt; src; dst; seq = s });
-                  fuzz ~src ~dst ~seq:s m
-              | _ -> m
-            in
-            emit (Delivered { src; dst; seq = s });
-            emit_pat (Scheduler.P_delivered { src; dst; seq = s });
-            if batch >= 0 then batch_mark batch;
-            (match item.fault with
-            | Some Duplicate -> enqueue ~dup:true ~src ~dst ~payload:item.payload ~batch ()
-            | _ -> ());
-            if not halted.(dst) then begin
-              activate_start dst;
-              if not halted.(dst) then begin
-                let b = !next_batch in
-                incr next_batch;
-                apply_effects dst b (cfg.processes.(dst).receive ~src m)
-              end
-            end)
-  in
-
-  let drop_all_remaining () =
-    (* Mediator-batch atomicity: finish partially delivered mediator
-       batches before dropping the rest. Atomicity overrides Delay pins
-       and crash windows — a batch is delivered all-or-none. *)
-    let is_mediator src = match cfg.mediator with Some m -> src = m | None -> false in
-    let must_finish (v : pending_view) =
-      is_mediator v.src && v.batch >= 0 && batch_mem v.batch
-    in
-    let rec finish () =
-      match Pending_set.find pending_set must_finish with
-      | Some v ->
-          deliver v.id;
-          incr steps;
-          finish ()
-      | None -> ()
-    in
-    finish ();
-    let rec drop () =
-      if not (Pending_set.is_empty pending_set) then begin
-        let v = Pending_set.oldest pending_set in
-        (match item_get v.id with
-        | None -> ()
-        | Some item ->
-            item_clear v.id;
-            Pending_set.remove pending_set item.node;
-            (match item.payload with
-            | None -> ()
-            | Some _ ->
-                Obs.Metrics.Builder.dropped mb ~src:v.src ~dst:v.dst;
-                emit (Dropped { src = v.src; dst = v.dst; seq = v.seq });
-                emit_pat (Scheduler.P_dropped { src = v.src; dst = v.dst; seq = v.seq })));
-        drop ()
-      end
-    in
-    drop ()
-  in
+  enqueue_starts c;
 
   (* An item the environment is currently withholding: Delay-pinned, or
      addressed to a process inside its crash-restart window. Scheduler
@@ -310,48 +363,48 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
      one; if nothing is deliverable the decision is burnt (pins and
      windows expire at fixed decision counts, so this always clears). *)
   let blocked id =
-    match item_get id with
+    match item_get c id with
     | None -> true
     | Some it ->
-        it.delay_until > !decisions || crashed (Pending_set.view_of it.node).dst
+        it.delay_until > c.decisions || crashed (Pending_set.view_of it.node).dst
   in
   let oldest_deliverable () =
-    Pending_set.find pending_set (fun (v : pending_view) -> not (blocked v.id))
+    Pending_set.find c.pending (fun (v : pending_view) -> not (blocked v.id))
   in
 
   let t_start = if Option.is_some cfg.wall_limit then Unix.gettimeofday () else 0.0 in
   let fuel_exhausted () =
-    match cfg.fuel with Some f -> !decisions >= f | None -> false
+    match cfg.fuel with Some f -> c.decisions >= f | None -> false
   in
   let wall_exceeded () =
     match cfg.wall_limit with
     | None -> false
     | Some limit ->
         (* throttled: the clock is only consulted every 256 decisions *)
-        !decisions land 255 = 0 && Unix.gettimeofday () -. t_start > limit
+        c.decisions land 255 = 0 && Unix.gettimeofday () -. t_start > limit
   in
 
   let termination = ref Quiescent in
   let running = ref true in
   while !running do
-    if Pending_set.is_empty pending_set then begin
-      termination := (if Array.for_all (fun h -> h) halted then All_halted else Quiescent);
+    if Pending_set.is_empty c.pending then begin
+      termination := (if Array.for_all (fun h -> h) c.halted then All_halted else Quiescent);
       running := false
     end
-    else if !steps >= cfg.max_steps then begin
+    else if c.steps >= cfg.max_steps then begin
       termination := Cutoff;
       running := false
     end
     else if fuel_exhausted () || wall_exceeded () then begin
       (* watchdog: end the run loudly — remaining messages are dropped so
          sent = delivered + dropped conservation still holds *)
-      drop_all_remaining ();
-      Obs.Metrics.Builder.timed_out mb;
+      drop_all_remaining c;
+      Obs.Metrics.Builder.timed_out c.mb;
       termination := Timed_out;
       running := false
     end
     else begin
-      incr decisions;
+      c.decisions <- c.decisions + 1;
       if have_faults then announce_crashes ();
       (* Fairness: force-deliver the oldest message once it is starved past
          the bound ([enqueued_at_decision] is monotone in send order, so
@@ -362,10 +415,10 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
       let starving =
         if cfg.scheduler.relaxed then None
         else begin
-          let v = Pending_set.oldest pending_set in
-          match item_get v.id with
+          let v = Pending_set.oldest c.pending in
+          match item_get c v.id with
           | Some it
-            when !decisions - it.enqueued_at_decision > cfg.starvation_bound
+            when c.decisions - it.enqueued_at_decision > cfg.starvation_bound
                  && not (crashed v.dst) ->
               Some v
           | _ -> None
@@ -373,9 +426,9 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
       in
       match starving with
       | Some v ->
-          Obs.Metrics.Builder.starved mb;
-          deliver v.id;
-          incr steps
+          Obs.Metrics.Builder.starved c.mb;
+          deliver c v.id;
+          c.steps <- c.steps + 1
       | None -> (
           (* A scheduler failure must not be silently converted into FIFO
              delivery: fatal exceptions (resource exhaustion, violated
@@ -384,57 +437,48 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
              and is RECORDED in the run metrics. *)
           let decision =
             match
-              cfg.scheduler.choose ~step:!steps ~history:!pattern ~pending:pending_set
+              cfg.scheduler.choose ~step:c.steps ~history:c.pattern ~pending:c.pending
             with
             | d -> d
             | exception ((Stack_overflow | Out_of_memory | Assert_failure _) as e) ->
                 let bt = Printexc.get_raw_backtrace () in
                 Printexc.raise_with_backtrace e bt
             | exception _ ->
-                Obs.Metrics.Builder.scheduler_exn mb;
-                Deliver (Pending_set.oldest pending_set).id
+                Obs.Metrics.Builder.scheduler_exn c.mb;
+                Deliver (Pending_set.oldest c.pending).id
           in
           let deliver_fallback () =
             match oldest_deliverable () with
             | Some v ->
-                deliver v.id;
-                incr steps
+                deliver c v.id;
+                c.steps <- c.steps + 1
             | None -> () (* everything withheld: burn the decision *)
           in
           match decision with
-          | Deliver id when item_mem id ->
+          | Deliver id when item_mem c id ->
               if have_faults && blocked id then deliver_fallback ()
               else begin
-                deliver id;
-                incr steps
+                deliver c id;
+                c.steps <- c.steps + 1
               end
           | Deliver _ ->
               (* invalid id: fall back to oldest *)
-              Obs.Metrics.Builder.invalid_decision mb;
+              Obs.Metrics.Builder.invalid_decision c.mb;
               deliver_fallback ()
           | Stop_delivery ->
               if cfg.scheduler.relaxed then begin
-                drop_all_remaining ();
+                drop_all_remaining c;
                 termination := Deadlocked;
                 running := false
               end
               else begin
                 (* Non-relaxed schedulers may not stop: force oldest. *)
-                Obs.Metrics.Builder.invalid_decision mb;
+                Obs.Metrics.Builder.invalid_decision c.mb;
                 deliver_fallback ()
               end)
     end
   done;
-  {
-    moves;
-    termination = !termination;
-    messages_sent = !messages_sent;
-    messages_delivered = !messages_delivered;
-    steps = !steps;
-    trace = List.rev !trace;
-    halted;
-    metrics = Obs.Metrics.Builder.finish mb ~batches:!next_batch ~steps:!steps;
-  }
+  outcome_of c !termination
 
 let moves_with_wills processes (o : 'a outcome) =
   Array.mapi
@@ -455,3 +499,118 @@ let message_pattern (o : 'a outcome) =
       | Started p -> Some (Scheduler.P_started p)
       | Fault { kind; src; dst; seq } -> Some (Scheduler.P_fault { kind; src; dst; seq }))
     o.trace
+
+(* ------------------------------------------------------------------ *)
+(* Step: the model checker's branching hook. Same core, no scheduler,
+   no fault plan, no watchdogs — the caller IS the environment and picks
+   every delivery itself. *)
+
+module Step = struct
+  type ('m, 'a) t = ('m, 'a) core
+
+  let create ?mediator procs =
+    let c = create_core ~mediator procs in
+    enqueue_starts c;
+    c
+
+  let deliver_starts c =
+    (* Deliver the environment's start signals eagerly, in pid order. The
+       runner activates a process's start before its first receive
+       regardless of schedule, so this normalisation is behaviour-
+       preserving (same argument as the race detector's recorder) and
+       leaves every pending item a real message. *)
+    let rec next () =
+      match Pending_set.find c.pending (fun v -> v.src = env_pid) with
+      | Some v ->
+          deliver c v.id;
+          c.steps <- c.steps + 1;
+          next ()
+      | None -> ()
+    in
+    next ()
+
+  let pending c = c.pending
+  let steps c = c.steps
+  let moves c = c.moves
+  let halted c = c.halted
+  let pending_all_halted c =
+    (not (Pending_set.is_empty c.pending))
+    && Pending_set.find c.pending (fun v -> v.dst >= 0 && v.dst < c.n && not c.halted.(v.dst))
+       = None
+
+  let find c ~src ~dst ~seq =
+    Pending_set.find c.pending (fun v -> v.src = src && v.dst = dst && v.seq = seq)
+
+  let deliver c ~id =
+    if not (item_mem c id) then
+      invalid_arg (Printf.sprintf "Runner.Step.deliver: id %d is not pending" id);
+    deliver c id;
+    c.steps <- c.steps + 1
+
+  let finish c =
+    if not (Pending_set.is_empty c.pending) then
+      invalid_arg "Runner.Step.finish: messages still pending (use stop or cutoff)";
+    outcome_of c
+      (if Array.for_all (fun h -> h) c.halted then All_halted else Quiescent)
+
+  let stop c =
+    (* The relaxed environment's Stop_delivery: mediator-batch atomicity
+       first, then drop everything (exactly [run]'s Deadlocked path). *)
+    drop_all_remaining c;
+    outcome_of c Deadlocked
+
+  let cutoff c =
+    outcome_of c Cutoff
+
+  let state_hash c =
+    (* Canonical fingerprint of the driver-visible state: the pending
+       multiset (keyed by channel coordinates — a multiset because the
+       pending-set's internal order is scheduler-irrelevant), payload
+       hashes, per-process moved/halted/started flags and the channel seq
+       counters. Batch ids are summarised by their partially-delivered
+       bit, which is all the stop rule can observe. Process-internal
+       state is NOT covered — combine with an instance digest for a full
+       fingerprint (see Analysis.Mc). *)
+    let entries = ref [] in
+    Pending_set.iter c.pending (fun v ->
+        let ph =
+          match item_get c v.id with
+          | Some { payload = Some m; _ } -> Hashtbl.hash_param 256 256 m
+          | _ -> 0
+        in
+        entries := (v.src, v.dst, v.seq, (if batch_mem c v.batch then 1 else 0), ph) :: !entries);
+    let entries = List.sort compare !entries in
+    let h = ref (Hashtbl.hash_param 256 256 entries) in
+    let mix v = h := (!h * 0x01000193) lxor (v land max_int) in
+    Array.iter (fun m -> mix (Hashtbl.hash_param 256 256 m)) c.moves;
+    Array.iter (fun b -> mix (if b then 1 else 2)) c.halted;
+    Array.iter (fun b -> mix (if b then 3 else 4)) c.started;
+    Array.iter mix c.seq;
+    !h land max_int
+
+  let clone c ~processes =
+    if Array.length processes <> c.n then
+      invalid_arg "Runner.Step.clone: processes array length changed";
+    let pending' = Pending_set.create () in
+    let items' = Array.make (Array.length c.items) None in
+    (* Re-append the live views in order: ids, seqs and relative order
+       are preserved, so the clone is observationally identical. *)
+    Pending_set.iter c.pending (fun v ->
+        match item_get c v.id with
+        | None -> ()
+        | Some it ->
+            let node = Pending_set.append pending' v in
+            items'.(v.id) <- Some { it with node });
+    {
+      c with
+      procs = processes;
+      mb = Obs.Metrics.Builder.copy c.mb;
+      halted = Array.copy c.halted;
+      started = Array.copy c.started;
+      moves = Array.copy c.moves;
+      pending = pending';
+      items = items';
+      seq = Array.copy c.seq;
+      delivered_batches = Bytes.copy c.delivered_batches;
+    }
+end

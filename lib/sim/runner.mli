@@ -80,3 +80,82 @@ val moves_with_defaults : default:(int -> 'a) -> 'a Types.outcome -> 'a array
 
 val message_pattern : 'a Types.outcome -> Scheduler.pattern_event list
 (** Chronological (s/d,i,j,k) pattern of the run, as in Lemma 6.8. *)
+
+(** The model checker's branching hook: the same driver state machine as
+    {!run}, but the caller is the environment — it picks every delivery
+    itself, one step at a time, and may fork the state with {!Step.clone}
+    instead of replaying a prefix (replay-free branching, where process
+    state is copyable). No scheduler, no fault plan, no watchdogs; the
+    delivery semantics (implicit start activation, mediator-batch
+    tracking, move/halt bookkeeping, trace/metrics emission) are shared
+    code with {!run}, so a Step-driven history is bit-for-bit a legal
+    {!run} history. *)
+module Step : sig
+  type ('m, 'a) t
+
+  val create : ?mediator:int -> ('m, 'a) Types.process array -> ('m, 'a) t
+  (** Fresh state with every process's start signal pending, exactly as
+      {!run} begins. *)
+
+  val deliver_starts : ('m, 'a) t -> unit
+  (** Deliver all pending environment start signals, in pid order —
+      behaviour-preserving normalisation (the runner activates start
+      before the first receive regardless of schedule), after which every
+      pending item is a real message. *)
+
+  val pending : ('m, 'a) t -> Pending_set.t
+  (** The live pending set (read-only view; delivery order is the
+      caller's choice). *)
+
+  val find :
+    ('m, 'a) t -> src:Types.pid -> dst:Types.pid -> seq:int ->
+    Types.pending_view option
+  (** Look a pending message up by its schedule-independent channel
+      coordinates (the paper's (i,j,k)). *)
+
+  val deliver : ('m, 'a) t -> id:int -> unit
+  (** Deliver one pending message (counts as one step).
+      @raise Invalid_argument if [id] is not pending. *)
+
+  val steps : ('m, 'a) t -> int
+
+  val moves : ('m, 'a) t -> 'a option array
+  (** Live array; do not mutate. *)
+
+  val halted : ('m, 'a) t -> bool array
+  (** Live array; do not mutate. *)
+
+  val pending_all_halted : ('m, 'a) t -> bool
+  (** True when messages are pending but every destination has halted —
+      the checker's stuck-state (deadlock-in-spirit) predicate: the
+      remaining deliveries are inert. *)
+
+  val state_hash : ('m, 'a) t -> int
+  (** Canonical fingerprint of the driver-visible state: pending
+      multiset keyed by channel coordinates + payload hashes, moves,
+      halted/started flags, channel seq counters, and each pending
+      batch's partially-delivered bit. Process-internal closure state is
+      not covered — combine with a protocol-level digest for a full
+      state fingerprint (see [Analysis.Mc]). *)
+
+  val finish : ('m, 'a) t -> 'a Types.outcome
+  (** Outcome of a maximal history ([All_halted]/[Quiescent]).
+      @raise Invalid_argument when messages are still pending. *)
+
+  val stop : ('m, 'a) t -> 'a Types.outcome
+  (** The relaxed environment's [Stop_delivery]: complete any partially
+      delivered mediator batch (the Section 5 atomicity rule), drop the
+      rest, terminate [Deadlocked] — exactly {!run}'s path. *)
+
+  val cutoff : ('m, 'a) t -> 'a Types.outcome
+  (** End a truncated history as [Cutoff] (messages stay pending in the
+      trace sense; no drops), mirroring {!run}'s max_steps exit. *)
+
+  val clone : ('m, 'a) t -> processes:('m, 'a) Types.process array -> ('m, 'a) t
+  (** Fork the driver state. [processes] must be the caller's own copy of
+      the process array (process state lives in closures the driver
+      cannot copy — fixtures expose a snapshot hook for this, see
+      [Analysis.Mc.instance]). Pending ids, seqs and arrival order are
+      preserved, so delivering the same ids in the same order in both
+      forks yields identical traces. *)
+end
