@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-all: build lint check par-check chaos perf-gate
+all: build lint check par-check live-check chaos perf-gate
 
 build:
 	dune build @all
@@ -20,6 +20,16 @@ lint:
 	dune build @check
 	dune exec bin/ctmed.exe -- lint
 	dune exec test/test_analysis.exe -- -c
+
+# Differential live-vs-sim check (DESIGN.md section 14): the transport
+# test suite (per-seed byte-identity of the effects/domains backend
+# against the discrete-event simulator across the toy / E1-small / chaos
+# families, sessions, serve), then the serve smoke — every served live
+# session re-run on the sim backend and compared byte-for-byte, plus the
+# cross-domain rendezvous and preemptive-cancel checks.
+live-check:
+	dune exec test/test_transport.exe
+	dune exec bin/ctmed.exe -- serve --smoke
 
 # Chaos suite (DESIGN.md section 11): fault-injection sweep at the smoke
 # budget, byte-identical across -j (diff), then the graceful-degradation
@@ -85,4 +95,4 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all build lint check par-check chaos perf-gate test test-verbose bench bench-full bench-csv bench-json examples clean
+.PHONY: all build lint check par-check live-check chaos perf-gate test test-verbose bench bench-full bench-csv bench-json examples clean

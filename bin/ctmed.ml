@@ -5,6 +5,7 @@
    ctmed check [FIXTURES]     model-check the fixture catalog (DPOR/naive/graph)
    ctmed lint [opts]          static + dynamic analysis over the bundled examples
    ctmed experiment [IDS]     the paper experiments (E1..E10, A1)
+   ctmed serve [opts]         serve mediator-game sessions over the live backend
    ctmed micro                substrate micro-benchmarks *)
 
 open Cmdliner
@@ -21,9 +22,9 @@ let specs : (string * (unit -> Mediator.Spec.t)) list =
 
 let experiment_ids = [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "a1" ]
 
-(* explicit-only: the fault-injection sweep runs when named, never as
-   part of "all experiments" *)
-let chaos_ids = [ "chaos"; "hang" ]
+(* explicit-only: the fault-injection sweep and the live-transport
+   differential run when named, never as part of "all experiments" *)
+let chaos_ids = [ "chaos"; "hang"; "live" ]
 
 (* --- list --- *)
 
@@ -201,6 +202,7 @@ let experiment_cmd =
       | "a1" -> Some Experiments.A1.run
       | "chaos" -> Some Experiments.Chaos.run
       | "hang" -> Some Experiments.Chaos.run_hang
+      | "live" -> Some Experiments.Livediff.run
       | _ -> None
     in
     let degraded = ref 0 in
@@ -602,6 +604,205 @@ let check_cmd =
       const run $ fixtures_arg $ naive_arg $ dpor_arg $ graph_arg $ max_states_arg
       $ jobs_arg $ verbose_arg)
 
+(* --- serve --- *)
+
+(* Session requests arrive over Serve's in-memory queue; each request
+   compiles a fresh cheap-talk game from (spec, seed) so the served
+   outcome is a pure function of its ticket's seed regardless of which
+   domain ran it or how sessions were batched. *)
+let serve_cmd =
+  let doc =
+    "Serve mediator-game sessions from an in-memory queue (live backend by default)."
+  in
+  let smoke_arg =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:
+            "self-check: serve a small batch, verify every outcome byte-identical \
+             against a simulator re-run of the same seed, and exercise the session \
+             rendezvous (attach/convene/cancel) across domains")
+  in
+  let sessions_arg =
+    Arg.(value & opt int 16 & info [ "sessions" ] ~docv:"N" ~doc:"session requests to enqueue")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt string "coordination"
+      & info [ "spec" ] ~docv:"SPEC" ~doc:"spec name (see ctmed list)")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt int (Domain.recommended_domain_count ())
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"domains serving batches in parallel")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "batch" ] ~docv:"N" ~doc:"sessions multiplexed per domain task")
+  in
+  let backend_arg =
+    Arg.(value & opt string "live" & info [ "backend" ] ~docv:"B" ~doc:"sim or live")
+  in
+  let show = string_of_int in
+  let mk_plan spec =
+    let n = spec.Mediator.Spec.game.Games.Game.n in
+    let t = if n >= 4 then 1 else 0 in
+    Cheaptalk.Compile.plan_exn ~spec ~theorem:Cheaptalk.Compile.T41 ~k:0 ~t ()
+  in
+  let mk_config plan ~seed () =
+    let n = plan.Cheaptalk.Compile.spec.Mediator.Spec.game.Games.Game.n in
+    let procs =
+      Cheaptalk.Compile.processes plan ~types:(Array.make n 0)
+        ~coin_seed:(seed * 7919) ~seed
+    in
+    Sim.Runner.config ~scheduler:(Sim.Scheduler.random_seeded seed) procs
+  in
+  (* the rendezvous part of the smoke: players attach from their own
+     domains, the convener runs the game live, everyone reads the same
+     outcome; a second session is cancelled mid-gather and must release
+     every waiter with `Cancelled. *)
+  let session_smoke plan =
+    let n = plan.Cheaptalk.Compile.spec.Mediator.Spec.game.Games.Game.n in
+    let procs =
+      Cheaptalk.Compile.processes plan ~types:(Array.make n 0) ~coin_seed:(9 * 7919)
+        ~seed:9
+    in
+    let s = Transport.Session.create ~n in
+    let waiters =
+      Array.init n (fun pid ->
+          Domain.spawn (fun () -> Transport.Session.attach s ~pid procs.(pid)))
+    in
+    let convened =
+      Transport.Session.convene ~backend:Transport.Backend.Live s
+        ~make_config:(fun ps ->
+          Sim.Runner.config ~scheduler:(Sim.Scheduler.random_seeded 9) ps)
+    in
+    let views = Array.map Domain.join waiters in
+    let rendezvous_ok =
+      match convened with
+      | Ok o ->
+          let repr = Transport.Differential.outcome_repr ~show o in
+          Array.for_all
+            (function
+              | Ok o' ->
+                  String.equal repr (Transport.Differential.outcome_repr ~show o')
+              | Error _ -> false)
+            views
+      | Error _ -> false
+    in
+    let cancelled = Transport.Session.create ~n in
+    let blocked =
+      Array.init 2 (fun pid ->
+          Domain.spawn (fun () ->
+              Transport.Session.attach cancelled ~pid
+                (Cheaptalk.Compile.processes plan ~types:(Array.make n 0)
+                   ~coin_seed:(11 * 7919) ~seed:11).(pid)))
+    in
+    (* let the attachers block before preempting the rendezvous *)
+    while Transport.Session.attached cancelled < 2 do
+      Domain.cpu_relax ()
+    done;
+    Transport.Session.cancel cancelled;
+    let cancel_ok =
+      Array.for_all
+        (fun d -> match Domain.join d with Error `Cancelled -> true | _ -> false)
+        blocked
+      &&
+      match
+        Transport.Session.convene cancelled ~make_config:(fun ps ->
+            Sim.Runner.config ~scheduler:(Sim.Scheduler.random_seeded 11) ps)
+      with
+      | Error `Cancelled -> true
+      | _ -> false
+    in
+    (rendezvous_ok, cancel_ok)
+  in
+  let run smoke sessions spec_name jobs batch backend_name =
+    if jobs < 1 || batch < 1 || sessions < 1 then begin
+      Printf.eprintf "ctmed serve: --jobs/--batch/--sessions must be >= 1\n";
+      exit 2
+    end;
+    let backend =
+      match Transport.Backend.of_string backend_name with
+      | b -> b
+      | exception Invalid_argument _ ->
+          Printf.eprintf "ctmed serve: unknown backend %s (sim|live)\n" backend_name;
+          exit 2
+    in
+    match List.assoc_opt spec_name specs with
+    | None ->
+        Printf.eprintf "ctmed serve: unknown spec %s (try: ctmed list)\n" spec_name;
+        exit 1
+    | Some mk -> (
+        match mk_plan (mk ()) with
+        | exception (Failure msg | Invalid_argument msg) ->
+            Printf.eprintf "ctmed serve: cannot compile %s: %s\n" spec_name msg;
+            exit 2
+        | plan ->
+            let sessions = if smoke then min sessions 8 else sessions in
+            let server = Transport.Serve.create ~backend ~batch () in
+            let tickets =
+              Array.init sessions (fun seed ->
+                  (seed, Transport.Serve.submit server (mk_config plan ~seed)))
+            in
+            let served =
+              Parallel.Pool.with_pool ~domains:jobs (fun pool ->
+                  Transport.Serve.drain ~pool server)
+            in
+            let outcomes =
+              Array.map
+                (fun (seed, ticket) ->
+                  match Transport.Serve.result server ticket with
+                  | Some o -> (seed, o)
+                  | None ->
+                      Printf.eprintf "ctmed serve: ticket %d not served\n" ticket;
+                      exit 1)
+                tickets
+            in
+            let dist = Hashtbl.create 8 in
+            Array.iter
+              (fun (_, o) ->
+                let p = Transport.Differential.profile ~show o in
+                Hashtbl.replace dist p (1 + Option.value ~default:0 (Hashtbl.find_opt dist p)))
+              outcomes;
+            Printf.printf "served %d/%d sessions (%s backend, batch %d, -j %d) for %s\n"
+              served sessions
+              (Transport.Backend.to_string backend)
+              batch jobs spec_name;
+            List.iter
+              (fun (p, c) -> Printf.printf "  %6d  %s\n" c p)
+              (List.sort compare
+                 (Hashtbl.fold (fun k v acc -> (k, v) :: acc) dist []));
+            if smoke then begin
+              let mismatches =
+                Array.fold_left
+                  (fun acc (seed, o) ->
+                    let o_sim = Sim.Runner.run (mk_config plan ~seed ()) in
+                    if
+                      String.equal
+                        (Transport.Differential.outcome_repr ~show o)
+                        (Transport.Differential.outcome_repr ~show o_sim)
+                    then acc
+                    else acc + 1)
+                  0 outcomes
+              in
+              let rendezvous_ok, cancel_ok = session_smoke plan in
+              Printf.printf
+                "smoke: %d/%d seeds byte-identical to sim · rendezvous %s · cancel %s\n"
+                (sessions - mismatches) sessions
+                (if rendezvous_ok then "ok" else "FAIL")
+                (if cancel_ok then "ok" else "FAIL");
+              if mismatches > 0 || (not rendezvous_ok) || not cancel_ok then exit 1
+            end)
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ smoke_arg $ sessions_arg $ spec_arg $ jobs_arg $ batch_arg
+      $ backend_arg)
+
 let micro_cmd =
   let doc = "Substrate micro-benchmarks (Bechamel)." in
   Cmd.v
@@ -620,6 +821,7 @@ let main =
       trace_cmd;
       lemma68_cmd;
       experiment_cmd;
+      serve_cmd;
       micro_cmd;
     ]
 

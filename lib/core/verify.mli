@@ -28,6 +28,7 @@ type run = {
 
 val run_once :
   ?check_runs:bool ->
+  ?backend:Transport.Backend.t ->
   ?faults:Faults.config ->
   ?fuel:int ->
   ?wall_limit:float ->
@@ -38,6 +39,13 @@ val run_once :
   run
 (** One cheap-talk history with all players honest. [seed] derives both
     the players' secret randomness and the shared coin.
+
+    [?backend] selects the transport the history executes on
+    ([Transport.Backend.Sim] by default, the in-process simulator;
+    [Live] hosts every player on an effects fiber). The outcome is a
+    pure function of the seed on either backend — the differential
+    suites hold this to byte identity — so measurements may mix
+    backends freely.
 
     [?faults] injects channel-level faults: a {!Faults.Plan} is derived
     from the trial seed, so a faulted trial is still a pure function of
@@ -51,6 +59,7 @@ val run_once :
 
 val run_with :
   ?check_runs:bool ->
+  ?backend:Transport.Backend.t ->
   ?faults:Faults.config ->
   ?fuel:int ->
   ?wall_limit:float ->
@@ -162,6 +171,7 @@ val empirical_action_dist :
   ?check_runs:bool ->
   ?pool:Parallel.Pool.t ->
   ?metrics:Obs.Agg.t ->
+  ?backend:Transport.Backend.t ->
   ?faults:Faults.config ->
   Compile.plan ->
   types:int array ->
@@ -174,6 +184,7 @@ val implementation_distance :
   ?check_runs:bool ->
   ?pool:Parallel.Pool.t ->
   ?metrics:Obs.Agg.t ->
+  ?backend:Transport.Backend.t ->
   ?faults:Faults.config ->
   Compile.plan ->
   types:int array ->
@@ -191,6 +202,7 @@ val expected_utilities :
   ?check_runs:bool ->
   ?pool:Parallel.Pool.t ->
   ?metrics:Obs.Agg.t ->
+  ?backend:Transport.Backend.t ->
   ?faults:Faults.config ->
   Compile.plan ->
   samples:int ->

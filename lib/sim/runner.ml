@@ -80,10 +80,22 @@ type ('m, 'a) core = {
   mutable decisions : int;
   (* Batch ids are dense too: a growable bitset replaces the unit Hashtbl. *)
   mutable delivered_batches : Bytes.t;
+  (* Crash-restart windows are fixed per process before the run starts:
+     the plan's verdict depends on the pid alone, so they are identical
+     at any -j. A window defers deliveries to the process (messages stay
+     pending, nothing is lost) — the process resumes from its last state
+     when the window closes, unlike the permanent-crash transformer. *)
+  crash_specs : (int * int) option array;
+  crash_announced : bool array;
 }
 
 let create_core ?faults ?fuzz ~mediator procs =
   let n = Array.length procs in
+  let crash_specs =
+    match faults with
+    | None -> [||]
+    | Some plan -> Array.init n (fun pid -> Faults.Plan.crash_window plan ~pid)
+  in
   {
     procs;
     n;
@@ -106,6 +118,8 @@ let create_core ?faults ?fuzz ~mediator procs =
     steps = 0;
     decisions = 0;
     delivered_batches = Bytes.make 64 '\000';
+    crash_specs;
+    crash_announced = Array.make n false;
   }
 
 let emit c ev = c.trace <- ev :: c.trace
@@ -302,16 +316,109 @@ let drop_all_remaining c =
   in
   drop ()
 
+(* The environment-side predicates shared by [run] and the live
+   transport backend (lib/transport): who is inside a crash window, which
+   items the environment is withholding, and the fairness bound. Keeping
+   them here (not per-loop) is what lets a second delivery loop reproduce
+   [run]'s semantics bit-for-bit. *)
+
+let crashed c pid =
+  pid >= 0
+  && pid < Array.length c.crash_specs
+  &&
+  match c.crash_specs.(pid) with
+  | Some (start, len) -> c.decisions >= start && c.decisions < start + len
+  | None -> false
+
+let announce_crashes c =
+  Array.iteri
+    (fun pid spec ->
+      match spec with
+      | Some (start, len) when (not c.crash_announced.(pid)) && c.decisions >= start ->
+          c.crash_announced.(pid) <- true;
+          Obs.Metrics.Builder.injected_crash c.mb;
+          emit c (Fault { kind = Crash_restart; src = env_pid; dst = pid; seq = len });
+          emit_pat c
+            (Scheduler.P_fault { kind = Crash_restart; src = env_pid; dst = pid; seq = len })
+      | _ -> ())
+    c.crash_specs
+
+(* One scheduler decision: the counter ticks (also on burnt/vetoed
+   choices — the watchdog fuel unit) and any crash window that covers
+   the new count is announced. *)
+let tick c =
+  c.decisions <- c.decisions + 1;
+  if Option.is_some c.faults then announce_crashes c
+
+(* An item the environment is currently withholding: Delay-pinned, or
+   addressed to a process inside its crash-restart window. *)
+let blocked c id =
+  match item_get c id with
+  | None -> true
+  | Some it -> it.delay_until > c.decisions || crashed c (Pending_set.view_of it.node).dst
+
+let oldest_deliverable c =
+  Pending_set.find c.pending (fun (v : pending_view) -> not (blocked c v.id))
+
+(* Fairness: the oldest message once it is starved past the bound
+   ([enqueued_at_decision] is monotone in send order, so the oldest
+   pending message is always the most-starved one). The override beats a
+   Delay pin — that is exactly the guarantee Delay faults stress — but
+   not a crash window (the destination cannot receive while silent;
+   windows are finite). Only meaningful for non-relaxed schedulers. *)
+let starving c ~bound =
+  if Pending_set.is_empty c.pending then None
+  else
+    let v = Pending_set.oldest c.pending in
+    match item_get c v.id with
+    | Some it when c.decisions - it.enqueued_at_decision > bound && not (crashed c v.dst) ->
+        Some v
+    | _ -> None
+
 let outcome_of c termination =
   {
-    moves = c.moves;
+    (* copies: an outcome must stay immutable even when the driver that
+       produced it keeps evolving (Step forks, the live backend's
+       cancel-then-inspect path) — returning the live arrays was a latent
+       aliasing bug the transport extraction surfaced *)
+    moves = Array.copy c.moves;
     termination;
     messages_sent = c.messages_sent;
     messages_delivered = c.messages_delivered;
     steps = c.steps;
     trace = List.rev c.trace;
-    halted = c.halted;
+    halted = Array.copy c.halted;
     metrics = Obs.Metrics.Builder.finish c.mb ~batches:c.next_batch ~steps:c.steps;
+  }
+
+(* Fork the driver state. [processes] must be the caller's own copy of
+   the process array (process state lives in closures the driver cannot
+   copy). Pending ids, seqs and arrival order are preserved, so
+   delivering the same ids in the same order in both forks yields
+   identical traces. *)
+let clone_core c ~processes =
+  let pending' = Pending_set.create () in
+  let items' = Array.make (Array.length c.items) None in
+  (* Re-append the live views in order: ids, seqs and relative order
+     are preserved, so the clone is observationally identical. *)
+  Pending_set.iter c.pending (fun v ->
+      match item_get c v.id with
+      | None -> ()
+      | Some it ->
+          let node = Pending_set.append pending' v in
+          items'.(v.id) <- Some { it with node });
+  {
+    c with
+    procs = processes;
+    mb = Obs.Metrics.Builder.copy c.mb;
+    halted = Array.copy c.halted;
+    started = Array.copy c.started;
+    moves = Array.copy c.moves;
+    pending = pending';
+    items = items';
+    seq = Array.copy c.seq;
+    delivered_batches = Bytes.copy c.delivered_batches;
+    crash_announced = Array.copy c.crash_announced;
   }
 
 let run (cfg : ('m, 'a) config) : 'a outcome =
@@ -319,58 +426,9 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
   let c =
     create_core ?faults:cfg.faults ?fuzz:cfg.fuzz ~mediator:cfg.mediator cfg.processes
   in
-  let n = c.n in
   let have_faults = Option.is_some cfg.faults in
 
-  (* Crash-restart windows are fixed per process before the run starts:
-     the plan's verdict depends on the pid alone, so they are identical
-     at any -j. A window defers deliveries to the process (messages stay
-     pending, nothing is lost) — the process resumes from its last state
-     when the window closes, unlike the permanent-crash transformer. *)
-  let crash_specs =
-    match cfg.faults with
-    | None -> [||]
-    | Some plan -> Array.init n (fun pid -> Faults.Plan.crash_window plan ~pid)
-  in
-  let crash_announced = Array.make n false in
-  let crashed pid =
-    pid >= 0
-    && pid < Array.length crash_specs
-    &&
-    match crash_specs.(pid) with
-    | Some (start, len) -> c.decisions >= start && c.decisions < start + len
-    | None -> false
-  in
-  let announce_crashes () =
-    Array.iteri
-      (fun pid spec ->
-        match spec with
-        | Some (start, len) when (not crash_announced.(pid)) && c.decisions >= start ->
-            crash_announced.(pid) <- true;
-            Obs.Metrics.Builder.injected_crash c.mb;
-            emit c (Fault { kind = Crash_restart; src = env_pid; dst = pid; seq = len });
-            emit_pat c
-              (Scheduler.P_fault { kind = Crash_restart; src = env_pid; dst = pid; seq = len })
-        | _ -> ())
-      crash_specs
-  in
-
   enqueue_starts c;
-
-  (* An item the environment is currently withholding: Delay-pinned, or
-     addressed to a process inside its crash-restart window. Scheduler
-     choices of a blocked item are redirected to the oldest deliverable
-     one; if nothing is deliverable the decision is burnt (pins and
-     windows expire at fixed decision counts, so this always clears). *)
-  let blocked id =
-    match item_get c id with
-    | None -> true
-    | Some it ->
-        it.delay_until > c.decisions || crashed (Pending_set.view_of it.node).dst
-  in
-  let oldest_deliverable () =
-    Pending_set.find c.pending (fun (v : pending_view) -> not (blocked v.id))
-  in
 
   let t_start = if Option.is_some cfg.wall_limit then Unix.gettimeofday () else 0.0 in
   let fuel_exhausted () =
@@ -404,25 +462,13 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
       running := false
     end
     else begin
-      c.decisions <- c.decisions + 1;
-      if have_faults then announce_crashes ();
-      (* Fairness: force-deliver the oldest message once it is starved past
-         the bound ([enqueued_at_decision] is monotone in send order, so
-         the oldest pending message is always the most-starved one). The
-         override beats a Delay pin — that is exactly the guarantee Delay
-         faults stress — but not a crash window (the destination cannot
-         receive while silent; windows are finite). *)
+      tick c;
+      (* Scheduler choices of a blocked item are redirected to the oldest
+         deliverable one; if nothing is deliverable the decision is burnt
+         (pins and windows expire at fixed decision counts, so this
+         always clears). *)
       let starving =
-        if cfg.scheduler.relaxed then None
-        else begin
-          let v = Pending_set.oldest c.pending in
-          match item_get c v.id with
-          | Some it
-            when c.decisions - it.enqueued_at_decision > cfg.starvation_bound
-                 && not (crashed v.dst) ->
-              Some v
-          | _ -> None
-        end
+        if cfg.scheduler.relaxed then None else starving c ~bound:cfg.starvation_bound
       in
       match starving with
       | Some v ->
@@ -448,7 +494,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
                 Deliver (Pending_set.oldest c.pending).id
           in
           let deliver_fallback () =
-            match oldest_deliverable () with
+            match oldest_deliverable c with
             | Some v ->
                 deliver c v.id;
                 c.steps <- c.steps + 1
@@ -456,7 +502,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
           in
           match decision with
           | Deliver id when item_mem c id ->
-              if have_faults && blocked id then deliver_fallback ()
+              if have_faults && blocked c id then deliver_fallback ()
               else begin
                 deliver c id;
                 c.steps <- c.steps + 1
@@ -591,26 +637,44 @@ module Step = struct
   let clone c ~processes =
     if Array.length processes <> c.n then
       invalid_arg "Runner.Step.clone: processes array length changed";
-    let pending' = Pending_set.create () in
-    let items' = Array.make (Array.length c.items) None in
-    (* Re-append the live views in order: ids, seqs and relative order
-       are preserved, so the clone is observationally identical. *)
-    Pending_set.iter c.pending (fun v ->
-        match item_get c v.id with
-        | None -> ()
-        | Some it ->
-            let node = Pending_set.append pending' v in
-            items'.(v.id) <- Some { it with node });
-    {
-      c with
-      procs = processes;
-      mb = Obs.Metrics.Builder.copy c.mb;
-      halted = Array.copy c.halted;
-      started = Array.copy c.started;
-      moves = Array.copy c.moves;
-      pending = pending';
-      items = items';
-      seq = Array.copy c.seq;
-      delivered_batches = Bytes.copy c.delivered_batches;
-    }
+    clone_core c ~processes
+end
+
+(* ------------------------------------------------------------------ *)
+(* Driver: the transport extraction. The exact operations [run] performs
+   internally — enqueue starts, deliver with full fault/batch/metrics
+   semantics, crash-window ticking, the withholding and fairness
+   predicates, the drop/outcome paths — exposed so an external delivery
+   loop (lib/transport's live backend) can reproduce [run]'s histories
+   bit-for-bit while hosting the processes however it likes. *)
+
+module Driver = struct
+  type ('m, 'a) t = ('m, 'a) core
+
+  let create ?faults ?fuzz ~mediator procs = create_core ?faults ?fuzz ~mediator procs
+  let enqueue_starts c = enqueue_starts c
+  let pending c = c.pending
+  let history c = c.pattern
+  let steps c = c.steps
+  let decisions c = c.decisions
+  let all_halted c = Array.for_all (fun h -> h) c.halted
+  let has_faults c = Option.is_some c.faults
+  let mem c ~id = item_mem c id
+  let tick c = tick c
+  let blocked c ~id = blocked c id
+  let oldest_deliverable c = oldest_deliverable c
+  let starving c ~bound = starving c ~bound
+
+  let deliver c ~id =
+    if not (item_mem c id) then
+      invalid_arg (Printf.sprintf "Runner.Driver.deliver: id %d is not pending" id);
+    deliver c id;
+    c.steps <- c.steps + 1
+
+  let drop_all_remaining c = drop_all_remaining c
+  let note_starved c = Obs.Metrics.Builder.starved c.mb
+  let note_invalid_decision c = Obs.Metrics.Builder.invalid_decision c.mb
+  let note_scheduler_exn c = Obs.Metrics.Builder.scheduler_exn c.mb
+  let note_timed_out c = Obs.Metrics.Builder.timed_out c.mb
+  let outcome c termination = outcome_of c termination
 end

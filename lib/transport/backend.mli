@@ -1,0 +1,31 @@
+(** The pluggable transport registry.
+
+    A backend is a way of executing one {!Sim.Runner.config} to an
+    outcome. Two ship today: the in-process discrete-event simulator
+    ({!Sim.Runner.run} itself) and the effects/domains {!Live} runtime.
+    The determinism contract is backend-independent — for any config
+    whose [wall_limit] is unset, both backends produce byte-identical
+    outcomes, traces and deterministic metrics on the same seed; the
+    {!Differential} harness enforces this. *)
+
+type t = Sim | Live
+
+val all : t list
+val to_string : t -> string
+
+val of_string : string -> t
+(** Accepts ["sim"] and ["live"].
+    @raise Invalid_argument on anything else. *)
+
+val run : ?backend:t -> ('m, 'a) Sim.Runner.config -> 'a Sim.Types.outcome
+(** Execute one complete history on the chosen backend (default
+    [Sim]). *)
+
+(** First-class backend modules, for callers that select once and run
+    many configs. *)
+module type BACKEND = sig
+  val name : string
+  val run : ('m, 'a) Sim.Runner.config -> 'a Sim.Types.outcome
+end
+
+val impl : t -> (module BACKEND)

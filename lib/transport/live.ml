@@ -1,0 +1,288 @@
+(* The live backend. Players are effects fibers; delivery arbitration is
+   the exact Runner.run loop body, re-expressed over Runner.Driver hooks
+   so the histories are bit-for-bit those of the simulator (the
+   differential suite in test_transport holds this to byte identity). *)
+
+module Runner = Sim.Runner
+module Driver = Sim.Runner.Driver
+module Scheduler = Sim.Scheduler
+module Types = Sim.Types
+module Pending_set = Sim.Pending_set
+
+exception Cancelled
+
+(* ------------------------------------------------------------------ *)
+(* Fiber substrate: a player suspended on [Await] until the arbiter
+   hands it a signal. One-shot continuations; single-domain use. *)
+
+type _ Effect.t += Await : unit Effect.t
+
+type 'm signal = Start | Msg of Types.pid * 'm
+
+type ('m, 'a) fiber = {
+  mutable signal : 'm signal option;
+  mutable emitted : ('m, 'a) Types.effect list;
+  mutable resume : (unit, unit) Effect.Deep.continuation option;
+}
+
+let make_fiber () = { signal = None; emitted = []; resume = None }
+
+let spawn fb body =
+  Effect.Deep.match_with body ()
+    {
+      Effect.Deep.retc = (fun () -> ());
+      exnc = (fun e -> match e with Cancelled -> () | e -> raise e);
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Await ->
+              Some
+                (fun (k : (b, unit) Effect.Deep.continuation) -> fb.resume <- Some k)
+          | _ -> None);
+    }
+
+(* Hand the fiber a signal and collect the effects it emitted before
+   suspending again. A fiber that already terminated emits nothing —
+   the same shape as a closure process that returns []. *)
+let resume_with fb s =
+  match fb.resume with
+  | None -> []
+  | Some k ->
+      fb.resume <- None;
+      fb.signal <- Some s;
+      fb.emitted <- [];
+      Effect.Deep.continue k ();
+      let out = fb.emitted in
+      fb.emitted <- [];
+      out
+
+let cancel_fiber fb =
+  match fb.resume with
+  | None -> ()
+  | Some k ->
+      fb.resume <- None;
+      Effect.Deep.discontinue k Cancelled
+
+(* Host an ordinary reactive process on a fiber: the fiber loops
+   awaiting signals and replays them into the process closures. *)
+let reactive_body fb (p : ('m, 'a) Types.process) () =
+  let rec loop () =
+    Effect.perform Await;
+    (match fb.signal with
+    | None -> ()
+    | Some s ->
+        fb.signal <- None;
+        fb.emitted <-
+          (match s with
+          | Start -> p.Types.start ()
+          | Msg (src, m) -> p.Types.receive ~src m));
+    loop ()
+  in
+  loop ()
+
+let host fb will =
+  {
+    Types.start = (fun () -> resume_with fb Start);
+    receive = (fun ~src m -> resume_with fb (Msg (src, m)));
+    will;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* A live session: shared driver state + one fiber per player. *)
+
+type ('m, 'a) t = {
+  cfg : ('m, 'a) Runner.config;
+  d : ('m, 'a) Driver.t;
+  fibers : ('m, 'a) fiber array;
+  t_start : float;
+  mutable result : 'a Types.outcome option;
+}
+
+let start (cfg : ('m, 'a) Runner.config) =
+  cfg.Runner.scheduler.Scheduler.reset ();
+  let fibers = Array.map (fun _ -> make_fiber ()) cfg.Runner.processes in
+  let hosted =
+    Array.mapi
+      (fun i (p : ('m, 'a) Types.process) ->
+        let fb = fibers.(i) in
+        spawn fb (reactive_body fb p);
+        host fb p.Types.will)
+      cfg.Runner.processes
+  in
+  let d =
+    Driver.create ?faults:cfg.Runner.faults ?fuzz:cfg.Runner.fuzz
+      ~mediator:cfg.Runner.mediator hosted
+  in
+  Driver.enqueue_starts d;
+  let t_start =
+    if Option.is_some cfg.Runner.wall_limit then Unix.gettimeofday () else 0.0
+  in
+  { cfg; d; fibers; t_start; result = None }
+
+let finish t term =
+  let o = Driver.outcome t.d term in
+  Array.iter cancel_fiber t.fibers;
+  t.result <- Some o;
+  o
+
+(* One arbiter decision. The branch structure below mirrors
+   Runner.run's loop body line for line — any divergence is a
+   determinism bug the differential suite exists to catch. *)
+let step (t : ('m, 'a) t) =
+  match t.result with
+  | Some o -> `Done o
+  | None -> (
+      let cfg = t.cfg in
+      let d = t.d in
+      let fuel_exhausted () =
+        match cfg.Runner.fuel with Some f -> Driver.decisions d >= f | None -> false
+      in
+      let wall_exceeded () =
+        match cfg.Runner.wall_limit with
+        | None -> false
+        | Some limit ->
+            (* throttled: the clock is only consulted every 256 decisions *)
+            Driver.decisions d land 255 = 0
+            && Unix.gettimeofday () -. t.t_start > limit
+      in
+      if Pending_set.is_empty (Driver.pending d) then
+        `Done
+          (finish t
+             (if Driver.all_halted d then Types.All_halted else Types.Quiescent))
+      else if Driver.steps d >= cfg.Runner.max_steps then `Done (finish t Types.Cutoff)
+      else if fuel_exhausted () || wall_exceeded () then begin
+        Driver.drop_all_remaining d;
+        Driver.note_timed_out d;
+        `Done (finish t Types.Timed_out)
+      end
+      else begin
+        Driver.tick d;
+        let starving =
+          if cfg.Runner.scheduler.Scheduler.relaxed then None
+          else Driver.starving d ~bound:cfg.Runner.starvation_bound
+        in
+        match starving with
+        | Some v ->
+            Driver.note_starved d;
+            Driver.deliver d ~id:v.Types.id;
+            `Running
+        | None -> (
+            let decision =
+              match
+                cfg.Runner.scheduler.Scheduler.choose ~step:(Driver.steps d)
+                  ~history:(Driver.history d) ~pending:(Driver.pending d)
+              with
+              | dec -> dec
+              | exception ((Stack_overflow | Out_of_memory | Assert_failure _) as e)
+                ->
+                  let bt = Printexc.get_raw_backtrace () in
+                  Printexc.raise_with_backtrace e bt
+              | exception _ ->
+                  Driver.note_scheduler_exn d;
+                  Types.Deliver (Pending_set.oldest (Driver.pending d)).Types.id
+            in
+            let deliver_fallback () =
+              match Driver.oldest_deliverable d with
+              | Some v -> Driver.deliver d ~id:v.Types.id
+              | None -> () (* everything withheld: burn the decision *)
+            in
+            match decision with
+            | Types.Deliver id when Driver.mem d ~id ->
+                if Driver.has_faults d && Driver.blocked d ~id then
+                  deliver_fallback ()
+                else Driver.deliver d ~id;
+                `Running
+            | Types.Deliver _ ->
+                Driver.note_invalid_decision d;
+                deliver_fallback ();
+                `Running
+            | Types.Stop_delivery ->
+                if cfg.Runner.scheduler.Scheduler.relaxed then begin
+                  Driver.drop_all_remaining d;
+                  `Done (finish t Types.Deadlocked)
+                end
+                else begin
+                  Driver.note_invalid_decision d;
+                  deliver_fallback ();
+                  `Running
+                end)
+      end)
+
+let outcome t = t.result
+
+let cancel t =
+  match t.result with
+  | Some o -> o
+  | None ->
+      Driver.drop_all_remaining t.d;
+      Driver.note_timed_out t.d;
+      finish t Types.Timed_out
+
+let run cfg =
+  let t = start cfg in
+  let rec go () = match step t with `Done o -> o | `Running -> go () in
+  go ()
+
+let run_round_robin ts =
+  let n = Array.length ts in
+  let out = Array.make n None in
+  let remaining = ref n in
+  while !remaining > 0 do
+    Array.iteri
+      (fun i t ->
+        if Option.is_none out.(i) then
+          match step t with
+          | `Running -> ()
+          | `Done o ->
+              out.(i) <- Some o;
+              decr remaining)
+      ts
+  done;
+  Array.map Option.get out
+
+(* ------------------------------------------------------------------ *)
+(* Direct-style player programs. *)
+
+type ('m, 'a) api = {
+  recv : unit -> Types.pid * 'm;
+  send : Types.pid -> 'm -> unit;
+  move : 'a -> unit;
+}
+
+let process_of ?(will = fun () -> None) program =
+  let fb = make_fiber () in
+  let buf = ref [] in
+  let flush () =
+    fb.emitted <- List.rev !buf;
+    buf := []
+  in
+  let recv () =
+    flush ();
+    Effect.perform Await;
+    match fb.signal with
+    | Some (Msg (src, m)) ->
+        fb.signal <- None;
+        (src, m)
+    | Some Start | None ->
+        (* unreachable under the driver (one start per process, and
+           resume always sets a signal); unwind defensively *)
+        fb.signal <- None;
+        raise Cancelled
+  in
+  let api =
+    {
+      recv;
+      send = (fun dst m -> buf := Types.Send (dst, m) :: !buf);
+      move = (fun a -> buf := Types.Move a :: !buf);
+    }
+  in
+  let body () =
+    (* the first signal is always the start activation *)
+    Effect.perform Await;
+    fb.signal <- None;
+    program api;
+    buf := Types.Halt :: !buf;
+    flush ()
+  in
+  spawn fb body;
+  host fb will

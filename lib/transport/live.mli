@@ -1,0 +1,92 @@
+(** The live backend: each player is a lightweight OCaml 5 effects fiber.
+
+    Where {!Sim.Runner.run} calls process closures as plain functions,
+    this backend hosts every process on its own one-shot delimited
+    continuation: a player fiber blocks on an [Await] effect until the
+    arbiter delivers it a signal (its start activation or a message),
+    reacts, and suspends again. Delivery arbitration itself stays
+    serialised through the {e same} seeded scheduler and the same
+    {!Sim.Runner.Driver} bookkeeping as the simulator — that is what
+    makes a live run a pure function of its seed (DESIGN.md §9/§14) and
+    what the differential harness checks byte-for-byte. Genuine
+    concurrency lives one level up: independent sessions run on separate
+    pool domains ({!Serve}), and a session in flight is steppable, so
+    many sessions interleave on one domain ({!step}, {!run_round_robin}).
+
+    A {!t} (and any process built by {!process_of}) is single-domain,
+    single-use state: create it, drive it to completion (or {!cancel}
+    it) from one domain. *)
+
+exception Cancelled
+(** Raised {e inside} a player fiber when its session is torn down
+    before the fiber terminated ({!cancel}, or run completion with the
+    fiber still blocked). Direct-style programs ({!process_of}) must let
+    it propagate: it is the unwind mechanism that releases the
+    continuation. *)
+
+type ('m, 'a) t
+(** A live session in flight. *)
+
+val start : ('m, 'a) Sim.Runner.config -> ('m, 'a) t
+(** Spawn one fiber per process (each suspended at its first [Await]),
+    create the shared driver state, enqueue the environment's start
+    signals and reset the scheduler — the exact preamble of
+    {!Sim.Runner.run}, with the players now live. No delivery happens
+    until {!step}. *)
+
+val step : ('m, 'a) t -> [ `Running | `Done of 'a Sim.Types.outcome ]
+(** One arbiter decision, replicating {!Sim.Runner.run}'s loop body
+    bit-for-bit: termination checks (pending-empty, max_steps cutoff,
+    fuel/wall watchdog), decision tick with crash-window announcement,
+    the fairness override, scheduler consultation with the exact
+    exception policy, fault veto with oldest-deliverable fallback, and
+    the relaxed [Stop_delivery] path. On completion every still-blocked
+    fiber is cancelled and the outcome is cached; further calls return
+    [`Done] with the same outcome. *)
+
+val outcome : ('m, 'a) t -> 'a Sim.Types.outcome option
+(** The cached outcome once the session completed, [None] while running. *)
+
+val cancel : ('m, 'a) t -> 'a Sim.Types.outcome
+(** Tear a running session down: complete any partially delivered
+    mediator batch, drop the rest (conservation holds), cancel all
+    blocked fibers and end the run as [Timed_out] — the watchdog path
+    taken externally, which is how {!Session.cancel} preempts a convened
+    game. On a completed session this is a no-op returning the existing
+    outcome. *)
+
+val run : ('m, 'a) Sim.Runner.config -> 'a Sim.Types.outcome
+(** [start] + [step] to completion: the drop-in live equivalent of
+    {!Sim.Runner.run} — same config, same per-seed outcome. *)
+
+val run_round_robin : ('m, 'a) t array -> 'a Sim.Types.outcome array
+(** Multiplex several in-flight sessions on the calling domain, one
+    {!step} each per round, until all complete; results in input order.
+    Each session's history is unaffected by the interleaving (sessions
+    share no state), so the result equals mapping {!run} — this is the
+    batch shape {!Serve.drain} hands to a pool domain. *)
+
+(** {1 Direct-style player programs}
+
+    The fiber substrate doubles as a programming model: instead of a
+    state machine in closures ({!Sim.Types.process}), write a player as
+    sequential code that blocks on [recv]. The resulting process value
+    runs on {e either} backend — on the simulator it is an ordinary
+    process whose blocking points are hidden behind the effect handler. *)
+
+type ('m, 'a) api = {
+  recv : unit -> Sim.Types.pid * 'm;
+      (** Block until the environment delivers the next message;
+          buffered [send]/[move] effects are flushed to the driver at
+          this point, in call order. *)
+  send : Sim.Types.pid -> 'm -> unit;  (** Buffer a message send. *)
+  move : 'a -> unit;  (** Buffer the one-shot game move. *)
+}
+
+val process_of :
+  ?will:(unit -> 'a option) -> (('m, 'a) api -> unit) -> ('m, 'a) Sim.Types.process
+(** Wrap a sequential player program as a process. The program starts
+    when the driver delivers the start signal; returning from it halts
+    the player ([Halt] is emitted after any buffered effects). The value
+    is single-use — build a fresh one per run, as with any stateful
+    process. *)

@@ -1,0 +1,90 @@
+type ('m, 'a) request = { ticket : int; make : unit -> ('m, 'a) Sim.Runner.config }
+
+type ('m, 'a) t = {
+  backend : Backend.t;
+  batch : int;
+  m : Mutex.t;
+  mutable queue : ('m, 'a) request list; (* newest first *)
+  mutable next_ticket : int;
+  mutable served : int;
+  results : (int, 'a Sim.Types.outcome) Hashtbl.t;
+}
+
+let create ?(backend = Backend.Live) ?(batch = 4) () =
+  if batch < 1 then invalid_arg "Serve.create: batch must be >= 1";
+  {
+    backend;
+    batch;
+    m = Mutex.create ();
+    queue = [];
+    next_ticket = 0;
+    served = 0;
+    results = Hashtbl.create 64;
+  }
+
+let backend t = t.backend
+
+let submit t make =
+  Mutex.lock t.m;
+  let ticket = t.next_ticket in
+  t.next_ticket <- ticket + 1;
+  t.queue <- { ticket; make } :: t.queue;
+  Mutex.unlock t.m;
+  ticket
+
+let pending t =
+  Mutex.lock t.m;
+  let n = List.length t.queue in
+  Mutex.unlock t.m;
+  n
+
+let served t =
+  Mutex.lock t.m;
+  let n = t.served in
+  Mutex.unlock t.m;
+  n
+
+let result t ticket =
+  Mutex.lock t.m;
+  let r = Hashtbl.find_opt t.results ticket in
+  Mutex.unlock t.m;
+  r
+
+(* One pool task: run a batch of sessions on this domain. Live batches
+   are started together and multiplexed round-robin; sim batches run
+   back to back. Either way each outcome depends only on its request. *)
+let run_batch backend (reqs : ('m, 'a) request array) =
+  match backend with
+  | Backend.Sim ->
+      Array.map (fun r -> (r.ticket, Sim.Runner.run (r.make ()))) reqs
+  | Backend.Live ->
+      let sessions = Array.map (fun r -> Live.start (r.make ())) reqs in
+      let outs = Live.run_round_robin sessions in
+      Array.mapi (fun i r -> (r.ticket, outs.(i))) reqs
+
+let drain ~pool t =
+  Mutex.lock t.m;
+  let reqs = Array.of_list (List.rev t.queue) in
+  t.queue <- [];
+  Mutex.unlock t.m;
+  let total = Array.length reqs in
+  if total = 0 then 0
+  else begin
+    let nb = (total + t.batch - 1) / t.batch in
+    let batches =
+      Array.init nb (fun b ->
+          let lo = b * t.batch in
+          Array.sub reqs lo (min t.batch (total - lo)))
+    in
+    let done_batches =
+      Parallel.Pool.map_array ~pool batches (run_batch t.backend)
+    in
+    Mutex.lock t.m;
+    Array.iter
+      (Array.iter (fun (ticket, o) ->
+           Hashtbl.replace t.results ticket o;
+           t.served <- t.served + 1))
+      done_batches;
+    Mutex.unlock t.m;
+    total
+  end

@@ -1,0 +1,42 @@
+(** The session server: an in-memory request queue drained over the
+    domain pool — the engine behind [ctmed serve].
+
+    Clients {!submit} session requests (each a thunk building a fresh
+    {!Sim.Runner.config} — fresh processes, fresh scheduler, so the
+    request is a pure function of its own seed material); {!drain} takes
+    everything queued, groups it into batches in submission order, and
+    runs one batch per pool task. On the live backend a batch's sessions
+    are started together and multiplexed round-robin on the domain
+    ({!Live.run_round_robin}) — many sessions in flight per domain,
+    batches in parallel across domains — which changes wall-clock only:
+    each outcome is the same pure function of its request it would be
+    run alone ({!Backend}'s contract). *)
+
+type ('m, 'a) t
+
+val create : ?backend:Backend.t -> ?batch:int -> unit -> ('m, 'a) t
+(** A fresh server. [backend] defaults to [Live]; [batch] (default 4)
+    is the number of sessions multiplexed per pool task.
+    @raise Invalid_argument when [batch < 1]. *)
+
+val backend : ('m, 'a) t -> Backend.t
+
+val submit : ('m, 'a) t -> (unit -> ('m, 'a) Sim.Runner.config) -> int
+(** Enqueue a session request; returns its ticket. The thunk runs on a
+    pool domain at drain time and must derive everything from its own
+    captured seed material. *)
+
+val pending : ('m, 'a) t -> int
+(** Requests queued and not yet drained. *)
+
+val served : ('m, 'a) t -> int
+(** Outcomes published so far. *)
+
+val drain : pool:Parallel.Pool.t -> ('m, 'a) t -> int
+(** Run every queued request over the pool; returns how many were
+    served. Outcomes become available via {!result} keyed by ticket.
+    Batches fail atomically: a raising process aborts the drain with
+    [Parallel.Pool.Trial_failed] (the seed names the batch index). *)
+
+val result : ('m, 'a) t -> int -> 'a Sim.Types.outcome option
+(** The outcome for a ticket, once drained. *)

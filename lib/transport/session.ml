@@ -1,0 +1,135 @@
+type 'a phase =
+  | Gathering
+  | Running
+  | Done of 'a Sim.Types.outcome
+  | Cancelled
+
+type ('m, 'a) t = {
+  m : Mutex.t;
+  cv : Condition.t;
+  n : int;
+  slots : ('m, 'a) Sim.Types.process option array;
+  mutable attached : int;
+  mutable phase : 'a phase;
+}
+
+let create ~n =
+  if n < 1 then invalid_arg "Session.create: n must be >= 1";
+  {
+    m = Mutex.create ();
+    cv = Condition.create ();
+    n;
+    slots = Array.make n None;
+    attached = 0;
+    phase = Gathering;
+  }
+
+let capacity t = t.n
+
+let attached t =
+  Mutex.lock t.m;
+  let a = t.attached in
+  Mutex.unlock t.m;
+  a
+
+let cancel t =
+  Mutex.lock t.m;
+  (match t.phase with
+  | Gathering | Running ->
+      t.phase <- Cancelled;
+      Condition.broadcast t.cv
+  | Done _ | Cancelled -> ());
+  Mutex.unlock t.m
+
+let attach t ~pid p =
+  Mutex.lock t.m;
+  match t.phase with
+  | Cancelled ->
+      Mutex.unlock t.m;
+      Error `Cancelled
+  | Done _ | Running ->
+      Mutex.unlock t.m;
+      Error `Closed
+  | Gathering ->
+      if pid < 0 || pid >= t.n then begin
+        Mutex.unlock t.m;
+        invalid_arg (Printf.sprintf "Session.attach: pid %d out of range" pid)
+      end;
+      if Option.is_some t.slots.(pid) then begin
+        Mutex.unlock t.m;
+        invalid_arg (Printf.sprintf "Session.attach: slot %d already taken" pid)
+      end;
+      t.slots.(pid) <- Some p;
+      t.attached <- t.attached + 1;
+      Condition.broadcast t.cv;
+      let rec wait () =
+        match t.phase with
+        | Done o ->
+            Mutex.unlock t.m;
+            Ok o
+        | Cancelled ->
+            Mutex.unlock t.m;
+            Error `Cancelled
+        | Gathering | Running ->
+            Condition.wait t.cv t.m;
+            wait ()
+      in
+      wait ()
+
+(* Run the claimed game outside the lock. On the live backend the
+   session stays steppable, so an external cancel preempts the run
+   between arbiter decisions (polled every 1024 steps); the simulator
+   runs to completion and the outcome is discarded on a lost race. *)
+let run_claimed backend t cfg =
+  match backend with
+  | Backend.Sim -> `Finished (Sim.Runner.run cfg)
+  | Backend.Live ->
+      let s = Live.start cfg in
+      let cancelled () =
+        Mutex.lock t.m;
+        let c = match t.phase with Cancelled -> true | _ -> false in
+        Mutex.unlock t.m;
+        c
+      in
+      let rec go k =
+        if k land 1023 = 0 && cancelled () then begin
+          ignore (Live.cancel s);
+          `Preempted
+        end
+        else
+          match Live.step s with
+          | `Done o -> `Finished o
+          | `Running -> go (k + 1)
+      in
+      go 1
+
+let convene ?(backend = Backend.Sim) t ~make_config =
+  Mutex.lock t.m;
+  let rec gather () =
+    match t.phase with
+    | Cancelled ->
+        Mutex.unlock t.m;
+        Error `Cancelled
+    | Done _ | Running ->
+        Mutex.unlock t.m;
+        Error `Closed
+    | Gathering when t.attached = t.n ->
+        t.phase <- Running;
+        let procs = Array.map Option.get t.slots in
+        Mutex.unlock t.m;
+        let result = run_claimed backend t (make_config procs) in
+        Mutex.lock t.m;
+        (match (result, t.phase) with
+        | `Preempted, _ | `Finished _, Cancelled ->
+            Mutex.unlock t.m;
+            Error `Cancelled
+        | `Finished o, _ ->
+            t.phase <- Done o;
+            Condition.broadcast t.cv;
+            Mutex.unlock t.m;
+            Ok o)
+    | Gathering ->
+        Condition.wait t.cv t.m;
+        gather ()
+  in
+  gather ()

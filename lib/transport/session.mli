@@ -1,0 +1,56 @@
+(** Mediator-game sessions as rendezvous objects.
+
+    A session is the meeting point between one {e convener} (the party
+    that owns the game config — scheduler, mediator, fault plan) and [n]
+    {e player slots}. Players {!attach} their process from any domain
+    and block; once all [n] slots are filled the convener's {!convene}
+    claims them, runs the game on the chosen backend, and publishes the
+    outcome to every waiter — convene/attach meet over an exchange, and
+    {!cancel} preempts the rendezvous from outside (before or during the
+    run), releasing everyone with [Error `Cancelled].
+
+    Blocking is plain [Mutex]/[Condition] over domains: a session is the
+    cross-domain front door; determinism of the game itself is the
+    backend's business ({!Backend}). Attach and convene must run on
+    different domains (attaching on the convener's domain deadlocks, as
+    with any rendezvous). *)
+
+type ('m, 'a) t
+
+val create : n:int -> ('m, 'a) t
+(** A session with [n] player slots, gathering.
+    @raise Invalid_argument when [n < 1]. *)
+
+val capacity : ('m, 'a) t -> int
+
+val attached : ('m, 'a) t -> int
+(** Slots filled so far (racy snapshot; for monitoring). *)
+
+val attach :
+  ('m, 'a) t ->
+  pid:int ->
+  ('m, 'a) Sim.Types.process ->
+  ('a Sim.Types.outcome, [ `Cancelled | `Closed ]) result
+(** Offer a process for slot [pid] and block until the session resolves:
+    [Ok outcome] when the convened game completed, [Error `Cancelled]
+    when {!cancel} preempted it, [Error `Closed] when the session already
+    ran (late attach).
+    @raise Invalid_argument when [pid] is out of range or the slot is
+    already taken. *)
+
+val convene :
+  ?backend:Backend.t ->
+  ('m, 'a) t ->
+  make_config:(('m, 'a) Sim.Types.process array -> ('m, 'a) Sim.Runner.config) ->
+  ('a Sim.Types.outcome, [ `Cancelled | `Closed ]) result
+(** Block until all slots are attached, claim the processes, run
+    [make_config processes] on [backend] (default [Sim]) and publish the
+    outcome to every attached waiter. [Error `Cancelled] when {!cancel}
+    won the race — including a cancel that lands {e during} the run, in
+    which case the outcome is discarded and waiters are released
+    cancelled. [Error `Closed] when the session was already convened. *)
+
+val cancel : ('m, 'a) t -> unit
+(** Preempt the rendezvous: every current and future [attach]/[convene]
+    resolves [Error `Cancelled]. Idempotent; a no-op after the outcome
+    was already published. *)

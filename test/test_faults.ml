@@ -408,6 +408,55 @@ let test_retry_seed_deterministic () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* The live transport backend accounts faults exactly like the sim *)
+
+let test_live_backend_fault_accounting () =
+  (* same seed, same fault plan: the live (effects/domains) backend must
+     charge every injected fault to the same per-kind counter the
+     simulator does — corruptions included, so the fuzz hook must fire
+     on the live delivery path too — and obey the same conservation
+     law. Aggregated across seeds the plans must actually fire each
+     kind, otherwise this test would vacuously pass on a backend that
+     skips injection entirely. *)
+  let cfg =
+    Faults.make ~dup:0.1 ~corrupt:0.1 ~delay:0.15 ~crash:0.3 ~delay_decisions:6
+      ~crash_window:4 ()
+  in
+  let config seed =
+    Runner.config
+      ~scheduler:(Scheduler.random_seeded seed)
+      ~faults:(Plan.make ~seed cfg)
+      ~fuzz:(fun ~src:_ ~dst:_ ~seq:_ m -> m + 1000)
+      (Analysis.Fixtures.quorum_vote ~n:4 ~zeros:1 ())
+  in
+  let agg = Obs.Agg.create () in
+  for seed = 0 to 39 do
+    let sim = Transport.Backend.run ~backend:Transport.Backend.Sim (config seed) in
+    let live = Transport.Backend.run ~backend:Transport.Backend.Live (config seed) in
+    let per_kind m =
+      [ m.Metrics.injected_dup; m.Metrics.injected_corrupt;
+        m.Metrics.injected_delay; m.Metrics.injected_crash ]
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "per-kind counters at seed %d" seed)
+      (per_kind sim.T.metrics) (per_kind live.T.metrics);
+    Alcotest.(check string)
+      (Printf.sprintf "full deterministic counters at seed %d" seed)
+      (Metrics.det_repr sim.T.metrics)
+      (Metrics.det_repr live.T.metrics);
+    Alcotest.(check int)
+      (Printf.sprintf "conservation on live at seed %d" seed)
+      (Metrics.sent_total live.T.metrics)
+      (Metrics.delivered_total live.T.metrics + Metrics.dropped_total live.T.metrics);
+    Obs.Agg.add agg live.T.metrics
+  done;
+  let total = Obs.Agg.total agg in
+  Alcotest.(check bool) "dups fired" true (total.Metrics.injected_dup > 0);
+  Alcotest.(check bool) "corruptions fired" true (total.Metrics.injected_corrupt > 0);
+  Alcotest.(check bool) "delays fired" true (total.Metrics.injected_delay > 0);
+  Alcotest.(check bool) "crash windows fired" true (total.Metrics.injected_crash > 0)
+
 let () =
   Alcotest.run "faults"
     [
@@ -444,6 +493,8 @@ let () =
             test_batch_atomicity_beats_delay_pin;
           Alcotest.test_case "batch atomicity beats crash window" `Quick
             test_batch_atomicity_beats_crash_window;
+          Alcotest.test_case "live backend fault accounting" `Quick
+            test_live_backend_fault_accounting;
         ] );
       ( "map-trials",
         [

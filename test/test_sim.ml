@@ -373,6 +373,33 @@ let test_explore_cap () =
   Alcotest.(check bool) "capped" false r.Sim.Explore.exhaustive;
   Alcotest.(check int) "exactly cap histories" 3 r.Sim.Explore.histories
 
+let test_step_outcome_not_aliased () =
+  (* regression: Step.cutoff (and every other outcome constructor) must
+     snapshot moves/halted, not alias the driver's live arrays — a
+     checker that forks or keeps exploring after taking an outcome would
+     otherwise see its earlier snapshots rewritten by later deliveries *)
+  let module Step = Sim.Runner.Step in
+  let st = Step.create (ping_pong_processes ()) in
+  Step.deliver_starts st;
+  let snap = Step.cutoff st in
+  Alcotest.(check (array (option int))) "snapshot taken before any move"
+    [| None; None |] snap.moves;
+  let rec drain () =
+    let p = Step.pending st in
+    if not (Sim.Pending_set.is_empty p) then begin
+      Step.deliver st ~id:(Sim.Pending_set.oldest p).id;
+      drain ()
+    end
+  in
+  drain ();
+  let final = Step.finish st in
+  Alcotest.(check (option int)) "game actually finished" (Some 1) final.moves.(0);
+  Alcotest.(check bool) "final halted" true (Array.for_all Fun.id final.halted);
+  Alcotest.(check (array (option int))) "snapshot moves untouched by later deliveries"
+    [| None; None |] snap.moves;
+  Alcotest.(check (array bool)) "snapshot halted untouched by later deliveries"
+    [| false; false |] snap.halted
+
 let () =
   Alcotest.run "sim"
     [
@@ -391,6 +418,7 @@ let () =
           Alcotest.test_case "message pattern" `Quick test_message_pattern;
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "pending set" `Quick test_pending_set;
+          Alcotest.test_case "outcome not aliased" `Quick test_step_outcome_not_aliased;
         ] );
       ( "explore",
         [

@@ -1,0 +1,526 @@
+(* The transport abstraction + live backend (ISSUE 7).
+
+   The headline contract: a live run — players hosted on effects
+   fibers, arbitration re-expressed over Runner.Driver hooks — is the
+   SAME pure function of the seed as a simulator run. Enforced here:
+
+   - qcheck: randomly generated protocols produce byte-identical
+     outcome reprs (termination, moves, accounting, deterministic
+     metrics, trace digest) on sim and live, across scheduler families;
+   - the acceptance harness: three protocol families (toy quorum vote,
+     E1-small mediator game, chaos fault config) x >= 100 seeds with
+     identical outcome distributions and metrics digests (the LIVE
+     experiment table, same code path as `make live-check`);
+   - session rendezvous semantics: convene/attach publish one outcome
+     to every waiter, cancel preempts (gathering AND mid-run on the
+     live backend), late/duplicate attaches are rejected;
+   - crash-mid-session conservation: sent = delivered + dropped holds
+     when a live session is torn down externally, and fault accounting
+     matches the simulator per seed;
+   - Serve: drained outcomes are a pure function of each ticket's
+     request, invariant under batch size, backend and domain count;
+   - direct-style fiber programs (Live.process_of) run on BOTH
+     backends and reproduce each other byte-for-byte. *)
+
+module Backend = Transport.Backend
+module Live = Transport.Live
+module Session = Transport.Session
+module Serve = Transport.Serve
+module Diff = Transport.Differential
+module Runner = Sim.Runner
+module Scheduler = Sim.Scheduler
+module T = Sim.Types
+module Pool = Parallel.Pool
+module Common = Experiments.Common
+
+let show = string_of_int
+let repr o = Diff.outcome_repr ~show o
+
+(* ------------------------------------------------------------------ *)
+(* Random protocols: a process array generated from a seed — random
+   fan-out on start, random forward/move/halt reactions, a send budget
+   so every run terminates. Deterministic per construction: each player
+   draws from its own (seed, pid) stream in activation order, and both
+   backends replay the same activation order on the same seed. *)
+
+let random_protocol ~n ~seed () =
+  Array.init n (fun pid ->
+      let rng = Random.State.make [| 0xBEEF; seed; pid |] in
+      let budget = ref (2 + Random.State.int rng 4) in
+      let moved = ref false in
+      let emit v =
+        let fx = ref [] in
+        if !budget > 0 then begin
+          let fanout = 1 + Random.State.int rng 2 in
+          for _ = 1 to fanout do
+            if !budget > 0 then begin
+              decr budget;
+              fx := T.Send (Random.State.int rng n, v + 1) :: !fx
+            end
+          done
+        end;
+        if (not !moved) && Random.State.int rng 3 = 0 then begin
+          moved := true;
+          fx := T.Move (v land 7) :: !fx
+        end;
+        if !budget = 0 && Random.State.int rng 2 = 0 then fx := T.Halt :: !fx;
+        List.rev !fx
+      in
+      {
+        T.start = (fun () -> emit pid);
+        receive = (fun ~src:_ m -> emit m);
+        will = (fun () -> if pid land 1 = 0 then Some pid else None);
+      })
+
+let scheduler_of_variant v seed =
+  match v mod 4 with
+  | 0 -> Scheduler.fifo ()
+  | 1 -> Scheduler.lifo ()
+  | 2 -> Scheduler.round_robin ()
+  | _ -> Scheduler.random_seeded seed
+
+let prop_random_protocols_identical =
+  QCheck.Test.make ~count:60 ~name:"random protocols: sim repr = live repr"
+    QCheck.(triple (int_bound 500) (int_bound 3) (int_bound 2))
+    (fun (seed, sched, n_extra) ->
+      let n = 2 + n_extra in
+      let cfg () =
+        Runner.config
+          ~scheduler:(scheduler_of_variant sched seed)
+          (random_protocol ~n ~seed ())
+      in
+      String.equal (repr (Runner.run (cfg ()))) (repr (Live.run (cfg ()))))
+
+let prop_random_protocols_with_faults =
+  (* every fault kind through the live path, including corrupt with a
+     payload fuzz hook on int messages *)
+  let faults =
+    Faults.make ~dup:0.15 ~corrupt:0.15 ~delay:0.2 ~crash:0.3 ~delay_decisions:12
+      ~crash_window:6 ()
+  in
+  QCheck.Test.make ~count:60 ~name:"random protocols under faults: sim repr = live repr"
+    QCheck.(pair (int_bound 500) (int_bound 3))
+    (fun (seed, sched) ->
+      let cfg () =
+        Runner.config
+          ~scheduler:(scheduler_of_variant sched seed)
+          ~faults:(Faults.Plan.make ~seed faults)
+          ~fuzz:(fun ~src:_ ~dst:_ ~seq:_ m -> m + 1000)
+          (random_protocol ~n:4 ~seed ())
+      in
+      String.equal (repr (Runner.run (cfg ()))) (repr (Live.run (cfg ()))))
+
+let prop_relaxed_identical =
+  (* the Stop_delivery / Deadlocked path through the live loop *)
+  QCheck.Test.make ~count:40 ~name:"relaxed stop: sim repr = live repr"
+    QCheck.(pair (int_bound 500) (int_bound 12))
+    (fun (seed, stop_after) ->
+      let cfg () =
+        Runner.config
+          ~scheduler:(Scheduler.relaxed_stop_after stop_after)
+          (random_protocol ~n:3 ~seed ())
+      in
+      String.equal (repr (Runner.run (cfg ()))) (repr (Live.run (cfg ()))))
+
+(* ------------------------------------------------------------------ *)
+(* The acceptance harness: 3 families x >= 100 seeds, identical
+   distributions and metrics digests — the LIVE experiment table is the
+   enforcement point shared with `make live-check` / `ctmed experiment
+   live`. Smoke budget still floors every family at 100 seeds. *)
+
+let test_differential_families () =
+  Pool.with_pool ~domains:4 (fun pool ->
+      let ctx = Common.ctx ~pool Common.Smoke in
+      let table = Experiments.Livediff.run ctx in
+      Alcotest.(check int) "three families" 3 (List.length table.Common.rows);
+      List.iter
+        (fun row ->
+          match row with
+          | [ family; seeds; mismatches; _; _; _; status ] ->
+              Alcotest.(check bool)
+                (family ^ ": >= 100 seeds")
+                true
+                (int_of_string seeds >= 100);
+              Alcotest.(check string) (family ^ ": no mismatches") "0" mismatches;
+              Alcotest.(check string) (family ^ ": ok") "ok" status
+          | _ -> Alcotest.fail "unexpected row shape")
+        table.Common.rows;
+      Alcotest.(check bool)
+        "verdict passes" true
+        (String.length table.Common.verdict >= 4
+        && String.sub table.Common.verdict 0 4 = "PASS"))
+
+let test_differential_report_fields () =
+  (* the report itself: distributions equal, digests equal, mismatch
+     list empty — and a deliberately broken pairing is caught *)
+  let mk seed =
+    Runner.config
+      ~scheduler:(Scheduler.random_seeded seed)
+      (random_protocol ~n:4 ~seed ())
+  in
+  let r = Diff.run ~show ~seeds:(0, 120) mk in
+  Alcotest.(check bool) "ok" true (Diff.ok r);
+  Alcotest.(check int) "no mismatches" 0 (List.length r.Diff.mismatches);
+  Alcotest.(check bool) "distributions equal" true (r.Diff.dist_a = r.Diff.dist_b);
+  Alcotest.(check string)
+    "metrics digests equal"
+    (Obs.Metrics.det_repr r.Diff.metrics_a)
+    (Obs.Metrics.det_repr r.Diff.metrics_b);
+  (* a seed-shifted pairing must be flagged: the harness can actually
+     see differences *)
+  let shifted = ref false in
+  let r_bad =
+    Diff.run ~show ~seeds:(0, 20) (fun seed ->
+        let seed = if !shifted then seed + 1 else seed in
+        shifted := not !shifted;
+        mk seed)
+  in
+  Alcotest.(check bool) "shifted pairing detected" false (Diff.ok r_bad)
+
+(* ------------------------------------------------------------------ *)
+(* Live.t stepping, cancellation, conservation *)
+
+let ping_pong_forever () =
+  let proc peer =
+    {
+      T.start = (fun () -> [ T.Send (peer, 0) ]);
+      receive = (fun ~src:_ m -> [ T.Send (peer, m + 1) ]);
+      will = (fun () -> None);
+    }
+  in
+  [| proc 1; proc 0 |]
+
+let test_cancel_conservation () =
+  (* tear a live session down mid-flight: Timed_out, and every sent
+     message is accounted delivered or dropped — crash-mid-session
+     leaves conservation intact *)
+  let s =
+    Live.start
+      (Runner.config ~scheduler:(Scheduler.fifo ()) (ping_pong_forever ()))
+  in
+  for _ = 1 to 25 do
+    match Live.step s with `Running -> () | `Done _ -> Alcotest.fail "finished?"
+  done;
+  let o = Live.cancel s in
+  Alcotest.(check bool) "timed out" true (o.T.termination = T.Timed_out);
+  let m = o.T.metrics in
+  Alcotest.(check int)
+    "sent = delivered + dropped"
+    (Obs.Metrics.sent_total m)
+    (Obs.Metrics.delivered_total m + Obs.Metrics.dropped_total m);
+  Alcotest.(check bool) "something was dropped" true (Obs.Metrics.dropped_total m > 0);
+  (* cancel after completion is a no-op returning the cached outcome *)
+  Alcotest.(check string) "cancel idempotent" (repr o) (repr (Live.cancel s));
+  match Live.step s with
+  | `Done o' -> Alcotest.(check string) "step after done" (repr o) (repr o')
+  | `Running -> Alcotest.fail "stepped past completion"
+
+let test_crash_window_conservation_matches_sim () =
+  (* crash-restart windows on the live path: per-kind injected counters
+     and conservation identical to the simulator, seed by seed *)
+  let faults = Faults.make ~crash:0.5 ~crash_window:8 () in
+  for seed = 0 to 24 do
+    let cfg () =
+      Runner.config
+        ~scheduler:(Scheduler.random_seeded seed)
+        ~faults:(Faults.Plan.make ~seed faults)
+        (random_protocol ~n:4 ~seed ())
+    in
+    let o_sim = Runner.run (cfg ()) in
+    let o_live = Live.run (cfg ()) in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d identical" seed)
+      (repr o_sim) (repr o_live);
+    let m = o_live.T.metrics in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d conservation" seed)
+      (Obs.Metrics.sent_total m)
+      (Obs.Metrics.delivered_total m + Obs.Metrics.dropped_total m)
+  done
+
+let test_run_round_robin_matches_solo () =
+  (* interleaving sessions on one domain changes nothing: each session's
+     history equals its solo run *)
+  let mk seed () =
+    Runner.config
+      ~scheduler:(Scheduler.random_seeded seed)
+      (random_protocol ~n:3 ~seed ())
+  in
+  let seeds = Array.init 7 (fun i -> 100 + (17 * i)) in
+  let solo = Array.map (fun s -> repr (Live.run (mk s ()))) seeds in
+  let multiplexed =
+    Array.map repr (Live.run_round_robin (Array.map (fun s -> Live.start (mk s ())) seeds))
+  in
+  Array.iteri
+    (fun i r -> Alcotest.(check string) (Printf.sprintf "session %d" i) solo.(i) r)
+    multiplexed
+
+(* ------------------------------------------------------------------ *)
+(* Session rendezvous semantics *)
+
+let session_config ps = Runner.config ~scheduler:(Scheduler.fifo ()) ps
+
+let test_session_convene_publishes_to_all () =
+  let n = 3 in
+  let procs = random_protocol ~n ~seed:5 () in
+  let s = Session.create ~n in
+  let waiters =
+    Array.init n (fun pid -> Domain.spawn (fun () -> Session.attach s ~pid procs.(pid)))
+  in
+  let convened = Session.convene ~backend:Backend.Live s ~make_config:session_config in
+  let views = Array.map Domain.join waiters in
+  (match convened with
+  | Ok o ->
+      let expect = repr o in
+      Array.iteri
+        (fun pid v ->
+          match v with
+          | Ok o' -> Alcotest.(check string) (Printf.sprintf "pid %d view" pid) expect (repr o')
+          | Error _ -> Alcotest.failf "pid %d not served" pid)
+        views
+  | Error _ -> Alcotest.fail "convene failed");
+  (* the session is one-shot: a second convene is Closed, a late attach
+     is Closed *)
+  (match Session.convene s ~make_config:session_config with
+  | Error `Closed -> ()
+  | _ -> Alcotest.fail "second convene should be Closed");
+  match Session.attach s ~pid:0 procs.(0) with
+  | Error `Closed -> ()
+  | _ -> Alcotest.fail "late attach should be Closed"
+
+let test_session_attach_validation () =
+  let s : (int, int) Session.t = Session.create ~n:2 in
+  let p = (random_protocol ~n:2 ~seed:1 ()).(0) in
+  (match Session.attach s ~pid:2 p with
+  | _ -> Alcotest.fail "out-of-range pid accepted"
+  | exception Invalid_argument _ -> ());
+  (match Session.create ~n:0 with
+  | _ -> Alcotest.fail "n=0 accepted"
+  | exception Invalid_argument _ -> ());
+  (* duplicate slot: park the first attacher in a domain, then collide *)
+  let first = Domain.spawn (fun () -> Session.attach s ~pid:0 p) in
+  while Session.attached s < 1 do
+    Domain.cpu_relax ()
+  done;
+  (match Session.attach s ~pid:0 p with
+  | _ -> Alcotest.fail "duplicate slot accepted"
+  | exception Invalid_argument _ -> ());
+  Session.cancel s;
+  match Domain.join first with
+  | Error `Cancelled -> ()
+  | _ -> Alcotest.fail "parked attacher not released by cancel"
+
+let test_session_cancel_releases_gatherers () =
+  let n = 4 in
+  let procs = random_protocol ~n ~seed:7 () in
+  let s = Session.create ~n in
+  (* only 2 of 4 attach: the rendezvous can never complete *)
+  let blocked =
+    Array.init 2 (fun pid -> Domain.spawn (fun () -> Session.attach s ~pid procs.(pid)))
+  in
+  let convener = Domain.spawn (fun () -> Session.convene s ~make_config:session_config) in
+  while Session.attached s < 2 do
+    Domain.cpu_relax ()
+  done;
+  Session.cancel s;
+  Array.iter
+    (fun d ->
+      match Domain.join d with
+      | Error `Cancelled -> ()
+      | _ -> Alcotest.fail "attacher not cancelled")
+    blocked;
+  (match Domain.join convener with
+  | Error `Cancelled -> ()
+  | _ -> Alcotest.fail "convener not cancelled");
+  Session.cancel s (* idempotent *)
+
+let test_session_cancel_preempts_live_run () =
+  (* cancel lands while the convened game is RUNNING on the live
+     backend: the steppable session is torn down between arbiter
+     decisions and everyone is released cancelled *)
+  let n = 2 in
+  let s = Session.create ~n in
+  let procs = ping_pong_forever () in
+  let waiters =
+    Array.init n (fun pid -> Domain.spawn (fun () -> Session.attach s ~pid procs.(pid)))
+  in
+  let convener =
+    Domain.spawn (fun () ->
+        Session.convene ~backend:Backend.Live s ~make_config:session_config)
+  in
+  (* the game never terminates on its own; give it time to be running *)
+  while Session.attached s < n do
+    Domain.cpu_relax ()
+  done;
+  Unix.sleepf 0.05;
+  Session.cancel s;
+  (match Domain.join convener with
+  | Error `Cancelled -> ()
+  | Ok _ -> Alcotest.fail "infinite game finished?"
+  | Error `Closed -> Alcotest.fail "convener saw Closed");
+  Array.iter
+    (fun d ->
+      match Domain.join d with
+      | Error `Cancelled -> ()
+      | _ -> Alcotest.fail "waiter not released")
+    waiters
+
+(* ------------------------------------------------------------------ *)
+(* Serve: the in-memory queue over the pool *)
+
+let serve_mk seed () =
+  Runner.config
+    ~scheduler:(Scheduler.random_seeded seed)
+    (random_protocol ~n:4 ~seed ())
+
+let drain_reprs ~backend ~batch ~domains ~sessions =
+  let server = Serve.create ~backend ~batch () in
+  let tickets = Array.init sessions (fun seed -> Serve.submit server (serve_mk seed)) in
+  let served = Pool.with_pool ~domains (fun pool -> Serve.drain ~pool server) in
+  Alcotest.(check int) "all served" sessions served;
+  Alcotest.(check int) "served count" sessions (Serve.served server);
+  Alcotest.(check int) "queue drained" 0 (Serve.pending server);
+  Array.map
+    (fun t ->
+      match Serve.result server t with
+      | Some o -> repr o
+      | None -> Alcotest.failf "ticket %d lost" t)
+    tickets
+
+let test_serve_deterministic_across_shapes () =
+  let reference = Array.map (fun seed -> repr (Runner.run (serve_mk seed ()))) (Array.init 13 Fun.id) in
+  List.iter
+    (fun (backend, batch, domains) ->
+      let got = drain_reprs ~backend ~batch ~domains ~sessions:13 in
+      Array.iteri
+        (fun i r ->
+          Alcotest.(check string)
+            (Printf.sprintf "%s batch=%d j=%d ticket %d"
+               (Backend.to_string backend) batch domains i)
+            reference.(i) r)
+        got)
+    [
+      (Backend.Live, 1, 1);
+      (Backend.Live, 4, 2);
+      (Backend.Live, 13, 4);
+      (Backend.Sim, 3, 2);
+    ]
+
+let test_serve_redrain_and_validation () =
+  (match Serve.create ~batch:0 () with
+  | _ -> Alcotest.fail "batch=0 accepted"
+  | exception Invalid_argument _ -> ());
+  let server = Serve.create ~backend:Backend.Live ~batch:2 () in
+  Alcotest.(check int) "empty drain" 0
+    (Pool.with_pool ~domains:2 (fun pool -> Serve.drain ~pool server));
+  let t1 = Serve.submit server (serve_mk 3) in
+  ignore (Pool.with_pool ~domains:2 (fun pool -> Serve.drain ~pool server));
+  let t2 = Serve.submit server (serve_mk 4) in
+  ignore (Pool.with_pool ~domains:2 (fun pool -> Serve.drain ~pool server));
+  (* tickets from both drains resolve; results are per-request pure *)
+  (match (Serve.result server t1, Serve.result server t2) with
+  | Some o1, Some o2 ->
+      Alcotest.(check string) "t1" (repr (Runner.run (serve_mk 3 ()))) (repr o1);
+      Alcotest.(check string) "t2" (repr (Runner.run (serve_mk 4 ()))) (repr o2)
+  | _ -> Alcotest.fail "ticket lost across drains");
+  Alcotest.(check int) "served total" 2 (Serve.served server)
+
+(* ------------------------------------------------------------------ *)
+(* Direct-style fiber programs on both backends *)
+
+let fiber_pair () =
+  let echo =
+    Live.process_of (fun api ->
+        let src, m = api.Live.recv () in
+        api.Live.send src (m * 2);
+        api.Live.move 1)
+  in
+  let caller =
+    Live.process_of
+      ~will:(fun () -> Some 9)
+      (fun api ->
+        api.Live.send 0 21;
+        let _, m = api.Live.recv () in
+        api.Live.move m)
+  in
+  [| echo; caller |]
+
+let test_fiber_programs_both_backends () =
+  for seed = 0 to 19 do
+    let cfg () =
+      Runner.config ~scheduler:(Scheduler.random_seeded seed) (fiber_pair ())
+    in
+    let o_sim = Runner.run (cfg ()) in
+    let o_live = Live.run (cfg ()) in
+    Alcotest.(check string) (Printf.sprintf "seed %d" seed) (repr o_sim) (repr o_live);
+    Alcotest.(check (option int)) "echo moved" (Some 1) o_sim.T.moves.(0);
+    Alcotest.(check (option int)) "caller moved 42" (Some 42) o_sim.T.moves.(1)
+  done
+
+let test_fiber_program_will_and_halt () =
+  (* a direct program that returns halts; its will is consulted when it
+     never moved — cover through a relaxed stop before any delivery *)
+  let cfg () =
+    Runner.config ~scheduler:(Scheduler.relaxed_stop_after 0) (fiber_pair ())
+  in
+  let o_sim = Runner.run (cfg ()) in
+  let o_live = Live.run (cfg ()) in
+  Alcotest.(check string) "stopped reprs equal" (repr o_sim) (repr o_live);
+  Alcotest.(check bool) "deadlocked" true (o_sim.T.termination = T.Deadlocked);
+  let willed = Runner.moves_with_wills (fiber_pair ()) o_sim in
+  Alcotest.(check (option int)) "caller's will applies" (Some 9) willed.(1)
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "three families x >=100 seeds (acceptance)" `Slow
+            test_differential_families;
+          Alcotest.test_case "report fields + detects divergence" `Quick
+            test_differential_report_fields;
+        ]
+        @ qsuite
+            [
+              prop_random_protocols_identical;
+              prop_random_protocols_with_faults;
+              prop_relaxed_identical;
+            ] );
+      ( "live sessions",
+        [
+          Alcotest.test_case "cancel mid-run conserves messages" `Quick
+            test_cancel_conservation;
+          Alcotest.test_case "crash windows match sim per seed" `Quick
+            test_crash_window_conservation_matches_sim;
+          Alcotest.test_case "round-robin multiplexing = solo runs" `Quick
+            test_run_round_robin_matches_solo;
+        ] );
+      ( "rendezvous",
+        [
+          Alcotest.test_case "convene publishes to every attacher" `Quick
+            test_session_convene_publishes_to_all;
+          Alcotest.test_case "attach validation" `Quick test_session_attach_validation;
+          Alcotest.test_case "cancel releases gatherers" `Quick
+            test_session_cancel_releases_gatherers;
+          Alcotest.test_case "cancel preempts a running live game" `Quick
+            test_session_cancel_preempts_live_run;
+        ] );
+      ( "serve",
+        [
+          Alcotest.test_case "deterministic across batch/backend/domains" `Quick
+            test_serve_deterministic_across_shapes;
+          Alcotest.test_case "re-drain and validation" `Quick
+            test_serve_redrain_and_validation;
+        ] );
+      ( "fiber programs",
+        [
+          Alcotest.test_case "direct style on both backends" `Quick
+            test_fiber_programs_both_backends;
+          Alcotest.test_case "halt-on-return and wills" `Quick
+            test_fiber_program_will_and_halt;
+        ] );
+    ]
