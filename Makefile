@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-all: build lint check par-check live-check chaos perf-gate
+all: build lint check par-check live-check chaos throughput-check perf-gate
 
 build:
 	dune build @all
@@ -51,6 +51,15 @@ chaos:
 check:
 	dune exec bin/ctmed.exe -- check
 
+# Sharded engine check (DESIGN.md section 15): the THROUGHPUT table —
+# whose rows are digest comparisons of the sharded engine against a
+# sequential reference across backend/shard shapes — must itself be
+# byte-identical at any -j, and the serve --shards path must reproduce
+# the sequential unsharded aggregate byte-for-byte (--smoke).
+throughput-check:
+	dune exec bench/main.exe -- smoke throughput -j 4 diff
+	dune exec bin/ctmed.exe -- serve --smoke --shards 4 --jobs 2
+
 # Perf regression gate: rerun the smoke budget sequentially and compare
 # per-experiment wall-clock plus the kernel micro-benchmark estimates
 # against the committed baseline (BENCH_smoke.json). Exits 1 if anything
@@ -79,7 +88,7 @@ bench-csv:
 # BENCH_smoke.json actually carries every experiment plus the fit.
 bench-json:
 	dune exec bench/main.exe -- smoke json
-	@for key in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 a1 complexity model_check; do \
+	@for key in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 a1 throughput complexity model_check; do \
 	  grep -q "\"$$key\"" BENCH_smoke.json \
 	    || { echo "bench-json: BENCH_smoke.json is missing \"$$key\"" >&2; exit 1; }; \
 	done
@@ -95,4 +104,4 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all build lint check par-check live-check chaos perf-gate test test-verbose bench bench-full bench-csv bench-json examples clean
+.PHONY: all build lint check par-check live-check chaos throughput-check perf-gate test test-verbose bench bench-full bench-csv bench-json examples clean

@@ -7,6 +7,8 @@
      dune exec bench/main.exe -- smoke     -- ~1/8 budget (CI smoke runs)
      dune exec bench/main.exe -- e1 e5     -- selected experiments
      dune exec bench/main.exe -- micro     -- only the Bechamel benches
+     dune exec bench/main.exe -- throughput-- the sharded engine table + rate/latency
+                                              measurements and the domain scaling curve
      dune exec bench/main.exe -- csv       -- also write results/<id>.csv
      dune exec bench/main.exe -- json      -- also write BENCH_<budget>.json
                                               (metrics + complexity check; exits 1
@@ -36,6 +38,7 @@ let experiments : (string * (Experiments.Common.ctx -> Experiments.Common.table)
     ("e9", Experiments.E9.run);
     ("e10", Experiments.E10.run);
     ("a1", Experiments.A1.run);
+    ("throughput", Experiments.Throughput.run);
   ]
 
 (* Only run when explicitly named: the fault-injection sweep is not part
@@ -105,6 +108,7 @@ type baseline = {
   b_experiments : (string * float) list; (* id -> wall_clock_s *)
   b_micro : (string * float) list; (* bench name -> ns/run *)
   b_model_check : (string * float) list; (* counter -> value *)
+  b_throughput : (string * float) list; (* rate/latency -> value *)
   b_total : float option;
 }
 
@@ -143,11 +147,23 @@ let load_baseline file =
           fields
     | _ -> []
   in
+  let throughput =
+    match Obs.Json.member "throughput" doc with
+    | Some (Obs.Json.Obj fields) ->
+        List.filter_map
+          (fun (name, v) ->
+            match Obs.Json.to_float_opt v with
+            | Some x -> Some (name, x)
+            | None -> None)
+          fields
+    | _ -> []
+  in
   {
     b_budget = Option.bind (Obs.Json.member "budget" doc) Obs.Json.to_string_opt;
     b_experiments = experiments;
     b_micro = micro;
     b_model_check = model_check;
+    b_throughput = throughput;
     b_total =
       Option.bind (Obs.Json.member "total_wall_clock_s" doc) Obs.Json.to_float_opt;
   }
@@ -179,13 +195,28 @@ let model_check_measure ~pool () =
     ],
     naive_capped )
 
-let check_gate ~tolerance ~(baseline : baseline) ~timings ~micro ~model_check ~total =
+let min_rate = 1.0
+let min_latency_us = 50.0
+
+let check_gate ~tolerance ~(baseline : baseline) ~timings ~micro ~model_check ~throughput
+    ~total =
   let regressions = ref [] in
   let compare_one ~floor ~unit name base now =
     if base >= floor then begin
       let limit = base *. (1.0 +. tolerance) in
       let verdict = if now > limit then "REGRESSED" else "ok" in
       if now > limit then regressions := name :: !regressions;
+      Printf.printf "  %-44s %10.2f %s %10.2f %s (x%.2f) %s\n" name base unit now unit
+        (now /. base) verdict
+    end
+  in
+  (* higher-is-better metrics (throughput rates): faster always passes,
+     a regression is falling below baseline / (1 + tolerance) *)
+  let compare_rate ~floor ~unit name base now =
+    if base >= floor then begin
+      let limit = base /. (1.0 +. tolerance) in
+      let verdict = if now < limit then "REGRESSED" else "ok" in
+      if now < limit then regressions := name :: !regressions;
       Printf.printf "  %-44s %10.2f %s %10.2f %s (x%.2f) %s\n" name base unit now unit
         (now /. base) verdict
     end
@@ -216,6 +247,26 @@ let check_gate ~tolerance ~(baseline : baseline) ~timings ~micro ~model_check ~t
             compare_one ~floor:1.0 ~unit:"" ("model_check." ^ name) base v
         | None -> ())
     model_check;
+  (* throughput: rates gate downward drops, latency percentiles gate
+     upward drifts (with a doubled band — tail latency on a shared box
+     is the noisiest number the gate sees) *)
+  List.iter
+    (fun (name, v) ->
+      match List.assoc_opt name baseline.b_throughput with
+      | Some base ->
+          let gname = "throughput." ^ name in
+          if name = "p50_latency_us" || name = "p99_latency_us" then begin
+            let limit = base *. (1.0 +. (2.0 *. tolerance)) in
+            if base >= min_latency_us then begin
+              let verdict = if v > limit then "REGRESSED" else "ok" in
+              if v > limit then regressions := gname :: !regressions;
+              Printf.printf "  %-44s %10.2f us %10.2f us (x%.2f) %s\n" gname base v
+                (v /. base) verdict
+            end
+          end
+          else compare_rate ~floor:min_rate ~unit:"/s" gname base v
+      | None -> ())
+    throughput;
   (match baseline.b_total with
   | Some base -> compare_one ~floor:min_experiment_s ~unit:"s" "total" base total
   | None -> ());
@@ -330,6 +381,36 @@ let () =
        chaos_experiments
    with Invalid_argument msg -> usage_exit ("invalid configuration: " ^ msg));
   let micro_ms = if want "micro" then Experiments.Micro.run () else [] in
+  (* environmental throughput numbers: measured outside the tables (the
+     tables are deterministic; these are rates), printed always, gated
+     and persisted when a baseline / json is in play *)
+  let thr_env =
+    if want "throughput" then Some (Experiments.Throughput.measure_env ~budget ())
+    else None
+  in
+  (match thr_env with
+  | None -> ()
+  | Some e ->
+      Printf.printf
+        "\nthroughput (single domain): %.0f sessions/min, %.0f msgs/sec, latency \
+         p50=%.0fus p99=%.0fus\n"
+        e.Experiments.Throughput.sessions_per_min e.Experiments.Throughput.messages_per_sec
+        e.Experiments.Throughput.p50_us e.Experiments.Throughput.p99_us;
+      List.iter
+        (fun (d, r) ->
+          Printf.printf "  scaling: %d domain(s) -> %.0f sessions/min\n" d r)
+        e.Experiments.Throughput.scaling);
+  let thr_metrics =
+    match thr_env with
+    | None -> []
+    | Some e ->
+        [
+          ("sessions_per_min", e.Experiments.Throughput.sessions_per_min);
+          ("messages_per_sec", e.Experiments.Throughput.messages_per_sec);
+          ("p50_latency_us", e.Experiments.Throughput.p50_us);
+          ("p99_latency_us", e.Experiments.Throughput.p99_us);
+        ]
+  in
   let mc_counters, mc_naive_capped =
     if json || baseline <> None then model_check_measure ~pool ()
     else ([], false)
@@ -384,6 +465,21 @@ let () =
           );
           ("complexity", Obs.Complexity.fit_to_json fit);
           ("faults", faults_json);
+          ( "throughput",
+            Obs.Json.Obj
+              (List.map (fun (k, v) -> (k, Obs.Json.Float v)) thr_metrics
+              @
+              match thr_env with
+              | Some e ->
+                  [
+                    ( "scaling_sessions_per_min",
+                      Obs.Json.Obj
+                        (List.map
+                           (fun (d, r) ->
+                             ("domains_" ^ string_of_int d, Obs.Json.Float r))
+                           e.Experiments.Throughput.scaling) );
+                  ]
+              | None -> []) );
           ( "model_check",
             Obs.Json.Obj
               (List.map (fun (name, v) -> (name, Obs.Json.Float v)) mc_counters
@@ -406,7 +502,7 @@ let () =
   | Some b -> (
       match
         check_gate ~tolerance:!tolerance ~baseline:b ~timings:(List.rev !timings)
-          ~micro:micro_ms ~model_check:mc_counters ~total
+          ~micro:micro_ms ~model_check:mc_counters ~throughput:thr_metrics ~total
       with
       | [] -> Printf.printf "perf gate: ok\n"
       | regs ->

@@ -646,6 +646,17 @@ let serve_cmd =
   let backend_arg =
     Arg.(value & opt string "live" & info [ "backend" ] ~docv:"B" ~doc:"sim or live")
   in
+  let shards_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "shards" ]
+          ~docv:"N"
+          ~doc:
+            "route sessions through the sharded throughput engine with $(docv) shards \
+             (work-stealing units) instead of the ticketed queue; 0 (the default) \
+             keeps the queue. With --smoke the sharded aggregate is also checked \
+             byte-identical against an unsharded sequential run")
+  in
   let show = string_of_int in
   let mk_plan spec =
     let n = spec.Mediator.Spec.game.Games.Game.n in
@@ -720,9 +731,42 @@ let serve_cmd =
     in
     (rendezvous_ok, cancel_ok)
   in
-  let run smoke sessions spec_name jobs batch backend_name =
+  (* the engine path (--shards N): sessions fold into bounded-memory
+     aggregates as they complete instead of parking every outcome in
+     the result table — the shape that scales to millions of sessions *)
+  let serve_sharded ~plan ~spec_name ~backend ~sessions ~shards ~inflight ~jobs ~smoke =
+    let make ~seed = mk_config plan ~seed () in
+    let profile = Transport.Differential.profile ~show in
+    let stats =
+      Parallel.Pool.with_pool ~domains:jobs (fun pool ->
+          Engine.run ~backend ~shards ~inflight ~pool ~sessions ~make ~profile ())
+    in
+    Printf.printf
+      "served %d/%d sessions (engine, %s backend, %d shards, inflight %d, -j %d) for %s\n"
+      stats.Engine.completed sessions
+      (Transport.Backend.to_string backend)
+      shards inflight jobs spec_name;
+    List.iter
+      (fun (p, c) -> Printf.printf "  %6d  %s\n" c p)
+      stats.Engine.profiles;
+    Printf.printf "%s\n" (Engine.throughput_line stats);
+    if smoke then begin
+      let reference = Engine.run ~sessions ~make ~profile () in
+      let identical =
+        String.equal (Engine.det_repr reference) (Engine.det_repr stats)
+      in
+      Printf.printf "smoke: sharded aggregate %s sequential unsharded run\n"
+        (if identical then "byte-identical to" else "DIVERGED from");
+      if not identical then exit 1
+    end
+  in
+  let run smoke sessions spec_name jobs batch backend_name shards =
     if jobs < 1 || batch < 1 || sessions < 1 then begin
       Printf.eprintf "ctmed serve: --jobs/--batch/--sessions must be >= 1\n";
+      exit 2
+    end;
+    if shards < 0 then begin
+      Printf.eprintf "ctmed serve: --shards must be >= 0\n";
       exit 2
     end;
     let backend =
@@ -741,6 +785,10 @@ let serve_cmd =
         | exception (Failure msg | Invalid_argument msg) ->
             Printf.eprintf "ctmed serve: cannot compile %s: %s\n" spec_name msg;
             exit 2
+        | plan when shards > 0 ->
+            let sessions = if smoke then min sessions 8 else sessions in
+            serve_sharded ~plan ~spec_name ~backend ~sessions ~shards ~inflight:batch
+              ~jobs ~smoke
         | plan ->
             let sessions = if smoke then min sessions 8 else sessions in
             let server = Transport.Serve.create ~backend ~batch () in
@@ -801,7 +849,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ smoke_arg $ sessions_arg $ spec_arg $ jobs_arg $ batch_arg
-      $ backend_arg)
+      $ backend_arg $ shards_arg)
 
 let micro_cmd =
   let doc = "Substrate micro-benchmarks (Bechamel)." in

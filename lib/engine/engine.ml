@@ -1,0 +1,164 @@
+module Toy = Toy
+
+module Runner = Sim.Runner
+module Types = Sim.Types
+
+type stats = {
+  sessions : int;
+  completed : int;
+  profiles : (string * int) list;
+  agg : Obs.Agg.t;
+  latency : Obs.Hist.t;
+  wall_s : float;
+}
+
+(* Per-shard accumulator: every completed session folds in immediately,
+   so shard memory is O(1) in the number of sessions. All fields are
+   insertion-order independent once canonicalised (the profile table is
+   key-sorted at merge), which is what makes the merged result
+   invariant under shard count, pool size and in-flight interleaving. *)
+type acc = {
+  agg : Obs.Agg.t;
+  lat : Obs.Hist.t;
+  profiles : (string, int) Hashtbl.t;
+  mutable completed : int;
+}
+
+let acc_create () =
+  {
+    agg = Obs.Agg.create ();
+    lat = Obs.Hist.create ();
+    profiles = Hashtbl.create 16;
+    completed = 0;
+  }
+
+let note acc ~profile ~t0 (o : 'a Types.outcome) =
+  Obs.Agg.add_run acc.agg o.Types.metrics;
+  Obs.Hist.add acc.lat (int_of_float ((Runner.now () -. t0) *. 1e6));
+  (match o.Types.termination with
+  | Types.All_halted -> acc.completed <- acc.completed + 1
+  | _ -> ());
+  let p = profile o in
+  let n = match Hashtbl.find_opt acc.profiles p with Some n -> n | None -> 0 in
+  Hashtbl.replace acc.profiles p (n + 1)
+
+(* Sim backend: each session is a synchronous Runner.run. *)
+let sim_shard ~make ~profile ~lo ~hi acc =
+  for seed = lo to hi - 1 do
+    let t0 = Runner.now () in
+    note acc ~profile ~t0 (Runner.run (make ~seed))
+  done
+
+(* Live backend: an in-flight window of fiber sessions multiplexed on
+   this shard's domain, stepped round-robin. Session state is
+   struct-of-arrays: parallel slot arrays for the live handle and the
+   start timestamp. Sessions share no state, so the interleaving cannot
+   change any session's outcome — only latency. *)
+let live_shard ~inflight ~make ~profile ~lo ~hi acc =
+  let window = min inflight (max 0 (hi - lo)) in
+  if window > 0 then begin
+    let handles = Array.make window None in
+    let t0s = Array.make window 0.0 in
+    let next = ref lo in
+    let active = ref 0 in
+    let fill slot =
+      if !next < hi then begin
+        t0s.(slot) <- Runner.now ();
+        handles.(slot) <- Some (Transport.Live.start (make ~seed:!next));
+        incr next;
+        incr active
+      end
+    in
+    for s = 0 to window - 1 do
+      fill s
+    done;
+    while !active > 0 do
+      for s = 0 to window - 1 do
+        match handles.(s) with
+        | None -> ()
+        | Some l -> (
+            match Transport.Live.step l with
+            | `Running -> ()
+            | `Done o ->
+                handles.(s) <- None;
+                decr active;
+                note acc ~profile ~t0:t0s.(s) o;
+                fill s)
+      done
+    done
+  end
+
+let run ?(backend = Transport.Backend.Sim) ?(shards = 1) ?(inflight = 16)
+    ?(pool = Parallel.Pool.sequential) ~sessions ~make ~profile () =
+  if sessions < 0 then
+    invalid_arg (Printf.sprintf "Engine.run: sessions must be >= 0 (got %d)" sessions);
+  if shards < 1 then
+    invalid_arg (Printf.sprintf "Engine.run: shards must be > 0 (got %d)" shards);
+  if inflight < 1 then
+    invalid_arg (Printf.sprintf "Engine.run: inflight must be > 0 (got %d)" inflight);
+  let t0 = Runner.now () in
+  let per = if shards = 0 then 0 else (sessions + shards - 1) / shards in
+  (* chunk:1 — shards are the stealing unit, so one slow shard cannot
+     serialise the tail behind a fixed pre-assignment *)
+  let shard_accs =
+    Parallel.Pool.map_seeded ~chunk:1 ~pool ~seeds:(0, shards) (fun shard ->
+        let lo = min sessions (shard * per) and hi = min sessions ((shard + 1) * per) in
+        let acc = acc_create () in
+        (match backend with
+        | Transport.Backend.Sim -> sim_shard ~make ~profile ~lo ~hi acc
+        | Transport.Backend.Live -> live_shard ~inflight ~make ~profile ~lo ~hi acc);
+        acc)
+  in
+  (* merge on the submitting domain, in shard order *)
+  let agg = Obs.Agg.create () in
+  let lat = Obs.Hist.create () in
+  let profiles = Hashtbl.create 16 in
+  let completed = ref 0 in
+  Array.iter
+    (fun (a : acc) ->
+      Obs.Agg.merge_into ~dst:agg a.agg;
+      Obs.Hist.merge_into ~dst:lat a.lat;
+      completed := !completed + a.completed;
+      Hashtbl.iter
+        (fun k n ->
+          let m = match Hashtbl.find_opt profiles k with Some m -> m | None -> 0 in
+          Hashtbl.replace profiles k (m + n))
+        a.profiles)
+    shard_accs;
+  let profiles =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold (fun k n l -> (k, n) :: l) profiles [])
+  in
+  {
+    sessions;
+    completed = !completed;
+    profiles;
+    agg;
+    latency = lat;
+    wall_s = Runner.now () -. t0;
+  }
+
+let det_repr s =
+  Printf.sprintf "sessions=%d completed=%d profiles=[%s] agg{%s} metrics{%s}" s.sessions
+    s.completed
+    (String.concat "; "
+       (List.map (fun (k, n) -> Printf.sprintf "%s:%d" k n) s.profiles))
+    (Obs.Agg.summary_repr (Obs.Agg.summary s.agg))
+    (Obs.Metrics.det_repr (Obs.Agg.total s.agg))
+
+let sessions_per_min s =
+  if s.wall_s > 0.0 then 60.0 *. float_of_int s.sessions /. s.wall_s else 0.0
+
+let messages_per_sec s =
+  if s.wall_s > 0.0 then
+    float_of_int (Obs.Metrics.delivered_total (Obs.Agg.total s.agg)) /. s.wall_s
+  else 0.0
+
+let latency_us s = (Obs.Hist.percentile s.latency 50, Obs.Hist.percentile s.latency 99)
+
+let throughput_line s =
+  let p50, p99 = latency_us s in
+  Printf.sprintf
+    "%.0f sessions/min  %.0f msgs/sec  latency p50=%dus p99=%dus  wall=%.3fs"
+    (sessions_per_min s) (messages_per_sec s) p50 p99 s.wall_s

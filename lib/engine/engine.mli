@@ -1,0 +1,81 @@
+(** The many-session throughput engine (DESIGN.md §15).
+
+    Production load for the paper's protocols is not one big run but
+    huge numbers of small sessions — each game replaces its own
+    mediator. This engine runs [sessions] independent sessions, seeds
+    [0 .. sessions-1], sharded over a {!Parallel.Pool}:
+
+    - sessions are split into [shards] contiguous seed ranges; shards
+      are the work-stealing unit ([Pool.map_seeded ~chunk:1] over shard
+      indices), so an uneven shard does not idle the other domains;
+    - each shard folds its completed sessions into bounded-memory
+      accumulators ({!Obs.Agg} + {!Obs.Hist} — O(1) in session count,
+      never a per-session list) the moment they finish;
+    - shard accumulators are merged in shard order on the submitting
+      domain.
+
+    {b Steady-state allocation.} Sessions are built with
+    [Runner.config ~record:false] by workload constructors meant for
+    this engine (see {!Toy}): delivery then allocates no trace/pattern
+    nodes, and the per-completion fold allocates nothing proportional
+    to the session's message count. The in-flight window of the live
+    backend keeps its session state in struct-of-arrays form (parallel
+    [handles]/[start-times] arrays indexed by slot).
+
+    {b Determinism contract.} Everything in {!det_repr} is a pure
+    function of (sessions, the workload, the per-session seeds): every
+    accumulator is insertion-order independent (sums, histograms,
+    key-sorted count tables), so the result is byte-identical at any
+    [shards], any pool size [-j], any [inflight] window, and across
+    the Sim/Live backends. Wall-clock, throughput rates and latency
+    percentiles are environmental and live outside {!det_repr}. *)
+
+module Toy = Toy
+(** The reference toy workload (re-exported: the library root shadows
+    sibling modules). *)
+
+type stats = {
+  sessions : int;
+  completed : int;  (** sessions that terminated [All_halted] *)
+  profiles : (string * int) list;
+      (** outcome-profile counts (termination + moves), key-sorted *)
+  agg : Obs.Agg.t;  (** per-session metrics aggregate (deterministic) *)
+  latency : Obs.Hist.t;
+      (** per-session wall latency in µs — environmental, never in
+          {!det_repr} *)
+  wall_s : float;  (** submission-to-merge wall time — environmental *)
+}
+
+val run :
+  ?backend:Transport.Backend.t ->
+  ?shards:int ->
+  ?inflight:int ->
+  ?pool:Parallel.Pool.t ->
+  sessions:int ->
+  make:(seed:int -> ('m, 'a) Sim.Runner.config) ->
+  profile:('a Sim.Types.outcome -> string) ->
+  unit ->
+  stats
+(** Run [sessions] sessions with seeds [0 .. sessions-1]. [make] must
+    be a pure function of the seed (the usual trial contract).
+    Defaults: [backend = Sim], [shards = 1], [inflight = 16] (live
+    in-flight window per shard; ignored by the Sim backend, which runs
+    each session to completion), [pool = Parallel.Pool.sequential].
+    @raise Invalid_argument if [sessions < 0], [shards < 1] or
+    [inflight < 1]. *)
+
+val det_repr : stats -> string
+(** The deterministic digest the differential tests byte-compare:
+    session/completion counts, profile distribution, aggregate summary
+    and merged deterministic metric counters. *)
+
+val sessions_per_min : stats -> float
+val messages_per_sec : stats -> float
+(** Delivered messages per second. Environmental. *)
+
+val latency_us : stats -> int * int
+(** (p50, p99) session latency in µs. Environmental. *)
+
+val throughput_line : stats -> string
+(** One-line environmental summary (rates + latency percentiles) for
+    CLI output — kept apart from {!det_repr} by construction. *)

@@ -2,51 +2,59 @@ type dist = { mean : float; p50 : int; p90 : int; p99 : int; max : int }
 
 type summary = { runs : int; sent : dist; delivered : dist; steps : dist }
 
+(* Bounded-memory aggregate: the old per_run list kept one tuple per
+   run (O(runs) memory, O(n log n) sort per summary — pathological at
+   10^6+ sessions). Each per-run axis now feeds a fixed-size
+   deterministic histogram; small run counts stay on Hist's exact
+   nearest-rank path, so existing tables are byte-identical. *)
 type t = {
   mutable total : Metrics.t;
-  mutable per_run : (int * int * int) list;  (* (sent, delivered, steps), newest first *)
   mutable n : int;
+  sent : Hist.t;
+  delivered : Hist.t;
+  steps : Hist.t;
 }
 
-let create () = { total = Metrics.zero; per_run = []; n = 0 }
+let create () =
+  { total = Metrics.zero; n = 0; sent = Hist.create (); delivered = Hist.create (); steps = Hist.create () }
 
 let add t (m : Metrics.t) =
   t.total <- Metrics.merge t.total m;
   (* runless records (e.g. Metrics.retries) adjust totals without
      entering the per-run percentile distributions *)
-  if m.Metrics.runs > 0 then
-    t.per_run <-
-      (Metrics.sent_total m, Metrics.delivered_total m, m.Metrics.steps) :: t.per_run;
+  if m.Metrics.runs > 0 then begin
+    Hist.add t.sent (Metrics.sent_total m);
+    Hist.add t.delivered (Metrics.delivered_total m);
+    Hist.add t.steps m.Metrics.steps
+  end;
   t.n <- t.n + m.Metrics.runs
 
 let add_run = add
 let count t = t.n
 let total t = t.total
 
-let dist_of values =
-  let a = Array.of_list values in
-  Array.sort compare a;
-  let len = Array.length a in
-  if len = 0 then { mean = 0.0; p50 = 0; p90 = 0; p99 = 0; max = 0 }
-  else
-    (* nearest-rank in pure int arithmetic: index (len-1)*q/100 *)
-    let pct q = a.((len - 1) * q / 100) in
-    let sum = Array.fold_left ( + ) 0 a in
-    {
-      mean = float_of_int sum /. float_of_int len;
-      p50 = pct 50;
-      p90 = pct 90;
-      p99 = pct 99;
-      max = a.(len - 1);
-    }
+let merge_into ~dst src =
+  dst.total <- Metrics.merge dst.total src.total;
+  dst.n <- dst.n + src.n;
+  Hist.merge_into ~dst:dst.sent src.sent;
+  Hist.merge_into ~dst:dst.delivered src.delivered;
+  Hist.merge_into ~dst:dst.steps src.steps
+
+let dist_of h =
+  {
+    mean = Hist.mean h;
+    p50 = Hist.percentile h 50;
+    p90 = Hist.percentile h 90;
+    p99 = Hist.percentile h 99;
+    max = Hist.max_value h;
+  }
 
 let summary t =
-  let pick f = List.map f t.per_run in
   {
     runs = t.n;
-    sent = dist_of (pick (fun (s, _, _) -> s));
-    delivered = dist_of (pick (fun (_, d, _) -> d));
-    steps = dist_of (pick (fun (_, _, st) -> st));
+    sent = dist_of t.sent;
+    delivered = dist_of t.delivered;
+    steps = dist_of t.steps;
   }
 
 let dist_to_json d =

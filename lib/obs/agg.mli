@@ -6,7 +6,12 @@
     order. Worker domains never touch it, so {!total}, {!summary} and
     every derived table value are byte-identical at any [-j]. (The sums
     are commutative anyway; the seed-order fold also fixes {!summary}'s
-    per-run sample order, making the whole aggregate reproducible.) *)
+    per-run sample order, making the whole aggregate reproducible.)
+
+    Memory is bounded: per-run samples feed fixed-size {!Hist}
+    histograms (exact nearest-rank below {!Hist.exact_cap} runs; at
+    most one log-bucket of error — [<= 6.25%] above value 255 —
+    beyond it), never an O(runs) list. *)
 
 type t
 
@@ -24,6 +29,12 @@ val count : t -> int
 
 val total : t -> Metrics.t
 (** The merged metrics (field-wise sums). *)
+
+val merge_into : dst:t -> t -> unit
+(** Fold a whole aggregate into another — equivalent to replaying every
+    [add] that built [src] against [dst]. The sharded engine merges
+    per-shard aggregates in shard order with this, which keeps the
+    result byte-identical to a single-shard run. *)
 
 (** Percentile summaries over the per-run totals. Percentiles use
     nearest-rank on pure integer indices, so they carry no float

@@ -1,0 +1,129 @@
+(* Deterministic log-bucketed histogram (see hist.mli for the contract).
+
+   Layout: buckets 0..255 are unit-width (exact for small values, which
+   covers most per-run counters at smoke budgets); above that each
+   power-of-two octave [2^m, 2^(m+1)) is split into [subs = 16]
+   sub-buckets of width 2^(m-4). OCaml ints top out at 62 value bits,
+   so the table is a fixed 256 + 55*16 = 1136 ints. *)
+
+let exact_cap = 512
+let unit_buckets = 256
+let sub_bits = 4
+let subs = 1 lsl sub_bits
+let max_msb = 62
+let n_buckets = unit_buckets + ((max_msb - 8 + 1) * subs)
+
+type t = {
+  mutable n : int;
+  mutable sum : int; (* exact integer sum: mean carries no bucket error *)
+  mutable max_v : int;
+  buf : int array; (* first [exact_cap] values, for the exact path *)
+  buckets : int array;
+}
+
+let create () =
+  {
+    n = 0;
+    sum = 0;
+    max_v = 0;
+    buf = Array.make exact_cap 0;
+    buckets = Array.make n_buckets 0;
+  }
+
+(* index of the highest set bit, for v >= 1 (branchy binary search — no
+   clz in the stdlib, and this must stay allocation-free) *)
+let msb v =
+  let r = ref 0 and x = ref v in
+  if !x lsr 32 <> 0 then (
+    r := !r + 32;
+    x := !x lsr 32);
+  if !x lsr 16 <> 0 then (
+    r := !r + 16;
+    x := !x lsr 16);
+  if !x lsr 8 <> 0 then (
+    r := !r + 8;
+    x := !x lsr 8);
+  if !x lsr 4 <> 0 then (
+    r := !r + 4;
+    x := !x lsr 4);
+  if !x lsr 2 <> 0 then (
+    r := !r + 2;
+    x := !x lsr 2);
+  if !x lsr 1 <> 0 then incr r;
+  !r
+
+let bucket_of v =
+  if v < unit_buckets then v
+  else
+    let m = msb v in
+    unit_buckets + ((m - 8) * subs) + ((v lsr (m - sub_bits)) - subs)
+
+(* inclusive upper bound of bucket [i]; the bucketed-percentile
+   representative, so bucket_of (upper i) = i by construction *)
+let upper i =
+  if i < unit_buckets then i
+  else
+    let oct = ((i - unit_buckets) / subs) + 8 and sub = (i - unit_buckets) mod subs in
+    ((subs + sub + 1) lsl (oct - sub_bits)) - 1
+
+let lower i =
+  if i < unit_buckets then i
+  else
+    let oct = ((i - unit_buckets) / subs) + 8 and sub = (i - unit_buckets) mod subs in
+    (subs + sub) lsl (oct - sub_bits)
+
+let bucket_bounds v =
+  let v = if v < 0 then 0 else v in
+  let i = bucket_of v in
+  (lower i, upper i)
+
+let add t v =
+  let v = if v < 0 then 0 else v in
+  if t.n < exact_cap then t.buf.(t.n) <- v;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + v;
+  if v > t.max_v then t.max_v <- v;
+  let b = bucket_of v in
+  t.buckets.(b) <- t.buckets.(b) + 1
+
+let count t = t.n
+let is_exact t = t.n <= exact_cap
+let max_value t = t.max_v
+let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
+
+let percentile t q =
+  if t.n = 0 then 0
+  else
+    let rank = (t.n - 1) * q / 100 in
+    if t.n <= exact_cap then (
+      let a = Array.sub t.buf 0 t.n in
+      Array.sort Int.compare a;
+      a.(rank))
+    else begin
+      (* walk the (fixed-size) bucket table to the rank'th value *)
+      let i = ref 0 and seen = ref 0 in
+      while !seen + t.buckets.(!i) <= rank do
+        seen := !seen + t.buckets.(!i);
+        incr i
+      done;
+      (* the exact rank'th value lies in bucket !i, i.e. in
+         [lower !i, upper !i]; max_v >= that value >= lower !i, so the
+         clamp stays inside the same bucket *)
+      min (upper !i) t.max_v
+    end
+
+let merge_into ~dst src =
+  (* keep the exact buffer whole as long as the merged count fits; once
+     it cannot, the merged histogram has n > exact_cap and only the
+     (order-independent) buckets are consulted *)
+  if dst.n < exact_cap then begin
+    let avail = exact_cap - dst.n in
+    let have = min src.n exact_cap in
+    Array.blit src.buf 0 dst.buf dst.n (min avail have)
+  end;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum + src.sum;
+  if src.max_v > dst.max_v then dst.max_v <- src.max_v;
+  for i = 0 to n_buckets - 1 do
+    dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
+  done

@@ -1,0 +1,69 @@
+(** Deterministic fixed-size log-bucketed histogram of non-negative ints.
+
+    Built for many-session aggregation: memory is O(1) in the number of
+    recorded values (a fixed ~1.1k-bucket array plus a small exact
+    buffer), so folding 10^6+ per-session samples costs neither O(runs)
+    memory nor an O(n log n) sort per summary — the bugs this replaces
+    in {!Agg}.
+
+    {b Resolution.} Values [0..255] land in exact unit-width buckets.
+    Above 255, each power-of-two octave is split into 16 sub-buckets,
+    so the bucket width at value [v] is [2^(msb v - 4)] — a relative
+    error of at most [2^-4 = 6.25%]. Percentile queries over the
+    bucketed range return the {e upper bound} of the selected bucket
+    (clamped to the exact maximum), which keeps the reported quantile
+    in the same bucket as the exact nearest-rank answer.
+
+    {b Exact small-count path.} While at most {!exact_cap} values have
+    been recorded, percentiles are computed by sorting an exact buffer
+    ([Int.compare]) with the same nearest-rank rule [(n-1)*q/100] the
+    list-based aggregate used, so small experiment tables are
+    bit-for-bit unchanged. Every value is {e also} bucketed on entry,
+    so crossing the cap never depends on insertion order.
+
+    {b Determinism.} No randomness anywhere (reservoir sampling would
+    break the [-j] byte-identity contract). All state is a pure
+    function of the multiset of recorded values: [mean], [max_value]
+    and (beyond the cap) [percentile] are insertion-order independent,
+    and {!merge_into} of per-shard histograms equals the histogram of
+    the concatenated stream. *)
+
+type t
+
+val exact_cap : int
+(** Number of values kept verbatim for the exact percentile path (512). *)
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Record one value. Negative values are clamped to 0. O(1), no
+    allocation. *)
+
+val count : t -> int
+(** Number of values recorded. *)
+
+val mean : t -> float
+(** Exact mean (an integer sum is kept alongside the buckets). 0.0 when
+    empty. *)
+
+val max_value : t -> int
+(** Exact maximum recorded value; 0 when empty. *)
+
+val percentile : t -> int -> int
+(** [percentile t q] for [q] in [0..100]: nearest-rank over the exact
+    buffer while [count t <= exact_cap], else the containing bucket's
+    upper bound clamped to {!max_value}. 0 when empty. *)
+
+val is_exact : t -> bool
+(** Whether percentile queries are currently on the exact path. *)
+
+val merge_into : dst:t -> t -> unit
+(** Fold [src] into [dst]. Equivalent to replaying [src]'s values into
+    [dst]: used by the sharded engine to combine per-shard histograms
+    in shard order, byte-identical to a single-shard run. [src] is not
+    modified. *)
+
+val bucket_bounds : int -> int * int
+(** [bucket_bounds v] is the inclusive [(lo, hi)] range of the bucket
+    containing [v] — exposed so tests can state the "within one bucket"
+    property without duplicating the bucket arithmetic. *)

@@ -1,0 +1,16 @@
+/* Monotonic clock for the runner's watchdogs and the throughput
+   engine's latency timestamps. OCaml's Unix library only exposes
+   gettimeofday (non-monotonic: NTP slew or a manual clock set can fire
+   a wall_limit spuriously or starve it forever), so this binds
+   clock_gettime(CLOCK_MONOTONIC) directly. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value ctmed_monotonic_now(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}

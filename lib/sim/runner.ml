@@ -10,10 +10,18 @@ type ('m, 'a) config = {
   fuzz : (src:pid -> dst:pid -> seq:int -> 'm -> 'm) option;
   fuel : int option;
   wall_limit : float option;
+  record : bool;
 }
 
+(* Monotonic wall clock for watchdogs and throughput measurement: a
+   system clock step (NTP slew, manual set) must never spuriously fire
+   a wall_limit nor starve it forever, so gettimeofday is out. OCaml's
+   Unix library has no clock_gettime binding; monotonic_stubs.c
+   provides CLOCK_MONOTONIC directly. *)
+external now : unit -> float = "ctmed_monotonic_now"
+
 let config ?mediator ?max_steps ?starvation_bound ?faults ?fuzz ?fuel ?wall_limit
-    ~scheduler processes =
+    ?(record = true) ~scheduler processes =
   let n = Array.length processes in
   let max_steps = match max_steps with Some m -> m | None -> 200_000 in
   let starvation_bound =
@@ -33,7 +41,7 @@ let config ?mediator ?max_steps ?starvation_bound ?faults ?fuzz ?fuel ?wall_limi
       invalid_arg (Printf.sprintf "Runner.config: wall_limit must be > 0 (got %g)" w)
   | _ -> ());
   { processes; scheduler; mediator; max_steps; starvation_bound; faults; fuzz; fuel;
-    wall_limit }
+    wall_limit; record }
 
 (* A pending item is either a start signal or a real message. [fault] is
    the plan's verdict for this message (computed once, at enqueue);
@@ -58,6 +66,11 @@ type ('m, 'a) core = {
   faults : Faults.Plan.t option;
   fuzz : (src:pid -> dst:pid -> seq:int -> 'm -> 'm) option;
   mb : Obs.Metrics.Builder.t;
+  (* trace/pattern recording switch: the throughput engine turns it off
+     so steady-state delivery allocates nothing per message. Only valid
+     with history-free schedulers (random_seeded / fifo / lifo /
+     round_robin) — the scheduler sees an empty [~history]. *)
+  record : bool;
   halted : bool array;
   started : bool array;
   moves : 'a option array;
@@ -89,7 +102,7 @@ type ('m, 'a) core = {
   crash_announced : bool array;
 }
 
-let create_core ?faults ?fuzz ~mediator procs =
+let create_core ?faults ?fuzz ?(record = true) ~mediator procs =
   let n = Array.length procs in
   let crash_specs =
     match faults with
@@ -103,6 +116,7 @@ let create_core ?faults ?fuzz ~mediator procs =
     faults;
     fuzz;
     mb = Obs.Metrics.Builder.create ~mediator;
+    record;
     halted = Array.make n false;
     started = Array.make n false;
     moves = Array.make n None;
@@ -122,8 +136,8 @@ let create_core ?faults ?fuzz ~mediator procs =
     crash_announced = Array.make n false;
   }
 
-let emit c ev = c.trace <- ev :: c.trace
-let emit_pat c p = c.pattern <- p :: c.pattern
+let emit c ev = if c.record then c.trace <- ev :: c.trace
+let emit_pat c p = if c.record then c.pattern <- p :: c.pattern
 
 let item_get c id = if id >= 0 && id < Array.length c.items then c.items.(id) else None
 let item_mem c id = Option.is_some (item_get c id)
@@ -424,13 +438,14 @@ let clone_core c ~processes =
 let run (cfg : ('m, 'a) config) : 'a outcome =
   cfg.scheduler.Scheduler.reset ();
   let c =
-    create_core ?faults:cfg.faults ?fuzz:cfg.fuzz ~mediator:cfg.mediator cfg.processes
+    create_core ?faults:cfg.faults ?fuzz:cfg.fuzz ~record:cfg.record
+      ~mediator:cfg.mediator cfg.processes
   in
   let have_faults = Option.is_some cfg.faults in
 
   enqueue_starts c;
 
-  let t_start = if Option.is_some cfg.wall_limit then Unix.gettimeofday () else 0.0 in
+  let t_start = if Option.is_some cfg.wall_limit then now () else 0.0 in
   let fuel_exhausted () =
     match cfg.fuel with Some f -> c.decisions >= f | None -> false
   in
@@ -439,7 +454,7 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
     | None -> false
     | Some limit ->
         (* throttled: the clock is only consulted every 256 decisions *)
-        c.decisions land 255 = 0 && Unix.gettimeofday () -. t_start > limit
+        c.decisions land 255 = 0 && now () -. t_start > limit
   in
 
   let termination = ref Quiescent in
@@ -625,7 +640,22 @@ module Step = struct
           | _ -> 0
         in
         entries := (v.src, v.dst, v.seq, (if batch_mem c v.batch then 1 else 0), ph) :: !entries);
-    let entries = List.sort compare !entries in
+    (* monomorphic sort: the tuples are all-int, and this runs once per
+       explored state in the model checker — no polymorphic compare *)
+    let cmp_entry (a1, a2, a3, a4, a5) (b1, b2, b3, b4, b5) =
+      let c = Int.compare a1 b1 in
+      if c <> 0 then c
+      else
+        let c = Int.compare a2 b2 in
+        if c <> 0 then c
+        else
+          let c = Int.compare a3 b3 in
+          if c <> 0 then c
+          else
+            let c = Int.compare a4 b4 in
+            if c <> 0 then c else Int.compare a5 b5
+    in
+    let entries = List.sort cmp_entry !entries in
     let h = ref (Hashtbl.hash_param 256 256 entries) in
     let mix v = h := (!h * 0x01000193) lxor (v land max_int) in
     Array.iter (fun m -> mix (Hashtbl.hash_param 256 256 m)) c.moves;
@@ -651,7 +681,8 @@ end
 module Driver = struct
   type ('m, 'a) t = ('m, 'a) core
 
-  let create ?faults ?fuzz ~mediator procs = create_core ?faults ?fuzz ~mediator procs
+  let create ?faults ?fuzz ?record ~mediator procs =
+    create_core ?faults ?fuzz ?record ~mediator procs
   let enqueue_starts c = enqueue_starts c
   let pending c = c.pending
   let history c = c.pattern

@@ -23,6 +23,12 @@
     function of the plan's seed and the message's (src, dst, seq), so
     faulted runs keep the byte-identity-at-any-[-j] contract. *)
 
+val now : unit -> float
+(** Monotonic clock ([Unix.CLOCK_MONOTONIC]), in seconds from an
+    arbitrary origin. All wall-limit watchdogs and throughput timing
+    use this, never [gettimeofday]: a system clock step must not
+    spuriously fire a watchdog or starve it forever. *)
+
 type ('m, 'a) config = {
   processes : ('m, 'a) Types.process array;
   scheduler : Scheduler.t;
@@ -44,6 +50,14 @@ type ('m, 'a) config = {
       (** watchdog: end the run as [Timed_out] after this many seconds.
           Environmental by nature — never enable it in a run whose trace
           participates in a byte-identity diff *)
+  record : bool;
+      (** record the trace/pattern history (default [true]). [false] is
+          the throughput engine's steady-state mode: delivery allocates
+          nothing per message, the outcome's [trace] is [[]] and the
+          scheduler's [~history] argument is always empty — only valid
+          with history-free schedulers ([random_seeded], [fifo],
+          [lifo], [round_robin]); [adaptive_laggard] (and the run
+          linter, which reads the trace) require recording *)
 }
 
 val config :
@@ -54,6 +68,7 @@ val config :
   ?fuzz:(src:Types.pid -> dst:Types.pid -> seq:int -> 'm -> 'm) ->
   ?fuel:int ->
   ?wall_limit:float ->
+  ?record:bool ->
   scheduler:Scheduler.t ->
   ('m, 'a) Types.process array ->
   ('m, 'a) config
@@ -180,6 +195,7 @@ module Driver : sig
   val create :
     ?faults:Faults.Plan.t ->
     ?fuzz:(src:Types.pid -> dst:Types.pid -> seq:int -> 'm -> 'm) ->
+    ?record:bool ->
     mediator:int option ->
     ('m, 'a) Types.process array ->
     ('m, 'a) t

@@ -111,11 +111,11 @@ let start (cfg : ('m, 'a) Runner.config) =
   in
   let d =
     Driver.create ?faults:cfg.Runner.faults ?fuzz:cfg.Runner.fuzz
-      ~mediator:cfg.Runner.mediator hosted
+      ~record:cfg.Runner.record ~mediator:cfg.Runner.mediator hosted
   in
   Driver.enqueue_starts d;
   let t_start =
-    if Option.is_some cfg.Runner.wall_limit then Unix.gettimeofday () else 0.0
+    if Option.is_some cfg.Runner.wall_limit then Runner.now () else 0.0
   in
   { cfg; d; fibers; t_start; result = None }
 
@@ -143,7 +143,7 @@ let step (t : ('m, 'a) t) =
         | Some limit ->
             (* throttled: the clock is only consulted every 256 decisions *)
             Driver.decisions d land 255 = 0
-            && Unix.gettimeofday () -. t.t_start > limit
+            && Runner.now () -. t.t_start > limit
       in
       if Pending_set.is_empty (Driver.pending d) then
         `Done

@@ -463,6 +463,119 @@ let test_agg_order_independent_totals () =
     (Agg.summary_repr (Agg.summary b))
 
 (* ------------------------------------------------------------------ *)
+(* Hist: the bounded-memory histogram under Agg's percentiles *)
+
+module Hist = Obs.Hist
+
+(* the exact nearest-rank reference Hist must match (below the cap) or
+   bracket within one bucket (above it) *)
+let exact_pct values q =
+  let a = Array.of_list values in
+  Array.sort Int.compare a;
+  a.((Array.length a - 1) * q / 100)
+
+let hist_of values =
+  let h = Hist.create () in
+  List.iter (Hist.add h) values;
+  h
+
+let test_hist_empty () =
+  let h = Hist.create () in
+  Alcotest.(check int) "count" 0 (Hist.count h);
+  Alcotest.(check int) "p50" 0 (Hist.percentile h 50);
+  Alcotest.(check int) "max" 0 (Hist.max_value h);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Hist.mean h)
+
+let test_hist_bucket_resolution () =
+  (* documented scheme: unit buckets through 255, then 16 sub-buckets
+     per power-of-two octave (relative width 2^-4 = 6.25%) *)
+  Alcotest.(check (pair int int)) "unit bucket" (255, 255) (Hist.bucket_bounds 255);
+  Alcotest.(check (pair int int)) "first octave bucket" (256, 271) (Hist.bucket_bounds 256);
+  Alcotest.(check (pair int int)) "2^12 bucket" (4096, 4351) (Hist.bucket_bounds 4096);
+  List.iter
+    (fun v ->
+      let lo, hi = Hist.bucket_bounds v in
+      Alcotest.(check bool) "contains v" true (lo <= v && v <= hi);
+      Alcotest.(check bool)
+        (Printf.sprintf "width <= 6.25%% at %d" v)
+        true
+        (v < 256 || hi - lo + 1 <= (v / 16) + 1))
+    [ 0; 1; 255; 256; 300; 1023; 1024; 65535; 1_000_000; max_int ]
+
+let prop_hist_exact_below_cap =
+  QCheck.Test.make ~count:100 ~name:"hist percentiles exact below the cap"
+    QCheck.(list_of_size Gen.(int_range 1 512) (int_bound 1_000_000))
+    (fun values ->
+      let h = hist_of values in
+      Hist.is_exact h
+      && List.for_all
+           (fun q -> Hist.percentile h q = exact_pct values q)
+           [ 0; 10; 50; 90; 99; 100 ])
+
+let prop_hist_within_one_bucket =
+  QCheck.Test.make ~count:50 ~name:"hist percentiles within one bucket beyond the cap"
+    QCheck.(list_of_size Gen.(int_range 513 2000) (int_bound 1_000_000))
+    (fun values ->
+      let h = hist_of values in
+      (not (Hist.is_exact h))
+      && List.for_all
+           (fun q ->
+             let approx = Hist.percentile h q and exact = exact_pct values q in
+             (* same log-bucket, and never below the exact answer's
+                bucket floor *)
+             Hist.bucket_bounds approx = Hist.bucket_bounds exact)
+           [ 0; 10; 50; 90; 99; 100 ]
+      && Hist.max_value h = exact_pct values 100
+      && abs_float
+           (Hist.mean h
+           -. float_of_int (List.fold_left ( + ) 0 values)
+              /. float_of_int (List.length values))
+         < 1e-9)
+
+let prop_hist_merge_equals_concat =
+  (* shard-merge contract: merging per-shard histograms (in any split)
+     reports exactly what one histogram over the whole stream reports *)
+  QCheck.Test.make ~count:100 ~name:"hist merge equals single histogram"
+    QCheck.(pair (list_of_size Gen.(int_range 0 700) (int_bound 100_000))
+              (list_of_size Gen.(int_range 0 700) (int_bound 100_000)))
+    (fun (xs, ys) ->
+      QCheck.assume (xs <> [] || ys <> []);
+      let whole = hist_of (xs @ ys) in
+      let dst = hist_of xs in
+      Hist.merge_into ~dst (hist_of ys);
+      Hist.count dst = Hist.count whole
+      && Hist.max_value dst = Hist.max_value whole
+      && Hist.mean dst = Hist.mean whole
+      && List.for_all
+           (fun q -> Hist.percentile dst q = Hist.percentile whole q)
+           [ 0; 10; 50; 90; 99; 100 ])
+
+let test_hist_order_independent_beyond_cap () =
+  let values = List.init 1500 (fun i -> (i * 7919) mod 50_000) in
+  let a = hist_of values and b = hist_of (List.rev values) in
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "p%d order-independent" q)
+        (Hist.percentile a q) (Hist.percentile b q))
+    [ 0; 50; 90; 99; 100 ]
+
+let test_agg_merge_into () =
+  (* Agg.merge_into = replaying every add, including runless records *)
+  let ms = List.init 20 (fun i -> metrics_with_sent (i * 13)) @ [ Metrics.retries 3 ] in
+  let whole = Agg.create () in
+  List.iter (Agg.add whole) ms;
+  let left = Agg.create () and right = Agg.create () in
+  List.iteri (fun i m -> Agg.add (if i mod 2 = 0 then left else right) m) ms;
+  Agg.merge_into ~dst:left right;
+  Alcotest.(check int) "count" (Agg.count whole) (Agg.count left);
+  Alcotest.(check string) "totals"
+    (Metrics.det_repr (Agg.total whole))
+    (Metrics.det_repr (Agg.total left));
+  Alcotest.(check string) "summaries" (Agg.summary_repr (Agg.summary whole))
+    (Agg.summary_repr (Agg.summary left))
+
+(* ------------------------------------------------------------------ *)
 (* Complexity checker *)
 
 let point ~label ~n ~stages ~c ~messages ~bound =
@@ -641,7 +754,22 @@ let () =
           Alcotest.test_case "totals and percentiles" `Quick test_agg_totals_and_percentiles;
           Alcotest.test_case "order-independent totals" `Quick
             test_agg_order_independent_totals;
+          Alcotest.test_case "merge_into equals replay" `Quick test_agg_merge_into;
         ] );
+      ( "hist",
+        [
+          Alcotest.test_case "empty" `Quick test_hist_empty;
+          Alcotest.test_case "bucket resolution" `Quick test_hist_bucket_resolution;
+          Alcotest.test_case "order-independent beyond cap" `Quick
+            test_hist_order_independent_beyond_cap;
+        ]
+        @ List.map
+            (QCheck_alcotest.to_alcotest ~long:false)
+            [
+              prop_hist_exact_below_cap;
+              prop_hist_within_one_bucket;
+              prop_hist_merge_equals_concat;
+            ] );
       ( "complexity",
         [
           Alcotest.test_case "within bounds" `Quick test_complexity_ok;

@@ -201,6 +201,10 @@ let experiments : (string * (Common.ctx -> Common.table)) list =
        plans, so its table — fault counters included via det_repr — must
        be byte-identical at any -j *)
     ("chaos", Experiments.Chaos.run);
+    (* the sharded engine's table: its rows are themselves digest
+       comparisons across (backend, shards), and the whole table must
+       still be byte-identical at any -j *)
+    ("throughput", Experiments.Throughput.run);
   ]
 
 (* rows + verdict + the deterministic metric counters: a table (and its

@@ -400,6 +400,82 @@ let test_step_outcome_not_aliased () =
   Alcotest.(check (array bool)) "snapshot halted untouched by later deliveries"
     [| false; false |] snap.halted
 
+(* --- watchdogs --------------------------------------------------- *)
+
+(* 0 and 1 bounce one message forever, burning ~0.2ms of monotonic
+   clock per delivery: only a watchdog can end the run, and by the
+   first throttled clock check (decision 256) the limit below is
+   comfortably exceeded *)
+let forever_processes () =
+  let spin () =
+    let t0 = Sim.Runner.now () in
+    while Sim.Runner.now () -. t0 < 2e-4 do
+      ()
+    done
+  in
+  let bounce me =
+    {
+      start = (fun () -> if me = 0 then [ Send (1, Ping) ] else []);
+      receive =
+        (fun ~src m ->
+          spin ();
+          [ Send (src, m) ]);
+      will = no_will;
+    }
+  in
+  [| bounce 0; bounce 1 |]
+
+let test_wall_limit_times_out () =
+  (* the monotonic wall watchdog: the limit passes the decision-0 check
+     (taken microseconds after t_start) and must fire the livelock as
+     Timed_out at the decision-256 check, with the drop-remaining path
+     keeping the sent = delivered + dropped conservation *)
+  let o =
+    Sim.Runner.run
+      (Sim.Runner.config ~wall_limit:0.01 ~max_steps:50_000_000
+         ~scheduler:(Sim.Scheduler.fifo ()) (forever_processes ()))
+  in
+  Alcotest.(check bool) "timed out" true (o.termination = Timed_out);
+  Alcotest.(check bool) "made some progress" true (o.steps > 0);
+  Alcotest.(check bool) "ended well before max_steps" true (o.steps < 50_000_000);
+  Alcotest.(check int) "timed_out counted" 1 o.metrics.Obs.Metrics.timed_out;
+  Alcotest.(check bool) "in-flight message dropped" true
+    (Obs.Metrics.dropped_total o.metrics >= 1);
+  Alcotest.(check int) "conservation: sent = delivered + dropped"
+    (Obs.Metrics.sent_total o.metrics)
+    (Obs.Metrics.delivered_total o.metrics + Obs.Metrics.dropped_total o.metrics)
+
+let test_wall_limit_not_hit () =
+  (* a generous limit never fires: terminating runs are unaffected *)
+  let o =
+    Sim.Runner.run
+      (Sim.Runner.config ~wall_limit:3600.0 ~scheduler:(Sim.Scheduler.fifo ())
+         (ping_pong_processes ()))
+  in
+  Alcotest.(check bool) "all halted" true (o.termination = All_halted);
+  Alcotest.(check int) "no timeout counted" 0 o.metrics.Obs.Metrics.timed_out
+
+let test_record_off_same_outcome () =
+  (* record:false drops the trace/pattern but must not change anything
+     else the outcome reports *)
+  let on =
+    Sim.Runner.run
+      (Sim.Runner.config ~scheduler:(Sim.Scheduler.random_seeded 5) (ping_pong_processes ()))
+  in
+  let off =
+    Sim.Runner.run
+      (Sim.Runner.config ~record:false ~scheduler:(Sim.Scheduler.random_seeded 5)
+         (ping_pong_processes ()))
+  in
+  Alcotest.(check bool) "trace recorded by default" true (on.trace <> []);
+  Alcotest.(check bool) "trace empty when off" true (off.trace = []);
+  Alcotest.(check bool) "same termination" true (on.termination = off.termination);
+  Alcotest.(check int) "same steps" on.steps off.steps;
+  Alcotest.(check int) "same sent" on.messages_sent off.messages_sent;
+  Alcotest.(check string) "same deterministic metrics"
+    (Obs.Metrics.det_repr on.metrics)
+    (Obs.Metrics.det_repr off.metrics)
+
 let () =
   Alcotest.run "sim"
     [
@@ -419,6 +495,12 @@ let () =
           Alcotest.test_case "determinism" `Quick test_determinism;
           Alcotest.test_case "pending set" `Quick test_pending_set;
           Alcotest.test_case "outcome not aliased" `Quick test_step_outcome_not_aliased;
+        ] );
+      ( "watchdogs",
+        [
+          Alcotest.test_case "wall_limit times out" `Quick test_wall_limit_times_out;
+          Alcotest.test_case "wall_limit not hit" `Quick test_wall_limit_not_hit;
+          Alcotest.test_case "record off, same outcome" `Quick test_record_off_same_outcome;
         ] );
       ( "explore",
         [

@@ -471,6 +471,82 @@ let test_fiber_program_will_and_halt () =
   Alcotest.(check (option int)) "caller's will applies" (Some 9) willed.(1)
 
 (* ------------------------------------------------------------------ *)
+(* The sharded throughput engine: its aggregate digest is a pure
+   function of (sessions, workload seeds) — invariant under shard
+   count, pool size, in-flight window and backend. *)
+
+let toy_make ~seed = Engine.Toy.config ~seed ()
+
+let engine_run ?backend ?shards ?inflight ?pool ~sessions () =
+  Engine.det_repr
+    (Engine.run ?backend ?shards ?inflight ?pool ~sessions ~make:toy_make
+       ~profile:Engine.Toy.profile ())
+
+let test_engine_invariant_under_shape () =
+  let sessions = 600 in
+  let reference = engine_run ~sessions () in
+  List.iter
+    (fun (backend, shards, domains, inflight) ->
+      let got =
+        Pool.with_pool ~domains (fun pool ->
+            engine_run ~backend ~shards ~inflight ~pool ~sessions ())
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "%s shards=%d j=%d inflight=%d"
+           (Backend.to_string backend) shards domains inflight)
+        reference got)
+    [
+      (Backend.Sim, 1, 1, 16);
+      (Backend.Sim, 4, 4, 16);
+      (Backend.Sim, 13, 2, 16);
+      (Backend.Live, 3, 2, 5);
+      (Backend.Live, 2, 4, 1);
+    ]
+
+let test_engine_random_protocol_sessions () =
+  (* not just the toy: arbitrary generated protocols obey the same
+     digest contract through the engine *)
+  let make ~seed =
+    Runner.config ~scheduler:(Scheduler.random_seeded seed)
+      (random_protocol ~n:4 ~seed ())
+  in
+  let profile o = Diff.profile ~show o in
+  let runs ?shards ?pool () =
+    Engine.det_repr (Engine.run ?shards ?pool ~sessions:80 ~make ~profile ())
+  in
+  let seq = runs () in
+  let par = Pool.with_pool ~domains:4 (fun pool -> runs ~shards:8 ~pool ()) in
+  Alcotest.(check string) "random protocols shard-invariant" seq par
+
+let test_engine_edges () =
+  Alcotest.(check string) "zero sessions, many shards"
+    (engine_run ~sessions:0 ())
+    (engine_run ~sessions:0 ~shards:7 ());
+  Alcotest.(check string) "fewer sessions than shards"
+    (engine_run ~sessions:3 ())
+    (engine_run ~sessions:3 ~shards:16 ());
+  List.iter
+    (fun f -> match f () with
+      | _ -> Alcotest.fail "expected Invalid_argument"
+      | exception Invalid_argument _ -> ())
+    [
+      (fun () -> engine_run ~sessions:(-1) ());
+      (fun () -> engine_run ~sessions:1 ~shards:0 ());
+      (fun () -> engine_run ~sessions:1 ~inflight:0 ());
+    ]
+
+let test_engine_counts () =
+  let s =
+    Engine.run ~sessions:50 ~make:toy_make ~profile:Engine.Toy.profile ()
+  in
+  Alcotest.(check int) "all sessions complete" 50 s.Engine.completed;
+  Alcotest.(check int) "profile counts add up" 50
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 s.Engine.profiles);
+  Alcotest.(check int) "one latency sample per session" 50
+    (Obs.Hist.count s.Engine.latency);
+  (* toy game: n*(n-1) = 12 deliveries per session *)
+  Alcotest.(check int) "delivered messages" (50 * 12)
+    (Obs.Metrics.delivered_total (Obs.Agg.total s.Engine.agg))
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -522,5 +598,16 @@ let () =
             test_fiber_programs_both_backends;
           Alcotest.test_case "halt-on-return and wills" `Quick
             test_fiber_program_will_and_halt;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "digest invariant under shards/j/inflight/backend"
+            `Quick test_engine_invariant_under_shape;
+          Alcotest.test_case "random protocols shard-invariant" `Quick
+            test_engine_random_protocol_sessions;
+          Alcotest.test_case "edge cases and validation" `Quick
+            test_engine_edges;
+          Alcotest.test_case "counts and per-session latency samples" `Quick
+            test_engine_counts;
         ] );
     ]
