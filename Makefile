@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-all: build lint check par-check live-check chaos throughput-check perf-gate
+all: build lint check par-check live-check chaos throughput-check store-check perf-gate
 
 build:
 	dune build @all
@@ -60,6 +60,14 @@ throughput-check:
 	dune exec bench/main.exe -- smoke throughput -j 4 diff
 	dune exec bin/ctmed.exe -- serve --smoke --shards 4 --jobs 2
 
+# Durability check (DESIGN.md section 16): journal a run, replay it
+# (including after tearing the final record off the store), then
+# SIGKILL a checkpointed `serve --journal` mid-flight, resume it, and
+# diff the deterministic digest against an uninterrupted run.
+store-check:
+	dune build bin/ctmed.exe
+	scripts/store_check.sh
+
 # Perf regression gate: rerun the smoke budget sequentially and compare
 # per-experiment wall-clock plus the kernel micro-benchmark estimates
 # against the committed baseline (BENCH_smoke.json). Exits 1 if anything
@@ -88,7 +96,7 @@ bench-csv:
 # BENCH_smoke.json actually carries every experiment plus the fit.
 bench-json:
 	dune exec bench/main.exe -- smoke json
-	@for key in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 a1 throughput complexity model_check; do \
+	@for key in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 a1 throughput complexity model_check wire; do \
 	  grep -q "\"$$key\"" BENCH_smoke.json \
 	    || { echo "bench-json: BENCH_smoke.json is missing \"$$key\"" >&2; exit 1; }; \
 	done
@@ -104,4 +112,4 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all build lint check par-check live-check chaos throughput-check perf-gate test test-verbose bench bench-full bench-csv bench-json examples clean
+.PHONY: all build lint check par-check live-check chaos throughput-check store-check perf-gate test test-verbose bench bench-full bench-csv bench-json examples clean

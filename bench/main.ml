@@ -109,6 +109,7 @@ type baseline = {
   b_micro : (string * float) list; (* bench name -> ns/run *)
   b_model_check : (string * float) list; (* counter -> value *)
   b_throughput : (string * float) list; (* rate/latency -> value *)
+  b_wire : (string * float) list; (* encoding size -> bytes *)
   b_total : float option;
 }
 
@@ -158,12 +159,24 @@ let load_baseline file =
           fields
     | _ -> []
   in
+  let wire =
+    match Obs.Json.member "wire" doc with
+    | Some (Obs.Json.Obj fields) ->
+        List.filter_map
+          (fun (name, v) ->
+            match Obs.Json.to_float_opt v with
+            | Some x -> Some (name, x)
+            | None -> None)
+          fields
+    | _ -> []
+  in
   {
     b_budget = Option.bind (Obs.Json.member "budget" doc) Obs.Json.to_string_opt;
     b_experiments = experiments;
     b_micro = micro;
     b_model_check = model_check;
     b_throughput = throughput;
+    b_wire = wire;
     b_total =
       Option.bind (Obs.Json.member "total_wall_clock_s" doc) Obs.Json.to_float_opt;
   }
@@ -195,11 +208,44 @@ let model_check_measure ~pool () =
     ],
     naive_capped )
 
+(* Bytes-per-message budget for the durability layer (DESIGN.md section
+   16): encode one deterministic reference run with Wire and report the
+   per-record byte costs. The run is a pure function of its seed, so
+   these are exact numbers, not estimates — any encoding change that
+   bloats durable stores drifts against the committed baseline. *)
+let wire_measure () =
+  let spec = Mediator.Spec.coordination ~n:5 in
+  let plan =
+    Cheaptalk.Compile.plan_exn ~spec ~theorem:Cheaptalk.Compile.T41 ~k:0 ~t:1 ()
+  in
+  let seed = 7 in
+  let procs =
+    Cheaptalk.Compile.processes plan ~types:(Array.make 5 0) ~coin_seed:(seed * 7919)
+      ~seed
+  in
+  let entries = ref [] in
+  let o =
+    Sim.Runner.run_journaled
+      ~emit:(fun e -> entries := e :: !entries)
+      (Sim.Runner.config ~scheduler:(Sim.Scheduler.random_seeded seed) procs)
+  in
+  let entries = Array.of_list (List.rev !entries) in
+  let events = o.Sim.Types.trace in
+  let per total count = float_of_int total /. float_of_int (max 1 count) in
+  [
+    ( "bytes_per_event",
+      per (String.length (Wire.Event.encode_list events)) (List.length events) );
+    ( "bytes_per_decision",
+      per (String.length (Wire.Entry.encode_array entries)) (Array.length entries) );
+    ( "metrics_bytes",
+      float_of_int (String.length (Wire.Metrics.to_string o.Sim.Types.metrics)) );
+  ]
+
 let min_rate = 1.0
 let min_latency_us = 50.0
 
 let check_gate ~tolerance ~(baseline : baseline) ~timings ~micro ~model_check ~throughput
-    ~total =
+    ~wire ~total =
   let regressions = ref [] in
   let compare_one ~floor ~unit name base now =
     if base >= floor then begin
@@ -267,6 +313,14 @@ let check_gate ~tolerance ~(baseline : baseline) ~timings ~micro ~model_check ~t
           else compare_rate ~floor:min_rate ~unit:"/s" gname base v
       | None -> ())
     throughput;
+  (* wire encoding sizes are deterministic and lower-is-better, so the
+     timing comparison applies verbatim (bytes instead of seconds) *)
+  List.iter
+    (fun (name, v) ->
+      match List.assoc_opt name baseline.b_wire with
+      | Some base -> compare_one ~floor:1.0 ~unit:"B" ("wire." ^ name) base v
+      | None -> ())
+    wire;
   (match baseline.b_total with
   | Some base -> compare_one ~floor:min_experiment_s ~unit:"s" "total" base total
   | None -> ());
@@ -415,6 +469,7 @@ let () =
     if json || baseline <> None then model_check_measure ~pool ()
     else ([], false)
   in
+  let wire_bytes = if json || baseline <> None then wire_measure () else [] in
   let total = Unix.gettimeofday () -. t0 in
   Printf.printf "\nTotal: %.1fs (-j %d)\n" total j;
   Parallel.Pool.shutdown pool;
@@ -484,6 +539,8 @@ let () =
             Obs.Json.Obj
               (List.map (fun (name, v) -> (name, Obs.Json.Float v)) mc_counters
               @ [ ("naive_capped", Obs.Json.Bool mc_naive_capped) ]) );
+          ( "wire",
+            Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Float v)) wire_bytes) );
         ]
     in
     let path = Printf.sprintf "BENCH_%s.json" budget_name in
@@ -502,7 +559,8 @@ let () =
   | Some b -> (
       match
         check_gate ~tolerance:!tolerance ~baseline:b ~timings:(List.rev !timings)
-          ~micro:micro_ms ~model_check:mc_counters ~throughput:thr_metrics ~total
+          ~micro:micro_ms ~model_check:mc_counters ~throughput:thr_metrics
+          ~wire:wire_bytes ~total
       with
       | [] -> Printf.printf "perf gate: ok\n"
       | regs ->

@@ -70,6 +70,48 @@ let faults_conv =
   in
   Arg.conv (parse, fun fmt c -> Format.pp_print_string fmt (Faults.to_string c))
 
+(* Canonical theorem token for store metadata (parsed back by replay). *)
+let theorem_token = function
+  | Cheaptalk.Compile.T41 -> "4.1"
+  | Cheaptalk.Compile.T42 -> "4.2"
+  | Cheaptalk.Compile.T44 -> "4.4"
+  | Cheaptalk.Compile.T45 -> "4.5"
+
+let theorem_of_token = function
+  | "4.1" -> Some Cheaptalk.Compile.T41
+  | "4.2" -> Some Cheaptalk.Compile.T42
+  | "4.4" -> Some Cheaptalk.Compile.T44
+  | "4.5" -> Some Cheaptalk.Compile.T45
+  | _ -> None
+
+(* The exact config a journaled run executes and a replay rebuilds: both
+   sides derive everything from the store's metadata, so the pair stays
+   in lockstep by construction (the runner cross-checks anyway and
+   raises Replay_mismatch on any drift). *)
+let journal_config ~plan ~seed ~faults ~fuel =
+  let n = plan.Cheaptalk.Compile.spec.Mediator.Spec.game.Games.Game.n in
+  let procs =
+    Cheaptalk.Compile.processes plan ~types:(Array.make n 0) ~coin_seed:(seed * 7919) ~seed
+  in
+  let fplan = Option.map (Faults.Plan.make ~seed) faults in
+  Sim.Runner.config ~scheduler:(Sim.Scheduler.random_seeded seed) ?faults:fplan ?fuel procs
+
+let journal_meta ~spec_name ~theorem ~k ~t ~seed ~faults ~fuel =
+  Obs.Json.Obj
+    [
+      ("format", Obs.Json.String "ctmed-run");
+      ("spec", Obs.Json.String spec_name);
+      ("theorem", Obs.Json.String (theorem_token theorem));
+      ("k", Obs.Json.Int k);
+      ("t", Obs.Json.Int t);
+      ("seed", Obs.Json.Int seed);
+      ( "faults",
+        match faults with
+        | None -> Obs.Json.Null
+        | Some c -> Obs.Json.String (Faults.to_string c) );
+      ("fuel", match fuel with None -> Obs.Json.Null | Some f -> Obs.Json.Int f);
+    ]
+
 let run_cmd =
   let doc = "Compile a mediator spec to cheap talk and run one history." in
   let spec_arg =
@@ -110,7 +152,17 @@ let run_cmd =
             "watchdog: end the run as Timed_out after $(docv) scheduler decisions (a hung \
              system degrades instead of spinning)")
   in
-  let run spec_name theorem k t seed metrics faults fuel =
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "record the run durably: stream every scheduler decision, the trace and the \
+             final metrics into a binary store at $(docv) (replay it with $(b,ctmed \
+             replay))")
+  in
+  let run spec_name theorem k t seed metrics faults fuel journal =
     match List.assoc_opt spec_name specs with
     | None ->
         Printf.eprintf "unknown spec %s (try: ctmed list)\n" spec_name;
@@ -122,6 +174,41 @@ let run_cmd =
         | Error e ->
             Printf.eprintf "cannot compile: %s\n" e;
             exit 1
+        | Ok plan when journal <> None ->
+            let path = Option.get journal in
+            Printf.printf "%s via %s (n=%d k=%d t=%d; degree=%d faults=%d)\n" spec_name
+              (Cheaptalk.Compile.theorem_name theorem)
+              n k t plan.Cheaptalk.Compile.degree plan.Cheaptalk.Compile.faults;
+            let cfg =
+              try journal_config ~plan ~seed ~faults ~fuel
+              with Invalid_argument msg ->
+                Printf.eprintf "ctmed run: %s\n" msg;
+                exit 2
+            in
+            let w =
+              Store.Writer.create ~path
+                ~meta:(journal_meta ~spec_name ~theorem ~k ~t ~seed ~faults ~fuel)
+            in
+            let o = Sim.Runner.run_journaled ~emit:(Store.Writer.entry w) cfg in
+            let decisions = Store.Writer.records w - 1 in
+            List.iter (Store.Writer.event w) o.Sim.Types.trace;
+            Store.Writer.metrics w o.Sim.Types.metrics;
+            let nrecords = Store.Writer.records w in
+            Store.Writer.close w;
+            Printf.printf "actions: [%s]\n"
+              (String.concat " "
+                 (List.init n (fun i ->
+                      match o.Sim.Types.moves.(i) with
+                      | Some a -> string_of_int a
+                      | None -> "-")));
+            Printf.printf "messages: %d, delivery steps: %d\n" o.Sim.Types.messages_sent
+              o.Sim.Types.steps;
+            (match o.Sim.Types.termination with
+            | Sim.Types.Timed_out -> Printf.printf "DEGRADED: watchdog ended the run\n"
+            | _ -> ());
+            if metrics then Format.printf "%a@." Obs.Metrics.pp o.Sim.Types.metrics;
+            Printf.printf "journaled %d decisions (%d records) -> %s\n" decisions nrecords
+              path
         | Ok plan ->
             Printf.printf "%s via %s (n=%d k=%d t=%d; degree=%d faults=%d)\n" spec_name
               (Cheaptalk.Compile.theorem_name theorem)
@@ -155,7 +242,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ spec_arg $ theorem_arg $ k_arg $ t_arg $ seed_arg $ metrics_arg
-      $ faults_arg $ fuel_arg)
+      $ faults_arg $ fuel_arg $ journal_arg)
 
 (* --- experiment --- *)
 
@@ -657,6 +744,32 @@ let serve_cmd =
              keeps the queue. With --smoke the sharded aggregate is also checked \
              byte-identical against an unsharded sequential run")
   in
+  let journal_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"DIR"
+          ~doc:
+            "make the run crash-restartable: checkpoint every shard's progress into \
+             $(docv) (implies the engine path; --shards defaults to 1). A killed run \
+             is continued with $(b,--resume) $(docv)")
+  in
+  let resume_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"DIR"
+          ~doc:
+            "continue a run from the checkpoints in $(docv); sessions, shards, \
+             backend, spec and checkpoint cadence are taken from the journal's \
+             manifest (the matching CLI flags are ignored)")
+  in
+  let checkpoint_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"seeds per checkpoint chunk when --journal is active")
+  in
   let show = string_of_int in
   let mk_plan spec =
     let n = spec.Mediator.Spec.game.Games.Game.n in
@@ -734,33 +847,58 @@ let serve_cmd =
   (* the engine path (--shards N): sessions fold into bounded-memory
      aggregates as they complete instead of parking every outcome in
      the result table — the shape that scales to millions of sessions *)
-  let serve_sharded ~plan ~spec_name ~backend ~sessions ~shards ~inflight ~jobs ~smoke =
+  let serve_sharded ~plan ~spec_name ~backend ~sessions ~shards ~inflight ~jobs ~smoke
+      ~journal ~resume ~checkpoint_every =
     let make ~seed = mk_config plan ~seed () in
     let profile = Transport.Differential.profile ~show in
-    let stats =
+    (* graceful shutdown for durable runs: first SIGTERM/SIGINT flips
+       the kill switch, the engine persists at the next checkpoint
+       boundary and raises Interrupted *)
+    let stop = Atomic.make false in
+    if journal <> None then begin
+      let handle = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+      List.iter
+        (fun s -> try Sys.set_signal s handle with Invalid_argument _ | Sys_error _ -> ())
+        [ Sys.sigterm; Sys.sigint ]
+    end;
+    let meta = Obs.Json.Obj [ ("spec", Obs.Json.String spec_name) ] in
+    match
       Parallel.Pool.with_pool ~domains:jobs (fun pool ->
-          Engine.run ~backend ~shards ~inflight ~pool ~sessions ~make ~profile ())
-    in
-    Printf.printf
-      "served %d/%d sessions (engine, %s backend, %d shards, inflight %d, -j %d) for %s\n"
-      stats.Engine.completed sessions
-      (Transport.Backend.to_string backend)
-      shards inflight jobs spec_name;
-    List.iter
-      (fun (p, c) -> Printf.printf "  %6d  %s\n" c p)
-      stats.Engine.profiles;
-    Printf.printf "%s\n" (Engine.throughput_line stats);
-    if smoke then begin
-      let reference = Engine.run ~sessions ~make ~profile () in
-      let identical =
-        String.equal (Engine.det_repr reference) (Engine.det_repr stats)
-      in
-      Printf.printf "smoke: sharded aggregate %s sequential unsharded run\n"
-        (if identical then "byte-identical to" else "DIVERGED from");
-      if not identical then exit 1
-    end
+          Engine.run ~backend ~shards ~inflight ~pool ?journal ~checkpoint_every ~resume
+            ~kill_switch:(fun () -> Atomic.get stop)
+            ~on_warning:(fun w -> Printf.eprintf "ctmed serve: warning: %s\n%!" w)
+            ~meta ~sessions ~make ~profile ())
+    with
+    | exception Engine.Interrupted ->
+        Printf.printf "interrupted: progress checkpointed; continue with: ctmed serve --resume %s\n"
+          (Option.get journal);
+        exit 0
+    | stats ->
+        Printf.printf
+          "served %d/%d sessions (engine, %s backend, %d shards, inflight %d, -j %d) for %s\n"
+          stats.Engine.completed sessions
+          (Transport.Backend.to_string backend)
+          shards inflight jobs spec_name;
+        List.iter
+          (fun (p, c) -> Printf.printf "  %6d  %s\n" c p)
+          stats.Engine.profiles;
+        Printf.printf "%s\n" (Engine.throughput_line stats);
+        (* the deterministic digest a resumed run must reproduce
+           byte-for-byte (make store-check diffs this line) *)
+        Printf.printf "digest: %s\n"
+          (Digest.to_hex (Digest.string (Engine.det_repr stats)));
+        if smoke then begin
+          let reference = Engine.run ~sessions ~make ~profile () in
+          let identical =
+            String.equal (Engine.det_repr reference) (Engine.det_repr stats)
+          in
+          Printf.printf "smoke: sharded aggregate %s sequential unsharded run\n"
+            (if identical then "byte-identical to" else "DIVERGED from");
+          if not identical then exit 1
+        end
   in
-  let run smoke sessions spec_name jobs batch backend_name shards =
+  let run smoke sessions spec_name jobs batch backend_name shards journal resume_dir
+      checkpoint_every =
     if jobs < 1 || batch < 1 || sessions < 1 then begin
       Printf.eprintf "ctmed serve: --jobs/--batch/--sessions must be >= 1\n";
       exit 2
@@ -769,12 +907,76 @@ let serve_cmd =
       Printf.eprintf "ctmed serve: --shards must be >= 0\n";
       exit 2
     end;
+    if checkpoint_every < 1 then begin
+      Printf.eprintf "ctmed serve: --checkpoint-every must be >= 1\n";
+      exit 2
+    end;
+    if journal <> None && resume_dir <> None then begin
+      Printf.eprintf "ctmed serve: --journal and --resume are mutually exclusive\n";
+      exit 2
+    end;
     let backend =
       match Transport.Backend.of_string backend_name with
       | b -> b
       | exception Invalid_argument _ ->
           Printf.eprintf "ctmed serve: unknown backend %s (sim|live)\n" backend_name;
           exit 2
+    in
+    (* a resume takes every deterministic parameter from the journal's
+       manifest — only -j (environmental) still comes from the CLI *)
+    let spec_name, backend, sessions, shards, inflight, journal, resume, checkpoint_every
+        =
+      match resume_dir with
+      | None ->
+          let shards = if journal <> None && shards = 0 then 1 else shards in
+          (spec_name, backend, sessions, shards, batch, journal, false, checkpoint_every)
+      | Some dir ->
+          let manifest =
+            try Engine.load_manifest ~dir
+            with Failure msg ->
+              Printf.eprintf "ctmed serve: %s\n" msg;
+              exit 1
+          in
+          let field name conv =
+            match Option.bind (Obs.Json.member name manifest) conv with
+            | Some v -> v
+            | None ->
+                Printf.eprintf
+                  "ctmed serve: unrecoverable journal %s: manifest field %S missing or \
+                   malformed\n"
+                  dir name;
+                exit 1
+          in
+          let backend =
+            let name = field "backend" Obs.Json.to_string_opt in
+            match Transport.Backend.of_string name with
+            | b -> b
+            | exception Invalid_argument _ ->
+                Printf.eprintf
+                  "ctmed serve: unrecoverable journal %s: unknown backend %s\n" dir name;
+                exit 1
+          in
+          let spec =
+            match
+              Option.bind (Obs.Json.member "workload" manifest) (fun w ->
+                  Option.bind (Obs.Json.member "spec" w) Obs.Json.to_string_opt)
+            with
+            | Some s -> s
+            | None ->
+                Printf.eprintf
+                  "ctmed serve: unrecoverable journal %s: manifest has no \
+                   workload.spec\n"
+                  dir;
+                exit 1
+          in
+          ( spec,
+            backend,
+            field "sessions" Obs.Json.to_int_opt,
+            field "shards" Obs.Json.to_int_opt,
+            field "inflight" Obs.Json.to_int_opt,
+            Some dir,
+            true,
+            field "checkpoint_every" Obs.Json.to_int_opt )
     in
     match List.assoc_opt spec_name specs with
     | None ->
@@ -787,8 +989,8 @@ let serve_cmd =
             exit 2
         | plan when shards > 0 ->
             let sessions = if smoke then min sessions 8 else sessions in
-            serve_sharded ~plan ~spec_name ~backend ~sessions ~shards ~inflight:batch
-              ~jobs ~smoke
+            serve_sharded ~plan ~spec_name ~backend ~sessions ~shards ~inflight ~jobs
+              ~smoke ~journal ~resume ~checkpoint_every
         | plan ->
             let sessions = if smoke then min sessions 8 else sessions in
             let server = Transport.Serve.create ~backend ~batch () in
@@ -849,7 +1051,166 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ smoke_arg $ sessions_arg $ spec_arg $ jobs_arg $ batch_arg
-      $ backend_arg $ shards_arg)
+      $ backend_arg $ shards_arg $ journal_arg $ resume_arg $ checkpoint_arg)
+
+(* --- replay --- *)
+
+(* Deterministic time-travel over a durable run: rebuild the exact
+   config from the store's metadata record, re-execute the recorded
+   decision journal scheduler-free, and (for a clean, full replay)
+   cross-check the reproduced trace and metrics against the recorded
+   ones. Exit convention: 2 usage, 1 unrecoverable/diverged, 0
+   otherwise — a recovered torn tail still replays and exits 0 with a
+   warning on stderr. *)
+let replay_cmd =
+  let doc =
+    "Replay a journaled run from its trace store (written by $(b,ctmed run --journal)): \
+     scheduler-free, deterministic re-execution of the recorded decisions. $(b,--at K) \
+     stops after the first K decisions and freezes the world there (time travel). A \
+     store with a torn final record is recovered — truncated back to the last valid \
+     record — and replayed with a warning; an unrecoverable store exits 1."
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"trace store written by ctmed run --journal")
+  in
+  let at_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "at" ] ~docv:"K"
+          ~doc:"replay only the first $(docv) decisions and freeze (time travel)")
+  in
+  let limit_arg =
+    Arg.(value & opt int 60 & info [ "limit" ] ~doc:"max chart events to print")
+  in
+  let run file at limit =
+    let path =
+      match file with
+      | Some p -> p
+      | None ->
+          Printf.eprintf
+            "ctmed replay: missing FILE (a store written by ctmed run --journal)\n";
+          exit 2
+    in
+    (match at with
+    | Some k when k < 0 ->
+        Printf.eprintf "ctmed replay: --at %d: decision count must be >= 0\n" k;
+        exit 2
+    | _ -> ());
+    let r, recovery =
+      try Store.Reader.open_ path with
+      | Store.Corrupt msg ->
+          Printf.eprintf "ctmed replay: %s: unrecoverable store: %s\n" path msg;
+          exit 1
+      | Sys_error msg ->
+          Printf.eprintf "ctmed replay: %s\n" msg;
+          exit 1
+    in
+    let recovered =
+      match recovery with
+      | Store.Clean -> false
+      | Store.Recovered { valid_records; dropped_bytes } ->
+          Printf.eprintf
+            "ctmed replay: warning: %s: torn final record (%d bytes dropped); \
+             recovered %d valid records\n"
+            path dropped_bytes valid_records;
+          true
+    in
+    let meta = Store.Reader.meta r in
+    let bad what =
+      Printf.eprintf "ctmed replay: %s: %s\n" path what;
+      exit 1
+    in
+    let str name =
+      match Option.bind (Obs.Json.member name meta) Obs.Json.to_string_opt with
+      | Some s -> s
+      | None -> bad (Printf.sprintf "metadata field %S missing or malformed" name)
+    in
+    let int_field name =
+      match Option.bind (Obs.Json.member name meta) Obs.Json.to_int_opt with
+      | Some i -> i
+      | None -> bad (Printf.sprintf "metadata field %S missing or malformed" name)
+    in
+    let format = str "format" in
+    if format <> "ctmed-run" then bad ("unknown store format " ^ format);
+    let spec_name = str "spec" in
+    let theorem =
+      match theorem_of_token (str "theorem") with
+      | Some th -> th
+      | None -> bad ("unknown theorem token " ^ str "theorem")
+    in
+    let k = int_field "k" in
+    let t = int_field "t" in
+    let seed = int_field "seed" in
+    let faults =
+      match Obs.Json.member "faults" meta with
+      | None | Some Obs.Json.Null -> None
+      | Some (Obs.Json.String s) -> (
+          match Faults.of_string s with
+          | c -> Some c
+          | exception Invalid_argument msg -> bad ("bad faults field: " ^ msg))
+      | Some _ -> bad "malformed faults field"
+    in
+    let fuel =
+      match Obs.Json.member "fuel" meta with
+      | None | Some Obs.Json.Null -> None
+      | Some j -> (
+          match Obs.Json.to_int_opt j with
+          | Some f -> Some f
+          | None -> bad "malformed fuel field")
+    in
+    match List.assoc_opt spec_name specs with
+    | None -> bad ("metadata names unknown spec " ^ spec_name)
+    | Some mk -> (
+        match Cheaptalk.Compile.plan ~spec:(mk ()) ~theorem ~k ~t () with
+        | Error e -> bad ("cannot recompile the run: " ^ e)
+        | Ok plan -> (
+            let entries = Store.Reader.entries r in
+            let total = Array.length entries in
+            let upto = Option.map (fun k -> min k total) at in
+            let cfg = journal_config ~plan ~seed ~faults ~fuel in
+            match Sim.Runner.replay ?upto ~entries cfg with
+            | exception Sim.Runner.Replay_mismatch msg ->
+                Printf.eprintf "ctmed replay: %s: replay diverged from the journal: %s\n"
+                  path msg;
+                exit 1
+            | o ->
+                Printf.printf "replayed %d/%d decisions from %s (%s via %s, seed %d)\n"
+                  (Option.value upto ~default:total)
+                  total path spec_name
+                  (Cheaptalk.Compile.theorem_name theorem)
+                  seed;
+                print_string (Sim.Trace_pp.chart ~limit o);
+                Format.printf "%a@." Sim.Trace_pp.pp_stats (Sim.Trace_pp.stats o);
+                (* cross-check full clean replays against what the
+                   original run recorded *)
+                if (not recovered) && at = None then begin
+                  let trace_ok =
+                    match Store.Reader.events r with
+                    | [] -> true (* run was killed before the trace was appended *)
+                    | stored -> stored = o.Sim.Types.trace
+                  in
+                  let metrics_ok =
+                    match Store.Reader.metrics r with
+                    | None -> true
+                    | Some m ->
+                        String.equal (Obs.Metrics.det_repr m)
+                          (Obs.Metrics.det_repr o.Sim.Types.metrics)
+                  in
+                  if not (trace_ok && metrics_ok) then begin
+                    Printf.eprintf
+                      "ctmed replay: %s: replayed %s differ from the stored ones\n" path
+                      (if trace_ok then "metrics" else "trace events");
+                    exit 1
+                  end;
+                  Printf.printf "verified: replay matches the stored trace and metrics\n"
+                end;
+                Store.Reader.close r))
+  in
+  Cmd.v (Cmd.info "replay" ~doc) Term.(const run $ file_arg $ at_arg $ limit_arg)
 
 let micro_cmd =
   let doc = "Substrate micro-benchmarks (Bechamel)." in
@@ -870,6 +1231,7 @@ let main =
       lemma68_cmd;
       experiment_cmd;
       serve_cmd;
+      replay_cmd;
       micro_cmd;
     ]
 

@@ -88,26 +88,174 @@ let live_shard ~inflight ~make ~profile ~lo ~hi acc =
     done
   end
 
+(* ------------------------------------------------------------------ *)
+(* Crash-restart checkpointing (DESIGN.md section 16). A journal
+   directory holds one atomically-replaced JSON file per shard — the
+   shard's complete accumulator state plus the next seed to run — and a
+   manifest naming the run's deterministic parameters. Restart = reload
+   every shard file and continue each shard from its [next] seed:
+   within-shard fold order is seed order either way, so the resumed
+   det_repr is byte-identical to an uninterrupted run's. *)
+
+exception Interrupted
+
+let manifest_path dir = Filename.concat dir "manifest.json"
+let shard_path dir shard = Filename.concat dir (Printf.sprintf "shard-%04d.json" shard)
+let backend_name = function Transport.Backend.Sim -> "sim" | Transport.Backend.Live -> "live"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let profiles_sorted tbl =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun k n l -> (k, n) :: l) tbl [])
+
+let save_shard path ~lo ~hi ~next acc =
+  Store.write_json_atomic ~path
+    (Obs.Json.Obj
+       [
+         ("lo", Obs.Json.Int lo);
+         ("hi", Obs.Json.Int hi);
+         ("next", Obs.Json.Int next);
+         ("completed", Obs.Json.Int acc.completed);
+         ( "profiles",
+           Obs.Json.Obj
+             (List.map (fun (k, n) -> (k, Obs.Json.Int n)) (profiles_sorted acc.profiles)) );
+         ("agg", Obs.Agg.to_json acc.agg);
+         ("latency", Obs.Hist.to_json acc.lat);
+       ])
+
+(* [Error reason] means "recompute this shard from scratch" — always
+   correct, never half-restored. *)
+let load_shard path ~lo ~hi =
+  match Obs.Json.of_file path with
+  | exception Obs.Json.Parse_error m -> Error m
+  | exception Sys_error m -> Error m
+  | j -> (
+      let int k = Option.bind (Obs.Json.member k j) Obs.Json.to_int_opt in
+      match (int "lo", int "hi", int "next") with
+      | Some l, Some h, Some next when l = lo && h = hi && next >= lo && next <= hi -> (
+          let agg = Option.bind (Obs.Json.member "agg" j) Obs.Agg.of_json in
+          let lat = Option.bind (Obs.Json.member "latency" j) Obs.Hist.of_json in
+          let profs = Option.bind (Obs.Json.member "profiles" j) Obs.Json.to_obj_opt in
+          match (agg, lat, int "completed", profs) with
+          | Some agg, Some lat, Some completed, Some profs -> (
+              let profiles = Hashtbl.create 16 in
+              try
+                List.iter
+                  (fun (k, v) ->
+                    match Obs.Json.to_int_opt v with
+                    | Some n -> Hashtbl.replace profiles k n
+                    | None -> raise Exit)
+                  profs;
+                Ok (next, { agg; lat; profiles; completed })
+              with Exit -> Error "bad profile table")
+          | _ -> Error "missing or mistyped checkpoint fields")
+      | Some _, Some _, Some _ -> Error "checkpoint range does not match this run"
+      | _ -> Error "missing lo/hi/next fields")
+
+let load_manifest ~dir =
+  let path = manifest_path dir in
+  match Obs.Json.of_file path with
+  | j -> j
+  | exception Obs.Json.Parse_error m -> failwith ("unrecoverable journal: " ^ m)
+  | exception Sys_error m -> failwith ("unrecoverable journal: " ^ m)
+
 let run ?(backend = Transport.Backend.Sim) ?(shards = 1) ?(inflight = 16)
-    ?(pool = Parallel.Pool.sequential) ~sessions ~make ~profile () =
+    ?(pool = Parallel.Pool.sequential) ?journal ?(checkpoint_every = 1024)
+    ?(resume = false) ?(kill_switch = fun () -> false) ?(on_warning = fun _ -> ())
+    ?(meta = Obs.Json.Null) ~sessions ~make ~profile () =
   if sessions < 0 then
     invalid_arg (Printf.sprintf "Engine.run: sessions must be >= 0 (got %d)" sessions);
   if shards < 1 then
     invalid_arg (Printf.sprintf "Engine.run: shards must be > 0 (got %d)" shards);
   if inflight < 1 then
     invalid_arg (Printf.sprintf "Engine.run: inflight must be > 0 (got %d)" inflight);
+  if checkpoint_every < 1 then
+    invalid_arg
+      (Printf.sprintf "Engine.run: checkpoint_every must be > 0 (got %d)" checkpoint_every);
+  if resume && journal = None then
+    invalid_arg "Engine.run: ~resume requires a ~journal directory";
+  (match journal with
+  | None -> ()
+  | Some dir ->
+      if resume then begin
+        (* The deterministic parameters must match the original run, or
+           the shard ranges (and hence the digest) would change. *)
+        let m = load_manifest ~dir in
+        let int k = Option.bind (Obs.Json.member k m) Obs.Json.to_int_opt in
+        let str k = Option.bind (Obs.Json.member k m) Obs.Json.to_string_opt in
+        match (int "sessions", int "shards", str "backend") with
+        | Some s, Some sh, Some b ->
+            if s <> sessions || sh <> shards || b <> backend_name backend then
+              invalid_arg
+                (Printf.sprintf
+                   "Engine.run: resume parameters (sessions=%d shards=%d backend=%s) do not \
+                    match the journal manifest (sessions=%d shards=%d backend=%s)"
+                   sessions shards (backend_name backend) s sh b)
+        | _ -> failwith "unrecoverable journal: manifest is missing run parameters"
+      end
+      else begin
+        mkdir_p dir;
+        Store.write_json_atomic ~path:(manifest_path dir)
+          (Obs.Json.Obj
+             [
+               ("version", Obs.Json.Int 1);
+               ("sessions", Obs.Json.Int sessions);
+               ("shards", Obs.Json.Int shards);
+               ("backend", Obs.Json.String (backend_name backend));
+               ("inflight", Obs.Json.Int inflight);
+               ("checkpoint_every", Obs.Json.Int checkpoint_every);
+               ("workload", meta);
+             ])
+      end);
   let t0 = Runner.now () in
   let per = if shards = 0 then 0 else (sessions + shards - 1) / shards in
+  let run_range ~lo ~hi acc =
+    match backend with
+    | Transport.Backend.Sim -> sim_shard ~make ~profile ~lo ~hi acc
+    | Transport.Backend.Live -> live_shard ~inflight ~make ~profile ~lo ~hi acc
+  in
   (* chunk:1 — shards are the stealing unit, so one slow shard cannot
      serialise the tail behind a fixed pre-assignment *)
   let shard_accs =
     Parallel.Pool.map_seeded ~chunk:1 ~pool ~seeds:(0, shards) (fun shard ->
         let lo = min sessions (shard * per) and hi = min sessions ((shard + 1) * per) in
-        let acc = acc_create () in
-        (match backend with
-        | Transport.Backend.Sim -> sim_shard ~make ~profile ~lo ~hi acc
-        | Transport.Backend.Live -> live_shard ~inflight ~make ~profile ~lo ~hi acc);
-        acc)
+        match journal with
+        | None ->
+            let acc = acc_create () in
+            run_range ~lo ~hi acc;
+            (acc, false)
+        | Some dir ->
+            let path = shard_path dir shard in
+            let acc, start =
+              if resume && Sys.file_exists path then
+                match load_shard path ~lo ~hi with
+                | Ok (next, acc) -> (acc, next)
+                | Error reason ->
+                    on_warning
+                      (Printf.sprintf "shard %d checkpoint %s: %s — recomputing shard from \
+                                       scratch" shard path reason);
+                    (acc_create (), lo)
+              else (acc_create (), lo)
+            in
+            (* Chunked execution: the live backend's in-flight window
+               drains completely at each chunk boundary, so a checkpoint
+               always describes a seed-prefix of the shard. *)
+            let next = ref start in
+            let stop = ref false in
+            while !next < hi && not !stop do
+              let chunk_hi = min hi (!next + checkpoint_every) in
+              run_range ~lo:!next ~hi:chunk_hi acc;
+              next := chunk_hi;
+              save_shard path ~lo ~hi ~next:!next acc;
+              if kill_switch () then stop := true
+            done;
+            (acc, !next < hi))
   in
   (* merge on the submitting domain, in shard order *)
   let agg = Obs.Agg.create () in
@@ -115,7 +263,7 @@ let run ?(backend = Transport.Backend.Sim) ?(shards = 1) ?(inflight = 16)
   let profiles = Hashtbl.create 16 in
   let completed = ref 0 in
   Array.iter
-    (fun (a : acc) ->
+    (fun ((a : acc), _) ->
       Obs.Agg.merge_into ~dst:agg a.agg;
       Obs.Hist.merge_into ~dst:lat a.lat;
       completed := !completed + a.completed;
@@ -125,6 +273,7 @@ let run ?(backend = Transport.Backend.Sim) ?(shards = 1) ?(inflight = 16)
           Hashtbl.replace profiles k (m + n))
         a.profiles)
     shard_accs;
+  if Array.exists (fun (_, interrupted) -> interrupted) shard_accs then raise Interrupted;
   let profiles =
     List.sort
       (fun (a, _) (b, _) -> String.compare a b)

@@ -46,11 +46,22 @@ type stats = {
   wall_s : float;  (** submission-to-merge wall time — environmental *)
 }
 
+exception Interrupted
+(** {!run} stopped at a checkpoint boundary because [kill_switch]
+    returned true. Every shard's progress is already persisted in the
+    journal directory; re-run with [~resume:true] to continue. *)
+
 val run :
   ?backend:Transport.Backend.t ->
   ?shards:int ->
   ?inflight:int ->
   ?pool:Parallel.Pool.t ->
+  ?journal:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  ?kill_switch:(unit -> bool) ->
+  ?on_warning:(string -> unit) ->
+  ?meta:Obs.Json.t ->
   sessions:int ->
   make:(seed:int -> ('m, 'a) Sim.Runner.config) ->
   profile:('a Sim.Types.outcome -> string) ->
@@ -61,8 +72,41 @@ val run :
     Defaults: [backend = Sim], [shards = 1], [inflight = 16] (live
     in-flight window per shard; ignored by the Sim backend, which runs
     each session to completion), [pool = Parallel.Pool.sequential].
-    @raise Invalid_argument if [sessions < 0], [shards < 1] or
-    [inflight < 1]. *)
+
+    {b Durability} (DESIGN.md section 16). With [~journal:dir] the run
+    is crash-restartable: each shard executes in chunks of
+    [checkpoint_every] seeds (default 1024) and after every chunk
+    atomically replaces its [shard-NNNN.json] file — the complete
+    accumulator state plus the next seed — while [manifest.json] pins
+    the run's deterministic parameters. The live backend drains its
+    in-flight window at each chunk boundary, so a checkpoint always
+    describes a seed-prefix of the shard. A run restarted with
+    [~resume:true] (same sessions/shards/backend) reloads every shard
+    file and continues from the persisted seeds; because within-shard
+    fold order is seed order either way, the resumed {!det_repr} is
+    byte-identical to an uninterrupted run's — this holds across
+    SIGKILL since the worst case merely loses the tail since the last
+    checkpoint and recomputes it. Resuming a finished journal re-runs
+    nothing and returns the final stats. A missing or damaged shard
+    file is reported through [on_warning] and that shard is recomputed
+    from scratch (slower, still exact); a missing or damaged manifest
+    is unrecoverable and raises [Failure].
+
+    [kill_switch] is polled at every checkpoint boundary (wire it to a
+    signal flag for graceful shutdown); when it returns true the run
+    stops after persisting and raises {!Interrupted}. [meta] is stored
+    verbatim in the manifest under ["workload"] so a CLI can rebuild
+    the same [make] on resume — see {!load_manifest}.
+
+    @raise Invalid_argument if [sessions < 0], [shards < 1],
+    [inflight < 1], [checkpoint_every < 1], [resume] without [journal],
+    or resume parameters contradicting the manifest.
+    @raise Failure when resuming and the manifest is missing/corrupt. *)
+
+val load_manifest : dir:string -> Obs.Json.t
+(** The journal's manifest document (run parameters + the caller's
+    ["workload"] metadata).
+    @raise Failure when missing or unparseable ("unrecoverable"). *)
 
 val det_repr : stats -> string
 (** The deterministic digest the differential tests byte-compare:

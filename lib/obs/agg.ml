@@ -81,3 +81,24 @@ let summary_repr s =
     "runs=%d sent[mean=%.2f p50=%d p90=%d p99=%d max=%d] steps[p50=%d p90=%d max=%d]" s.runs
     s.sent.mean s.sent.p50 s.sent.p90 s.sent.p99 s.sent.max s.steps.p50 s.steps.p90
     s.steps.max
+
+(* Checkpoint serialization: the full aggregate state (not just the
+   summary), so a resumed shard keeps folding where it left off. *)
+let to_json t =
+  Json.Obj
+    [
+      ("total", Metrics.to_json t.total);
+      ("n", Json.Int t.n);
+      ("sent", Hist.to_json t.sent);
+      ("delivered", Hist.to_json t.delivered);
+      ("steps", Hist.to_json t.steps);
+    ]
+
+let of_json j =
+  let ( let* ) = Option.bind in
+  let* total = Option.bind (Json.member "total" j) Metrics.of_json in
+  let* n = Option.bind (Json.member "n" j) Json.to_int_opt in
+  let* sent = Option.bind (Json.member "sent" j) Hist.of_json in
+  let* delivered = Option.bind (Json.member "delivered" j) Hist.of_json in
+  let* steps = Option.bind (Json.member "steps" j) Hist.of_json in
+  if n < 0 then None else Some { total; n; sent; delivered; steps }

@@ -127,3 +127,57 @@ let merge_into ~dst src =
   for i = 0 to n_buckets - 1 do
     dst.buckets.(i) <- dst.buckets.(i) + src.buckets.(i)
   done
+
+(* Checkpoint serialization. The exact buffer prefix is part of the
+   state — resume must keep filling it from slot [n] — and the bucket
+   table is stored sparsely (most of the 1136 slots are zero). *)
+let to_json t =
+  let sparse = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.buckets.(i) <> 0 then
+      sparse := Json.List [ Json.Int i; Json.Int t.buckets.(i) ] :: !sparse
+  done;
+  Json.Obj
+    [
+      ("n", Json.Int t.n);
+      ("sum", Json.Int t.sum);
+      ("max", Json.Int t.max_v);
+      ("buf", Json.List (List.init (min t.n exact_cap) (fun i -> Json.Int t.buf.(i))));
+      ("buckets", Json.List !sparse);
+    ]
+
+let of_json j =
+  let ( let* ) = Option.bind in
+  let int k = Option.bind (Json.member k j) Json.to_int_opt in
+  let* n = int "n" in
+  let* sum = int "sum" in
+  let* max_v = int "max" in
+  let* buf_j = Option.bind (Json.member "buf" j) Json.to_list_opt in
+  let* buckets_j = Option.bind (Json.member "buckets" j) Json.to_list_opt in
+  if n < 0 || List.length buf_j <> min n exact_cap then None
+  else
+    let t = create () in
+    t.n <- n;
+    t.sum <- sum;
+    t.max_v <- max_v;
+    let ok = ref true in
+    List.iteri
+      (fun i v ->
+        match Json.to_int_opt v with
+        | Some x when x >= 0 -> t.buf.(i) <- x
+        | _ -> ok := false)
+      buf_j;
+    let total = ref 0 in
+    List.iter
+      (fun pair ->
+        match Json.to_list_opt pair with
+        | Some [ i_j; c_j ] -> (
+            match (Json.to_int_opt i_j, Json.to_int_opt c_j) with
+            | Some i, Some c when i >= 0 && i < n_buckets && c > 0 ->
+                t.buckets.(i) <- c;
+                total := !total + c
+            | _ -> ok := false)
+        | _ -> ok := false)
+      buckets_j;
+    (* every recorded value lives in exactly one bucket *)
+    if !ok && !total = n then Some t else None

@@ -67,3 +67,13 @@ val bucket_bounds : int -> int * int
 (** [bucket_bounds v] is the inclusive [(lo, hi)] range of the bucket
     containing [v] — exposed so tests can state the "within one bucket"
     property without duplicating the bucket arithmetic. *)
+
+val to_json : t -> Json.t
+(** Complete state — count, exact sum, max, the exact-path buffer
+    prefix, and the non-zero buckets (sparse) — for engine checkpoints.
+    [of_json (to_json t)] restores a histogram that continues
+    byte-identically to [t]. *)
+
+val of_json : Json.t -> t option
+(** Inverse of {!to_json}. [None] if any field is missing, mistyped or
+    inconsistent (e.g. bucket counts not summing to [n]). *)

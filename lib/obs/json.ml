@@ -235,12 +235,28 @@ let of_string s =
   if !pos <> n then parse_fail !pos "trailing garbage";
   v
 
-let of_file path =
+(* Hardened reader: checkpoint manifests and store metadata go through
+   here, where the failure mode is an operator-facing error message, not
+   a raw parser exception. Empty, truncated and oversized inputs each
+   get a clear [Parse_error] carrying the path. *)
+
+let max_file_bytes = 64 * 1024 * 1024
+
+let of_file ?(max_bytes = max_file_bytes) path =
+  let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt in
   let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
   let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  of_string s
+  if len = 0 then fail "%s: empty file (no JSON document)" path;
+  if len > max_bytes then
+    fail "%s: %d bytes exceeds the %d-byte limit for JSON metadata" path len max_bytes;
+  let s =
+    try really_input_string ic len
+    with End_of_file -> fail "%s: truncated read (%d bytes expected)" path len
+  in
+  match of_string s with
+  | v -> v
+  | exception Parse_error msg -> fail "%s: %s" path msg
 
 (* --- accessors ------------------------------------------------------- *)
 

@@ -23,8 +23,17 @@ val of_string : string -> t
     first occurrence under {!member}). Numbers parse as [Int] when they
     fit, [Float] otherwise. @raise Parse_error on malformed input. *)
 
-val of_file : string -> t
-(** @raise Parse_error on malformed input, [Sys_error] on I/O failure. *)
+val max_file_bytes : int
+(** Default size cap for {!of_file} (64 MiB): checkpoint manifests and
+    store metadata are small; anything bigger is a wrong-file mistake. *)
+
+val of_file : ?max_bytes:int -> string -> t
+(** Read one JSON document. Empty files, truncated reads, files over
+    [max_bytes] (default {!max_file_bytes}) and malformed content all
+    raise [Parse_error] with the path in the message — never a raw
+    parser/IO exception like [End_of_file].
+    @raise Parse_error on malformed or unreadable-as-JSON input.
+    @raise Sys_error on I/O failure (missing file, permissions). *)
 
 (** {1 Accessors} *)
 

@@ -192,6 +192,64 @@ let to_json m =
           ] );
     ]
 
+(* Inverse of [to_json], for checkpoint restore. Total-returning [None]
+   on any missing/mistyped field: a checkpoint that does not parse must
+   make the caller recompute, never half-restore. *)
+let of_json j =
+  let ( let* ) = Option.bind in
+  let int k o = Option.bind (Json.member k o) Json.to_int_opt in
+  let flt k o = Option.bind (Json.member k o) Json.to_float_opt in
+  let counts k o =
+    let* c = Json.member k o in
+    let* p2p = int "p2p" c in
+    let* p2m = int "p2m" c in
+    let* m2p = int "m2p" c in
+    let* self = int "self" c in
+    Some { p2p; p2m; m2p; self }
+  in
+  let* det = Json.member "deterministic" j in
+  let* env = Json.member "environmental" j in
+  let* runs = int "runs" det in
+  let* sent = counts "sent" det in
+  let* delivered = counts "delivered" det in
+  let* dropped = counts "dropped" det in
+  let* batches = int "batches" det in
+  let* steps = int "steps" det in
+  let* starved = int "starved" det in
+  let* invalid_decisions = int "invalid_decisions" det in
+  let* scheduler_exns = int "scheduler_exns" det in
+  let* injected = Json.member "injected" det in
+  let* injected_dup = int "dup" injected in
+  let* injected_corrupt = int "corrupt" injected in
+  let* injected_delay = int "delay" injected in
+  let* injected_crash = int "crash" injected in
+  let* timed_out = int "timed_out" det in
+  let* trial_retries = int "trial_retries" det in
+  let* wall_clock = flt "wall_clock_s" env in
+  let* gc_minor_words = flt "gc_minor_words" env in
+  let* gc_major_words = flt "gc_major_words" env in
+  Some
+    {
+      runs;
+      sent;
+      delivered;
+      dropped;
+      batches;
+      steps;
+      starved;
+      invalid_decisions;
+      scheduler_exns;
+      injected_dup;
+      injected_corrupt;
+      injected_delay;
+      injected_crash;
+      timed_out;
+      trial_retries;
+      wall_clock;
+      gc_minor_words;
+      gc_major_words;
+    }
+
 (* Message classes, from the (src, dst) pair and the mediator pid. *)
 let class_index ~mediator ~src ~dst =
   if src = dst then 3

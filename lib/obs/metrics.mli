@@ -81,6 +81,12 @@ val to_json : t -> Json.t
 (** [{"deterministic": {...}, "environmental": {...}}] — consumers diff
     the ["deterministic"] subtree only. *)
 
+val of_json : Json.t -> t option
+(** Inverse of {!to_json} (environmental fields included), for
+    checkpoint restore. [None] on any missing or mistyped field — a
+    checkpoint that does not parse must be recomputed, never
+    half-restored. *)
+
 val class_index : mediator:int option -> src:int -> dst:int -> int
 (** 0 = p2p, 1 = p2m, 2 = m2p, 3 = self. *)
 

@@ -435,8 +435,66 @@ let clone_core c ~processes =
     crash_announced = Array.copy c.crash_announced;
   }
 
-let run (cfg : ('m, 'a) config) : 'a outcome =
-  cfg.scheduler.Scheduler.reset ();
+(* ------------------------------------------------------------------ *)
+(* Decision journal: one entry per scheduler decision — enough to replay
+   a run without its scheduler (time-travel) or to resume it mid-way in
+   a fresh process (crash-restart). Entries carry channel coordinates
+   (src, dst, seq) instead of item ids: ids are an implementation detail
+   of the pending set, while coordinates are stable across re-execution
+   and meaningful inside a store file. Process closures cannot be
+   serialized, so a checkpoint IS the journal prefix: restore = rebuild
+   the config from its seed and re-execute the scripted decisions. *)
+
+module Journal = struct
+  type coords = { src : pid; dst : pid; seq : int }
+
+  type reason = Blocked | Invalid | Sched_exn
+
+  type entry =
+    | Forced of coords
+    | Chose of coords
+    | Fallback of reason * coords option
+    | Stopped
+    | Watchdog
+
+  let coords_repr { src; dst; seq } = Printf.sprintf "%d->%d#%d" src dst seq
+
+  let reason_repr = function
+    | Blocked -> "blocked"
+    | Invalid -> "invalid"
+    | Sched_exn -> "exn"
+
+  let entry_repr = function
+    | Forced c -> "forced " ^ coords_repr c
+    | Chose c -> "chose " ^ coords_repr c
+    | Fallback (r, Some c) -> Printf.sprintf "fallback[%s] %s" (reason_repr r) (coords_repr c)
+    | Fallback (r, None) -> Printf.sprintf "fallback[%s] burnt" (reason_repr r)
+    | Stopped -> "stopped"
+    | Watchdog -> "watchdog"
+end
+
+exception Replay_mismatch of string
+
+let replay_fail fmt = Printf.ksprintf (fun s -> raise (Replay_mismatch s)) fmt
+
+(* The shared decision loop behind [run], [run_journaled], [resume] and
+   [replay].
+
+   [emit]   — receives the journal entry for every decision the loop makes
+              natively; scripted prefix entries are NOT re-emitted.
+   [script] — a journal prefix executed instead of consulting the
+              scheduler. With [sync_scheduler] the scheduler is still
+              called for every scripted entry it originally decided —
+              advancing its internal state (RNG draws, counters) exactly
+              as the original run did — and its answers are cross-checked
+              against the script; divergence raises [Replay_mismatch]
+              instead of silently producing a different run, and after the
+              prefix the loop continues natively. Without [sync_scheduler]
+              the scheduler is never consulted and the run freezes (as a
+              Cutoff) when the script runs out: time-travel. *)
+let run_impl ?emit ?script ~sync_scheduler (cfg : ('m, 'a) config) : 'a outcome =
+  let scripted = Option.is_some script in
+  if (not scripted) || sync_scheduler then cfg.scheduler.Scheduler.reset ();
   let c =
     create_core ?faults:cfg.faults ?fuzz:cfg.fuzz ~record:cfg.record
       ~mediator:cfg.mediator cfg.processes
@@ -457,6 +515,136 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
         c.decisions land 255 = 0 && now () -. t_start > limit
   in
 
+  (* Journal plumbing. [note] is a single branch when nobody journals, so
+     the hot (engine) path stays allocation-free per decision. *)
+  let note e = match emit with None -> () | Some f -> f e in
+  let coords_of (v : pending_view) = { Journal.src = v.src; dst = v.dst; seq = v.seq } in
+  let coords_eq (a : Journal.coords) (b : Journal.coords) =
+    a.Journal.src = b.Journal.src && a.Journal.dst = b.Journal.dst
+    && a.Journal.seq = b.Journal.seq
+  in
+  let script_arr = match script with Some a -> a | None -> [||] in
+  let script_len = Array.length script_arr in
+  let script_pos = ref 0 in
+  let find_coords (co : Journal.coords) =
+    Pending_set.find c.pending (fun (v : pending_view) ->
+        v.src = co.Journal.src && v.dst = co.Journal.dst && v.seq = co.Journal.seq)
+  in
+  (* Consult the scheduler exactly as the native loop always has: fatal
+     exceptions (resource exhaustion, violated assertions — genuine
+     scheduler bugs) re-raise with their backtrace; anything else is
+     reported as [Error] and handled as a recorded fallback. *)
+  let choose () =
+    match cfg.scheduler.choose ~step:c.steps ~history:c.pattern ~pending:c.pending with
+    | d -> Ok d
+    | exception ((Stack_overflow | Out_of_memory | Assert_failure _) as e) ->
+        let bt = Printexc.get_raw_backtrace () in
+        Printexc.raise_with_backtrace e bt
+    | exception _ -> Error ()
+  in
+
+  (* Execute one scripted entry; [Some t] means the entry ends the run.
+     Every entry is cross-checked against the driver's own deterministic
+     state (starvation override, fallback target, pending membership) —
+     a journal replayed against the wrong config fails loudly. *)
+  let exec_scripted (e : Journal.entry) =
+    let entry_no = !script_pos - 1 in
+    let deliver_coords what co =
+      match find_coords co with
+      | Some v ->
+          deliver c v.id;
+          c.steps <- c.steps + 1
+      | None ->
+          replay_fail "journal entry %d (%s %s): message is not pending" entry_no what
+            (Journal.coords_repr co)
+    in
+    match e with
+    | Journal.Watchdog ->
+        (* the watchdog fires BEFORE the decision counter ticks *)
+        drop_all_remaining c;
+        Obs.Metrics.Builder.timed_out c.mb;
+        Some Timed_out
+    | Journal.Stopped ->
+        tick c;
+        (if sync_scheduler then
+           match choose () with
+           | Ok Stop_delivery when cfg.scheduler.relaxed -> ()
+           | _ ->
+               replay_fail "journal entry %d: scheduler did not STOP where the journal stopped"
+                 entry_no);
+        drop_all_remaining c;
+        Some Deadlocked
+    | Journal.Forced co ->
+        tick c;
+        (* the fairness override is a pure function of driver state: it
+           must fire here whether or not the scheduler is synced *)
+        (match
+           if cfg.scheduler.relaxed then None else starving c ~bound:cfg.starvation_bound
+         with
+        | Some v when coords_eq (coords_of v) co -> ()
+        | _ ->
+            replay_fail "journal entry %d: starvation override mismatch at %s" entry_no
+              (Journal.coords_repr co));
+        Obs.Metrics.Builder.starved c.mb;
+        deliver_coords "forced" co;
+        None
+    | Journal.Chose co ->
+        tick c;
+        (if sync_scheduler then
+           match choose () with
+           | Ok (Deliver id) when item_mem c id -> (
+               match item_get c id with
+               | Some it ->
+                   let v = Pending_set.view_of it.node in
+                   if not (coords_eq (coords_of v) co) then
+                     replay_fail "journal entry %d: scheduler chose %s, journal says %s"
+                       entry_no
+                       (Journal.coords_repr (coords_of v))
+                       (Journal.coords_repr co)
+                   else if have_faults && blocked c id then
+                     replay_fail "journal entry %d: choice %s is blocked on replay" entry_no
+                       (Journal.coords_repr co)
+               | None -> assert false)
+           | _ ->
+               replay_fail "journal entry %d: scheduler diverged from journaled choice %s"
+                 entry_no (Journal.coords_repr co));
+        deliver_coords "chose" co;
+        None
+    | Journal.Fallback (reason, co_opt) ->
+        tick c;
+        (if sync_scheduler then
+           let classified =
+             match choose () with
+             | Error () -> Some Journal.Sched_exn
+             | Ok (Deliver id) when not (item_mem c id) -> Some Journal.Invalid
+             | Ok (Deliver id) ->
+                 if have_faults && blocked c id then Some Journal.Blocked else None
+             | Ok Stop_delivery ->
+                 if cfg.scheduler.relaxed then None else Some Journal.Invalid
+           in
+           match classified with
+           | Some r when r = reason -> ()
+           | _ ->
+               replay_fail "journal entry %d: fallback reason mismatch (expected %s)" entry_no
+                 (Journal.reason_repr reason));
+        (match reason with
+        | Journal.Invalid -> Obs.Metrics.Builder.invalid_decision c.mb
+        | Journal.Sched_exn -> Obs.Metrics.Builder.scheduler_exn c.mb
+        | Journal.Blocked -> ());
+        (match (co_opt, oldest_deliverable c) with
+        | Some co, Some v when coords_eq (coords_of v) co ->
+            deliver c v.id;
+            c.steps <- c.steps + 1
+        | None, None -> () (* burnt decision, as journaled *)
+        | Some co, _ ->
+            replay_fail "journal entry %d: fallback target mismatch at %s" entry_no
+              (Journal.coords_repr co)
+        | None, Some _ ->
+            replay_fail "journal entry %d: burnt decision but a message is deliverable"
+              entry_no);
+        None
+  in
+
   let termination = ref Quiescent in
   let running = ref true in
   while !running do
@@ -468,11 +656,30 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
       termination := Cutoff;
       running := false
     end
+    else if !script_pos < script_len then begin
+      let e = script_arr.(!script_pos) in
+      incr script_pos;
+      match exec_scripted e with
+      | Some t ->
+          termination := t;
+          running := false
+      | None -> ()
+    end
+    else if scripted && not sync_scheduler then begin
+      (* time-travel: the journal prefix ends here — freeze the run *)
+      termination := Cutoff;
+      running := false
+    end
     else if fuel_exhausted () || wall_exceeded () then begin
       (* watchdog: end the run loudly — remaining messages are dropped so
-         sent = delivered + dropped conservation still holds *)
+         sent = delivered + dropped conservation still holds. During a
+         scripted prefix this native check is intentionally skipped: the
+         journal already proves the original run did not fire here, and
+         wall-clock is environmental — re-evaluating it would let a slow
+         replaying host diverge from the recorded decisions. *)
       drop_all_remaining c;
       Obs.Metrics.Builder.timed_out c.mb;
+      note Journal.Watchdog;
       termination := Timed_out;
       running := false
     end
@@ -482,64 +689,74 @@ let run (cfg : ('m, 'a) config) : 'a outcome =
          deliverable one; if nothing is deliverable the decision is burnt
          (pins and windows expire at fixed decision counts, so this
          always clears). *)
-      let starving =
+      let starving_now =
         if cfg.scheduler.relaxed then None else starving c ~bound:cfg.starvation_bound
       in
-      match starving with
+      match starving_now with
       | Some v ->
           Obs.Metrics.Builder.starved c.mb;
+          note (Journal.Forced (coords_of v));
           deliver c v.id;
           c.steps <- c.steps + 1
       | None -> (
-          (* A scheduler failure must not be silently converted into FIFO
-             delivery: fatal exceptions (resource exhaustion, violated
-             assertions — i.e. genuine scheduler bugs) re-raise with
-             their backtrace; anything else falls back to oldest-first
-             and is RECORDED in the run metrics. *)
-          let decision =
-            match
-              cfg.scheduler.choose ~step:c.steps ~history:c.pattern ~pending:c.pending
-            with
-            | d -> d
-            | exception ((Stack_overflow | Out_of_memory | Assert_failure _) as e) ->
-                let bt = Printexc.get_raw_backtrace () in
-                Printexc.raise_with_backtrace e bt
-            | exception _ ->
-                Obs.Metrics.Builder.scheduler_exn c.mb;
-                Deliver (Pending_set.oldest c.pending).id
-          in
-          let deliver_fallback () =
+          let fallback reason =
+            (match reason with
+            | Journal.Invalid -> Obs.Metrics.Builder.invalid_decision c.mb
+            | Journal.Sched_exn -> Obs.Metrics.Builder.scheduler_exn c.mb
+            | Journal.Blocked -> ());
             match oldest_deliverable c with
             | Some v ->
+                note (Journal.Fallback (reason, Some (coords_of v)));
                 deliver c v.id;
                 c.steps <- c.steps + 1
-            | None -> () (* everything withheld: burn the decision *)
+            | None ->
+                (* everything withheld: burn the decision *)
+                note (Journal.Fallback (reason, None))
           in
-          match decision with
-          | Deliver id when item_mem c id ->
-              if have_faults && blocked c id then deliver_fallback ()
+          match choose () with
+          | Error () -> fallback Journal.Sched_exn
+          | Ok (Deliver id) when item_mem c id ->
+              if have_faults && blocked c id then fallback Journal.Blocked
               else begin
+                (match emit with
+                | None -> ()
+                | Some f -> (
+                    match item_get c id with
+                    | Some it -> f (Journal.Chose (coords_of (Pending_set.view_of it.node)))
+                    | None -> assert false));
                 deliver c id;
                 c.steps <- c.steps + 1
               end
-          | Deliver _ ->
+          | Ok (Deliver _) ->
               (* invalid id: fall back to oldest *)
-              Obs.Metrics.Builder.invalid_decision c.mb;
-              deliver_fallback ()
-          | Stop_delivery ->
+              fallback Journal.Invalid
+          | Ok Stop_delivery ->
               if cfg.scheduler.relaxed then begin
                 drop_all_remaining c;
+                note Journal.Stopped;
                 termination := Deadlocked;
                 running := false
               end
-              else begin
+              else
                 (* Non-relaxed schedulers may not stop: force oldest. *)
-                Obs.Metrics.Builder.invalid_decision c.mb;
-                deliver_fallback ()
-              end)
+                fallback Journal.Invalid)
     end
   done;
   outcome_of c !termination
+
+let run (cfg : ('m, 'a) config) : 'a outcome = run_impl ~sync_scheduler:true cfg
+let run_journaled ~emit cfg = run_impl ~emit ~sync_scheduler:true cfg
+let resume ~entries ?emit cfg = run_impl ?emit ~script:entries ~sync_scheduler:true cfg
+
+let replay ?upto ~entries cfg =
+  let entries =
+    match upto with
+    | None -> entries
+    | Some k when k < 0 -> invalid_arg "Runner.replay: ~upto must be >= 0"
+    | Some k when k >= Array.length entries -> entries
+    | Some k -> Array.sub entries 0 k
+  in
+  run_impl ~script:entries ~sync_scheduler:false cfg
 
 let moves_with_wills processes (o : 'a outcome) =
   Array.mapi

@@ -84,6 +84,78 @@ val run : ('m, 'a) config -> 'a Types.outcome
     oldest-first delivery and increments [metrics.scheduler_exns] —
     never a silent FIFO degradation. *)
 
+(** {1 Decision journal: durable runs}
+
+    One journal entry per scheduler decision is enough to reconstruct a
+    run exactly — process closures cannot be serialized, so a checkpoint
+    IS the journal prefix: restore means rebuilding the config from its
+    seed parameters and re-executing the scripted decisions. Entries
+    carry channel coordinates (src, dst, seq), which are stable across
+    re-execution, rather than pending-set item ids, which are not
+    meaningful outside one process. See DESIGN.md section 16. *)
+
+module Journal : sig
+  type coords = { src : Types.pid; dst : Types.pid; seq : int }
+  (** A message's identity on its channel; start signals use
+      [src = Types.env_pid]. *)
+
+  (** Why the run fell back to oldest-deliverable-first delivery:
+      the scheduler's choice was withheld by the fault plane
+      ([Blocked], not a metric event), named a non-pending id
+      ([Invalid]), or raised ([Sched_exn]). *)
+  type reason = Blocked | Invalid | Sched_exn
+
+  type entry =
+    | Forced of coords  (** starvation-bound fairness override fired *)
+    | Chose of coords  (** the scheduler's choice, delivered as-is *)
+    | Fallback of reason * coords option
+        (** redirected to oldest deliverable; [None] = burnt decision *)
+    | Stopped  (** a relaxed scheduler chose [Stop_delivery] *)
+    | Watchdog  (** fuel or wall limit fired (before any tick) *)
+
+  val entry_repr : entry -> string
+  (** Stable one-line rendering, e.g. ["chose 0->2#3"]. *)
+end
+
+exception Replay_mismatch of string
+(** A journal was replayed against a config it did not come from (wrong
+    seed, spec, fault plan, scheduler...): every scripted decision is
+    cross-checked against the driver's own deterministic state and the
+    re-synced scheduler, and any divergence raises instead of silently
+    producing a different run. *)
+
+val run_journaled :
+  emit:(Journal.entry -> unit) -> ('m, 'a) config -> 'a Types.outcome
+(** Exactly {!run} — byte-identical outcome — additionally calling
+    [emit] with each decision's journal entry as it is made. *)
+
+val resume :
+  entries:Journal.entry array ->
+  ?emit:(Journal.entry -> unit) ->
+  ('m, 'a) config ->
+  'a Types.outcome
+(** Crash-restart: re-execute the journaled prefix [entries] against a
+    freshly built config (same seed parameters as the original run),
+    then continue natively to completion. The scheduler is re-synced
+    during the prefix — consulted with identical inputs so its internal
+    state (RNG draws) advances exactly as the original run's did — which
+    makes the continuation, and hence the whole outcome, byte-identical
+    to the uninterrupted run. [emit] receives only post-prefix entries,
+    so appending them to the stored journal keeps it a valid whole-run
+    journal. Mediator-batch atomicity and fault-plan windows survive the
+    boundary because both are replayed, not approximated.
+    @raise Replay_mismatch when the config does not match the journal. *)
+
+val replay :
+  ?upto:int -> entries:Journal.entry array -> ('m, 'a) config -> 'a Types.outcome
+(** Time-travel: deterministically re-execute the first [upto] journal
+    entries (default: all) and freeze. The scheduler is never consulted,
+    so any placeholder scheduler works. A complete journal replays to
+    the original termination; a truncated prefix returns a [Cutoff]
+    outcome whose trace/metrics are the run's state at that decision.
+    @raise Replay_mismatch when the config does not match the journal.
+    @raise Invalid_argument when [upto] is negative. *)
+
 val moves_with_wills :
   ('m, 'a) Types.process array -> 'a Types.outcome -> 'a option array
 (** The Aumann-Hart reading of an unfinished history: players that never

@@ -1,0 +1,267 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+let magic = "CTST"
+let index_every = 256
+
+(* A length prefix claiming more than this is garbage bytes being read
+   as a length, not a real record: treat it as a torn tail. *)
+let max_record_len = 256 * 1024 * 1024
+
+type recovery = Clean | Recovered of { valid_records : int; dropped_bytes : int }
+
+type record =
+  | Meta of Obs.Json.t
+  | Event of int Sim.Types.trace_event
+  | Entry of Sim.Runner.Journal.entry
+  | Metrics of Obs.Metrics.t
+  | Raw of int * string
+
+(* Record tags (first payload byte). 0..3 are understood; anything else
+   round-trips as [Raw] so a newer writer's records survive an older
+   reader. *)
+let tag_meta = 0
+let tag_event = 1
+let tag_entry = 2
+let tag_metrics = 3
+
+let decode_body body =
+  if String.length body = 0 then corrupt "empty record body";
+  let tag = Char.code body.[0] in
+  let wire_guard f =
+    try f () with
+    | Wire.Decode_error m -> corrupt "record tag %d: %s" tag m
+    | Obs.Json.Parse_error m -> corrupt "metadata record: %s" m
+  in
+  wire_guard @@ fun () ->
+  if tag = tag_meta then Meta (Obs.Json.of_string (String.sub body 1 (String.length body - 1)))
+  else if tag = tag_event then begin
+    let d = Wire.Dec.of_string ~pos:1 body in
+    let ev = Wire.Event.decode d in
+    if not (Wire.Dec.at_end d) then corrupt "event record: trailing bytes";
+    Event ev
+  end
+  else if tag = tag_entry then begin
+    let d = Wire.Dec.of_string ~pos:1 body in
+    let e = Wire.Entry.decode d in
+    if not (Wire.Dec.at_end d) then corrupt "journal record: trailing bytes";
+    Entry e
+  end
+  else if tag = tag_metrics then begin
+    let d = Wire.Dec.of_string ~pos:1 body in
+    let m = Wire.Metrics.decode d in
+    if not (Wire.Dec.at_end d) then corrupt "metrics record: trailing bytes";
+    Metrics m
+  end
+  else Raw (tag, String.sub body 1 (String.length body - 1))
+
+module Writer = struct
+  type t = {
+    oc : out_channel;
+    mutable nrecords : int;
+    buf : Buffer.t;
+    lenb : Bytes.t;
+  }
+
+  let append w r =
+    Buffer.clear w.buf;
+    (match r with
+    | Meta j ->
+        Wire.Enc.u8 w.buf tag_meta;
+        Buffer.add_string w.buf (Obs.Json.to_string j)
+    | Event ev ->
+        Wire.Enc.u8 w.buf tag_event;
+        Wire.Event.encode w.buf ev
+    | Entry e ->
+        Wire.Enc.u8 w.buf tag_entry;
+        Wire.Entry.encode w.buf e
+    | Metrics m ->
+        Wire.Enc.u8 w.buf tag_metrics;
+        Wire.Metrics.encode w.buf m
+    | Raw (tag, payload) ->
+        Wire.Enc.u8 w.buf tag;
+        Buffer.add_string w.buf payload);
+    let body = Buffer.contents w.buf in
+    let len = String.length body in
+    if len > max_record_len then
+      invalid_arg (Printf.sprintf "Store.Writer.append: %d-byte record" len);
+    Bytes.set_int32_le w.lenb 0 (Int32.of_int len);
+    output_bytes w.oc w.lenb;
+    output_string w.oc body;
+    Bytes.set_int32_le w.lenb 0 (Int32.of_int (Wire.crc32 body));
+    output_bytes w.oc w.lenb;
+    w.nrecords <- w.nrecords + 1
+
+  let create ~path ~meta =
+    let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 path in
+    let w = { oc; nrecords = 0; buf = Buffer.create 4096; lenb = Bytes.create 4 } in
+    output_string oc magic;
+    output_char oc (Char.chr Wire.version);
+    output_string oc "\000\000\000";
+    append w (Meta meta);
+    w
+
+  let event w ev = append w (Event ev)
+  let entry w e = append w (Entry e)
+  let metrics w m = append w (Metrics m)
+  let records w = w.nrecords
+  let flush w = flush w.oc
+  let close w = close_out w.oc
+end
+
+module Reader = struct
+  type t = {
+    path : string;
+    ic : in_channel;
+    nrecords : int;
+    index : int array; (* offset of record (i * index_every) *)
+    meta_v : Obs.Json.t;
+    lenb : Bytes.t;
+  }
+
+  (* Read the framed record at the current channel position; CRC is
+     re-verified (cheap next to the I/O, and guards against the file
+     changing under an open reader). Returns the body. *)
+  let read_body_here ~path ic lenb =
+    really_input ic lenb 0 4;
+    let len = Int32.to_int (Bytes.get_int32_le lenb 0) in
+    if len < 1 || len > max_record_len then corrupt "%s: bad record length %d" path len;
+    let body = really_input_string ic len in
+    really_input ic lenb 0 4;
+    let crc = Int32.to_int (Bytes.get_int32_le lenb 0) land 0xFFFFFFFF in
+    if Wire.crc32 body <> crc then corrupt "%s: checksum mismatch" path;
+    body
+
+  let open_ path =
+    let ic = open_in_bin path in
+    let fail_close fmt =
+      Printf.ksprintf
+        (fun s ->
+          close_in_noerr ic;
+          raise (Corrupt s))
+        fmt
+    in
+    let size = in_channel_length ic in
+    if size < 8 then fail_close "%s: too short for a store header (%d bytes)" path size;
+    let hdr = really_input_string ic 8 in
+    if String.sub hdr 0 4 <> magic then fail_close "%s: bad magic (not a trace store)" path;
+    let ver = Char.code hdr.[4] in
+    if ver <> Wire.version then
+      fail_close "%s: format version %d, this build reads %d" path ver Wire.version;
+    (* Sequential validation scan: length sanity + CRC for every record.
+       The first failure marks the whole tail torn — records after a torn
+       one cannot be trusted to be framed correctly. *)
+    let offsets = ref [] in
+    let count = ref 0 in
+    let pos = ref 8 in
+    let last_good = ref 8 in
+    let torn = ref false in
+    let buf4 = Bytes.create 4 in
+    (try
+       while !pos < size do
+         if size - !pos < 4 then raise Exit;
+         really_input ic buf4 0 4;
+         let len = Int32.to_int (Bytes.get_int32_le buf4 0) in
+         if len < 1 || len > max_record_len then raise Exit;
+         if size - !pos - 4 < len + 4 then raise Exit;
+         let body = really_input_string ic len in
+         really_input ic buf4 0 4;
+         let crc = Int32.to_int (Bytes.get_int32_le buf4 0) land 0xFFFFFFFF in
+         if Wire.crc32 body <> crc then raise Exit;
+         if !count mod index_every = 0 then offsets := !pos :: !offsets;
+         incr count;
+         pos := !pos + 4 + len + 4;
+         last_good := !pos
+       done
+     with Exit | End_of_file -> torn := true);
+    let recovery =
+      if not !torn then Clean
+      else begin
+        (* Recover: truncate the torn tail so the next open is clean. *)
+        close_in_noerr ic;
+        let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+        Unix.ftruncate fd !last_good;
+        Unix.close fd;
+        Recovered { valid_records = !count; dropped_bytes = size - !last_good }
+      end
+    in
+    if !count = 0 then begin
+      close_in_noerr ic;
+      corrupt "%s: no valid metadata record (unrecoverable)" path
+    end;
+    let ic = if !torn then open_in_bin path else ic in
+    let lenb = Bytes.create 4 in
+    seek_in ic 8;
+    let meta_v =
+      match decode_body (read_body_here ~path ic lenb) with
+      | Meta j -> j
+      | _ ->
+          close_in_noerr ic;
+          corrupt "%s: record 0 is not run metadata (unrecoverable)" path
+      | exception Corrupt m ->
+          close_in_noerr ic;
+          raise (Corrupt m)
+    in
+    let index = Array.of_list (List.rev !offsets) in
+    ({ path; ic; nrecords = !count; index; meta_v; lenb }, recovery)
+
+  let meta t = t.meta_v
+  let records t = t.nrecords
+
+  let skip_one t =
+    really_input t.ic t.lenb 0 4;
+    let len = Int32.to_int (Bytes.get_int32_le t.lenb 0) in
+    seek_in t.ic (pos_in t.ic + len + 4)
+
+  let seek_to_record t n =
+    let slot = n / index_every in
+    seek_in t.ic t.index.(slot);
+    for _ = 1 to n mod index_every do
+      skip_one t
+    done
+
+  let get t n =
+    if n < 0 || n >= t.nrecords then
+      invalid_arg (Printf.sprintf "Store.Reader.get: record %d of %d" n t.nrecords);
+    seek_to_record t n;
+    decode_body (read_body_here ~path:t.path t.ic t.lenb)
+
+  let iter ?(from = 0) f t =
+    if from < 0 then invalid_arg "Store.Reader.iter: negative ~from";
+    if from < t.nrecords then begin
+      seek_to_record t from;
+      for i = from to t.nrecords - 1 do
+        f i (decode_body (read_body_here ~path:t.path t.ic t.lenb))
+      done
+    end
+
+  let entries t =
+    let acc = ref [] in
+    iter (fun _ r -> match r with Entry e -> acc := e :: !acc | _ -> ()) t;
+    let a = Array.of_list !acc in
+    let n = Array.length a in
+    (* reverse in place: [acc] collected newest-first *)
+    for i = 0 to (n / 2) - 1 do
+      let tmp = a.(i) in
+      a.(i) <- a.(n - 1 - i);
+      a.(n - 1 - i) <- tmp
+    done;
+    a
+
+  let events t =
+    let acc = ref [] in
+    iter (fun _ r -> match r with Event ev -> acc := ev :: !acc | _ -> ()) t;
+    List.rev !acc
+
+  let metrics t =
+    let last = ref None in
+    iter (fun _ r -> match r with Metrics m -> last := Some m | _ -> ()) t;
+    !last
+
+  let close t = close_in_noerr t.ic
+end
+
+let write_json_atomic ~path j =
+  let tmp = path ^ ".tmp" in
+  Obs.Json.to_file tmp j;
+  Sys.rename tmp path

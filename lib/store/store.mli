@@ -1,0 +1,102 @@
+(** Streaming, file-backed trace store (DESIGN.md section 16).
+
+    Layout: an 8-byte header (["CTST"], format version, reserved), then
+    length-prefixed records:
+
+    {v [u32 LE: len] [u8 tag + payload, len bytes] [u32 LE: CRC-32] v}
+
+    The checksum covers the tag+payload bytes. Record 0 is always the
+    run's JSON metadata (enough to rebuild the config for replay);
+    after it come {!Wire}-encoded journal entries, trace events and
+    metrics in any interleaving — a journaled run streams entries as
+    decisions are made and appends the trace and final metrics at the
+    end, so a 10^8-event run never exists as an in-memory list.
+
+    {!Reader.open_} validates every record (length sanity + CRC) in one
+    sequential scan, building a sparse in-memory index (one offset per
+    {!index_every} records) for random access. A torn or corrupt tail —
+    the SIGKILL-mid-write case — is detected by the scan and recovered
+    by truncating the file back to the last valid record; only an
+    unusable header or a destroyed metadata record is unrecoverable
+    ({!Corrupt}). *)
+
+exception Corrupt of string
+(** The store cannot be used at all: bad magic/version, or record 0
+    (the run metadata) is missing or damaged. Partial damage past
+    record 0 never raises — it recovers. *)
+
+val index_every : int
+(** Sparse-index stride (256): [get] seeks to the nearest indexed
+    offset and scans forward at most this many records. *)
+
+(** What a reopened store had to do to present a valid prefix. *)
+type recovery =
+  | Clean
+  | Recovered of { valid_records : int; dropped_bytes : int }
+      (** [dropped_bytes] of torn/corrupt tail were truncated away,
+          leaving [valid_records] records. *)
+
+type record =
+  | Meta of Obs.Json.t
+  | Event of int Sim.Types.trace_event
+  | Entry of Sim.Runner.Journal.entry
+  | Metrics of Obs.Metrics.t
+  | Raw of int * string
+      (** unknown tag: preserved, not understood (forward compat) *)
+
+module Writer : sig
+  type t
+
+  val create : path:string -> meta:Obs.Json.t -> t
+  (** Truncates [path] and writes the header plus the metadata record.
+      @raise Sys_error on I/O failure. *)
+
+  val append : t -> record -> unit
+  val event : t -> int Sim.Types.trace_event -> unit
+  val entry : t -> Sim.Runner.Journal.entry -> unit
+  val metrics : t -> Obs.Metrics.t -> unit
+
+  val records : t -> int
+  (** Records written so far, metadata record included. *)
+
+  val flush : t -> unit
+  val close : t -> unit
+end
+
+module Reader : sig
+  type t
+
+  val open_ : string -> t * recovery
+  (** Validate the whole file, truncate away any torn tail, and build
+      the sparse index.
+      @raise Corrupt when the header or metadata record is unusable.
+      @raise Sys_error on I/O failure. *)
+
+  val meta : t -> Obs.Json.t
+  val records : t -> int
+
+  val get : t -> int -> record
+  (** Random access via the sparse index.
+      @raise Invalid_argument when out of range. *)
+
+  val iter : ?from:int -> (int -> record -> unit) -> t -> unit
+  (** Stream records [from..] (default 0) in order without keeping more
+      than one payload in memory. *)
+
+  val entries : t -> Sim.Runner.Journal.entry array
+  (** All journal entries, in order — the input to
+      {!Sim.Runner.replay}/{!Sim.Runner.resume}. *)
+
+  val events : t -> int Sim.Types.trace_event list
+  (** All trace events, in order. *)
+
+  val metrics : t -> Obs.Metrics.t option
+  (** The last metrics record, if the run got far enough to write one. *)
+
+  val close : t -> unit
+end
+
+val write_json_atomic : path:string -> Obs.Json.t -> unit
+(** Write-to-temp-then-rename, so a checkpoint file is either the old
+    complete document or the new complete document — never a torn one.
+    Used by the engine's shard checkpoints. *)

@@ -1,0 +1,333 @@
+exception Decode_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+let version = 1
+
+(* CRC-32, IEEE 802.3 / zlib polynomial, table-driven. Kept here (not in
+   the store) so a record's checksum covers exactly the wire payload. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun i ->
+         let c = ref i in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1) else c := !c lsr 1
+         done;
+         !c))
+
+let crc32 ?(crc = 0) s =
+  let table = Lazy.force crc_table in
+  let c = ref (lnot crc land 0xFFFFFFFF) in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  lnot !c land 0xFFFFFFFF
+
+module Enc = struct
+  type t = Buffer.t
+
+  let u8 b n =
+    if n < 0 || n > 255 then invalid_arg (Printf.sprintf "Wire.Enc.u8: %d" n);
+    Buffer.add_char b (Char.chr n)
+
+  (* Unsigned LEB128 over the int's 63-bit pattern: [lsr] pulls negative
+     ints through as large unsigned values, so every int terminates in at
+     most 9 groups of 7 bits. *)
+  let varint b n =
+    let n = ref n in
+    let continue = ref true in
+    while !continue do
+      let low = !n land 0x7f in
+      let rest = !n lsr 7 in
+      if rest = 0 then begin
+        Buffer.add_char b (Char.unsafe_chr low);
+        continue := false
+      end
+      else begin
+        Buffer.add_char b (Char.unsafe_chr (low lor 0x80));
+        n := rest
+      end
+    done
+
+  (* Zigzag: 0, -1, 1, -2, ... -> 0, 1, 2, 3, ... so small magnitudes of
+     either sign stay one byte. *)
+  let int b n = varint b ((n lsl 1) lxor (n asr 62))
+  let float b f = Buffer.add_int64_le b (Int64.bits_of_float f)
+
+  let string b s =
+    varint b (String.length s);
+    Buffer.add_string b s
+end
+
+module Dec = struct
+  type t = { src : string; mutable p : int }
+
+  let of_string ?(pos = 0) src = { src; p = pos }
+  let pos d = d.p
+  let at_end d = d.p >= String.length d.src
+
+  let u8 d =
+    if d.p >= String.length d.src then fail "truncated input at byte %d" d.p;
+    let c = Char.code (String.unsafe_get d.src d.p) in
+    d.p <- d.p + 1;
+    c
+
+  let varint d =
+    let shift = ref 0 in
+    let acc = ref 0 in
+    let continue = ref true in
+    while !continue do
+      if !shift > 56 then fail "varint longer than 9 bytes at byte %d" d.p;
+      let byte = u8 d in
+      acc := !acc lor ((byte land 0x7f) lsl !shift);
+      shift := !shift + 7;
+      if byte land 0x80 = 0 then continue := false
+    done;
+    !acc
+
+  let int d =
+    let z = varint d in
+    (z lsr 1) lxor (-(z land 1))
+
+  let float d =
+    if d.p + 8 > String.length d.src then fail "truncated float at byte %d" d.p;
+    let bits = String.get_int64_le d.src d.p in
+    d.p <- d.p + 8;
+    Int64.float_of_bits bits
+
+  let string d =
+    let len = varint d in
+    if len < 0 || d.p + len > String.length d.src then
+      fail "bad string length %d at byte %d" len d.p;
+    let s = String.sub d.src d.p len in
+    d.p <- d.p + len;
+    s
+end
+
+module Event = struct
+  open Sim.Types
+
+  let fault_tag = function Duplicate -> 6 | Corrupt -> 7 | Delay -> 8 | Crash_restart -> 9
+
+  let encode b (ev : int trace_event) =
+    match ev with
+    | Sent { src; dst; seq } ->
+        Enc.u8 b 0;
+        Enc.int b src;
+        Enc.int b dst;
+        Enc.varint b seq
+    | Delivered { src; dst; seq } ->
+        Enc.u8 b 1;
+        Enc.int b src;
+        Enc.int b dst;
+        Enc.varint b seq
+    | Dropped { src; dst; seq } ->
+        Enc.u8 b 2;
+        Enc.int b src;
+        Enc.int b dst;
+        Enc.varint b seq
+    | Moved { who; action } ->
+        Enc.u8 b 3;
+        Enc.varint b who;
+        Enc.int b action
+    | Halted p ->
+        Enc.u8 b 4;
+        Enc.varint b p
+    | Started p ->
+        Enc.u8 b 5;
+        Enc.varint b p
+    | Fault { kind; src; dst; seq } ->
+        Enc.u8 b (fault_tag kind);
+        Enc.int b src;
+        Enc.int b dst;
+        Enc.varint b seq
+
+  let decode d : int trace_event =
+    let tag = Dec.u8 d in
+    match tag with
+    | 0 | 1 | 2 ->
+        let src = Dec.int d in
+        let dst = Dec.int d in
+        let seq = Dec.varint d in
+        if tag = 0 then Sent { src; dst; seq }
+        else if tag = 1 then Delivered { src; dst; seq }
+        else Dropped { src; dst; seq }
+    | 3 ->
+        let who = Dec.varint d in
+        let action = Dec.int d in
+        Moved { who; action }
+    | 4 -> Halted (Dec.varint d)
+    | 5 -> Started (Dec.varint d)
+    | 6 | 7 | 8 | 9 ->
+        let kind =
+          match tag with 6 -> Duplicate | 7 -> Corrupt | 8 -> Delay | _ -> Crash_restart
+        in
+        let src = Dec.int d in
+        let dst = Dec.int d in
+        let seq = Dec.varint d in
+        Fault { kind; src; dst; seq }
+    | t -> fail "unknown event tag %d at byte %d" t (Dec.pos d - 1)
+
+  let encode_list evs =
+    let b = Buffer.create 4096 in
+    Enc.varint b (List.length evs);
+    List.iter (encode b) evs;
+    Buffer.contents b
+
+  let decode_list s =
+    let d = Dec.of_string s in
+    let n = Dec.varint d in
+    if n < 0 then fail "bad event count %d" n;
+    let acc = ref [] in
+    for _ = 1 to n do
+      acc := decode d :: !acc
+    done;
+    List.rev !acc
+end
+
+module Entry = struct
+  module J = Sim.Runner.Journal
+
+  let encode_coords b (co : J.coords) =
+    Enc.int b co.J.src;
+    Enc.int b co.J.dst;
+    Enc.varint b co.J.seq
+
+  let decode_coords d : J.coords =
+    let src = Dec.int d in
+    let dst = Dec.int d in
+    let seq = Dec.varint d in
+    { J.src; dst; seq }
+
+  (* Fallback tags fold the reason and target presence into the tag byte:
+     2/3 blocked, 4/5 invalid, 6/7 scheduler-exn; even = has target. *)
+  let encode b (e : J.entry) =
+    match e with
+    | J.Forced co ->
+        Enc.u8 b 0;
+        encode_coords b co
+    | J.Chose co ->
+        Enc.u8 b 1;
+        encode_coords b co
+    | J.Fallback (reason, target) -> (
+        let base =
+          match reason with J.Blocked -> 2 | J.Invalid -> 4 | J.Sched_exn -> 6
+        in
+        match target with
+        | Some co ->
+            Enc.u8 b base;
+            encode_coords b co
+        | None -> Enc.u8 b (base + 1))
+    | J.Stopped -> Enc.u8 b 8
+    | J.Watchdog -> Enc.u8 b 9
+
+  let decode d : J.entry =
+    let tag = Dec.u8 d in
+    match tag with
+    | 0 -> J.Forced (decode_coords d)
+    | 1 -> J.Chose (decode_coords d)
+    | 2 -> J.Fallback (J.Blocked, Some (decode_coords d))
+    | 3 -> J.Fallback (J.Blocked, None)
+    | 4 -> J.Fallback (J.Invalid, Some (decode_coords d))
+    | 5 -> J.Fallback (J.Invalid, None)
+    | 6 -> J.Fallback (J.Sched_exn, Some (decode_coords d))
+    | 7 -> J.Fallback (J.Sched_exn, None)
+    | 8 -> J.Stopped
+    | 9 -> J.Watchdog
+    | t -> fail "unknown journal tag %d at byte %d" t (Dec.pos d - 1)
+
+  let encode_array entries =
+    let b = Buffer.create 4096 in
+    Enc.varint b (Array.length entries);
+    Array.iter (encode b) entries;
+    Buffer.contents b
+
+  let decode_array s =
+    let d = Dec.of_string s in
+    let n = Dec.varint d in
+    if n < 0 then fail "bad entry count %d" n;
+    Array.init n (fun _ -> decode d)
+end
+
+module Metrics = struct
+  module M = Obs.Metrics
+
+  let encode_counts b (c : M.counts) =
+    Enc.varint b c.M.p2p;
+    Enc.varint b c.M.p2m;
+    Enc.varint b c.M.m2p;
+    Enc.varint b c.M.self
+
+  let decode_counts d : M.counts =
+    let p2p = Dec.varint d in
+    let p2m = Dec.varint d in
+    let m2p = Dec.varint d in
+    let self = Dec.varint d in
+    { M.p2p; p2m; m2p; self }
+
+  let encode b (m : M.t) =
+    Enc.varint b m.M.runs;
+    encode_counts b m.M.sent;
+    encode_counts b m.M.delivered;
+    encode_counts b m.M.dropped;
+    Enc.varint b m.M.batches;
+    Enc.varint b m.M.steps;
+    Enc.varint b m.M.starved;
+    Enc.varint b m.M.invalid_decisions;
+    Enc.varint b m.M.scheduler_exns;
+    Enc.varint b m.M.injected_dup;
+    Enc.varint b m.M.injected_corrupt;
+    Enc.varint b m.M.injected_delay;
+    Enc.varint b m.M.injected_crash;
+    Enc.varint b m.M.timed_out;
+    Enc.varint b m.M.trial_retries;
+    Enc.float b m.M.wall_clock;
+    Enc.float b m.M.gc_minor_words;
+    Enc.float b m.M.gc_major_words
+
+  let decode d : M.t =
+    let runs = Dec.varint d in
+    let sent = decode_counts d in
+    let delivered = decode_counts d in
+    let dropped = decode_counts d in
+    let batches = Dec.varint d in
+    let steps = Dec.varint d in
+    let starved = Dec.varint d in
+    let invalid_decisions = Dec.varint d in
+    let scheduler_exns = Dec.varint d in
+    let injected_dup = Dec.varint d in
+    let injected_corrupt = Dec.varint d in
+    let injected_delay = Dec.varint d in
+    let injected_crash = Dec.varint d in
+    let timed_out = Dec.varint d in
+    let trial_retries = Dec.varint d in
+    let wall_clock = Dec.float d in
+    let gc_minor_words = Dec.float d in
+    let gc_major_words = Dec.float d in
+    {
+      M.runs;
+      sent;
+      delivered;
+      dropped;
+      batches;
+      steps;
+      starved;
+      invalid_decisions;
+      scheduler_exns;
+      injected_dup;
+      injected_corrupt;
+      injected_delay;
+      injected_crash;
+      timed_out;
+      trial_retries;
+      wall_clock;
+      gc_minor_words;
+      gc_major_words;
+    }
+
+  let to_string m =
+    let b = Buffer.create 128 in
+    encode b m;
+    Buffer.contents b
+
+  let of_string s = decode (Dec.of_string s)
+end

@@ -1,0 +1,102 @@
+(** Compact, versioned binary encoding for the durability layer
+    (DESIGN.md section 16): trace events, decision-journal entries and
+    {!Obs.Metrics} records. The format is what `lib/store` frames into
+    checksummed records; everything here is payload encoding only.
+
+    Design points:
+    - integers are LEB128 varints; signed values (pids can be
+      [Types.env_pid = -1], game actions can be negative) are
+      zigzag-mapped first, so small magnitudes stay at one byte;
+    - every composite starts with a one-byte tag, and decoders reject
+      unknown tags with {!Decode_error} rather than guessing — version
+      negotiation lives in the store header, not per record;
+    - decoding NEVER raises anything but {!Decode_error} on malformed or
+      truncated input (qcheck-enforced), so a corrupt store degrades
+      into a clean error path. *)
+
+exception Decode_error of string
+
+val version : int
+(** Current format version (1). Stamped into store headers. *)
+
+val crc32 : ?crc:int -> string -> int
+(** CRC-32 (IEEE 802.3, the zlib polynomial) of a string, as an
+    unsigned int. [?crc] chains partial computations: [crc32 ~crc:c s]
+    continues a checksum [c] over [s]. *)
+
+(** {1 Primitive encoders/decoders}
+
+    [Enc] appends to a [Buffer.t]; [Dec] reads from a string at a
+    mutable position. *)
+
+module Enc : sig
+  type t = Buffer.t
+
+  val u8 : t -> int -> unit
+  (** One byte, 0..255. @raise Invalid_argument out of range. *)
+
+  val varint : t -> int -> unit
+  (** Unsigned LEB128 of the int's 63-bit two's-complement pattern;
+      negative ints encode (at 9 bytes) and round-trip, but callers
+      holding signed data should prefer {!int}. *)
+
+  val int : t -> int -> unit
+  (** Zigzag + LEB128: small magnitudes of either sign stay small. *)
+
+  val float : t -> float -> unit
+  (** IEEE 754 double, 8 bytes little-endian. *)
+
+  val string : t -> string -> unit
+  (** Varint length prefix + raw bytes. *)
+end
+
+module Dec : sig
+  type t
+
+  val of_string : ?pos:int -> string -> t
+  val pos : t -> int
+  val at_end : t -> bool
+
+  val u8 : t -> int
+  val varint : t -> int
+  val int : t -> int
+  val float : t -> float
+  val string : t -> string
+  (** All raise {!Decode_error} on truncation or malformed input
+      (varint longer than 63 bits, length prefix past the end...). *)
+end
+
+(** {1 Composite codecs} *)
+
+(** Trace events with [int] actions — the action type every bundled
+    game and the compiled cheap-talk protocols use. 1 tag byte plus
+    zigzag coordinates: typical events are 2–5 bytes. *)
+module Event : sig
+  val encode : Enc.t -> int Sim.Types.trace_event -> unit
+  val decode : Dec.t -> int Sim.Types.trace_event
+
+  val encode_list : int Sim.Types.trace_event list -> string
+  (** Varint count, then the events in order. *)
+
+  val decode_list : string -> int Sim.Types.trace_event list
+end
+
+(** Decision-journal entries ({!Sim.Runner.Journal.entry}). *)
+module Entry : sig
+  val encode : Enc.t -> Sim.Runner.Journal.entry -> unit
+  val decode : Dec.t -> Sim.Runner.Journal.entry
+
+  val encode_array : Sim.Runner.Journal.entry array -> string
+  val decode_array : string -> Sim.Runner.Journal.entry array
+end
+
+(** Full {!Obs.Metrics.t} records: the 15 deterministic counters and
+    message-class vectors as varints in declaration order, then the
+    three environmental floats as fixed 8-byte doubles. *)
+module Metrics : sig
+  val encode : Enc.t -> Obs.Metrics.t -> unit
+  val decode : Dec.t -> Obs.Metrics.t
+
+  val to_string : Obs.Metrics.t -> string
+  val of_string : string -> Obs.Metrics.t
+end

@@ -702,6 +702,52 @@ let test_metrics_json_split () =
     (contains {|"wall_clock_s"|} s)
 
 (* ------------------------------------------------------------------ *)
+(* Hardened of_file (ISSUE: durable-runs PR, satellite 1): empty,
+   truncated and oversized files must fail with a Parse_error naming
+   the path — never End_of_file or a silent partial read. *)
+
+let with_file content f =
+  let path = Filename.temp_file "obsjson" ".json" in
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let expect_parse_error name path thunk =
+  match thunk () with
+  | _ -> Alcotest.fail (name ^ ": expected Parse_error")
+  | exception Json.Parse_error msg ->
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) (name ^ ": message names the file") true (contains path msg)
+
+let test_of_file_round_trip () =
+  let doc = Json.Obj [ ("a", Json.Int 1); ("b", Json.List [ Json.String "x" ]) ] in
+  with_file (Json.to_string doc) (fun path ->
+      Alcotest.(check bool) "round-trips" true (Json.of_file path = doc))
+
+let test_of_file_empty () =
+  with_file "" (fun path ->
+      expect_parse_error "empty file" path (fun () -> Json.of_file path))
+
+let test_of_file_truncated () =
+  with_file {|{"a": [1, 2|} (fun path ->
+      expect_parse_error "truncated document" path (fun () -> Json.of_file path))
+
+let test_of_file_oversized () =
+  with_file (Json.to_string (Json.String (String.make 256 'x'))) (fun path ->
+      expect_parse_error "over max_bytes" path (fun () ->
+          Json.of_file ~max_bytes:16 path);
+      (* the default cap is far above any checkpoint document *)
+      Alcotest.(check bool) "default cap generous" true (Json.max_file_bytes >= 1 lsl 20))
+
+let test_of_file_missing () =
+  match Json.of_file "/nonexistent/obsjson.json" with
+  | _ -> Alcotest.fail "missing file parsed"
+  | exception Sys_error _ -> ()
 
 let () =
   Alcotest.run "obs"
@@ -785,5 +831,13 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "accessors" `Quick test_json_accessors;
           Alcotest.test_case "metrics split" `Quick test_metrics_json_split;
+        ] );
+      ( "of-file",
+        [
+          Alcotest.test_case "round trip" `Quick test_of_file_round_trip;
+          Alcotest.test_case "empty file" `Quick test_of_file_empty;
+          Alcotest.test_case "truncated document" `Quick test_of_file_truncated;
+          Alcotest.test_case "size cap" `Quick test_of_file_oversized;
+          Alcotest.test_case "missing file" `Quick test_of_file_missing;
         ] );
     ]

@@ -1,0 +1,255 @@
+(* Wire codec properties (ISSUE: durable-runs PR): varint/zigzag edge
+   cases including min_int/max_int, CRC-32 reference vectors and
+   chaining, qcheck round-trips for every composite codec, the
+   bytes-per-message budget, and the decoder discipline — malformed or
+   truncated input raises Decode_error and nothing else. *)
+
+module W = Wire
+module T = Sim.Types
+module J = Sim.Runner.Journal
+
+let enc f =
+  let b = Buffer.create 16 in
+  f b;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Primitives *)
+
+let test_varint_edges () =
+  List.iter
+    (fun n ->
+      let s = enc (fun b -> W.Enc.varint b n) in
+      let d = W.Dec.of_string s in
+      Alcotest.(check bool)
+        (Printf.sprintf "varint %d round-trips to end" n)
+        true
+        (W.Dec.varint d = n && W.Dec.at_end d))
+    [ 0; 1; 127; 128; 300; 16384; max_int; -1; min_int ]
+
+let test_int_edges () =
+  List.iter
+    (fun n ->
+      let s = enc (fun b -> W.Enc.int b n) in
+      let d = W.Dec.of_string s in
+      Alcotest.(check bool)
+        (Printf.sprintf "zigzag %d round-trips to end" n)
+        true
+        (W.Dec.int d = n && W.Dec.at_end d))
+    [ 0; -1; 1; 63; -64; 64; -65; 1_000_000; -1_000_000; max_int; min_int ]
+
+let test_small_magnitudes_one_byte () =
+  (* the point of zigzag: pids (-1 is the environment) and small game
+     actions of either sign cost one byte *)
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "zigzag %d is one byte" n)
+        1
+        (String.length (enc (fun b -> W.Enc.int b n))))
+    [ 0; -1; 1; -32; 31 ]
+
+let test_u8_range () =
+  (match enc (fun b -> W.Enc.u8 b 256) with
+  | _ -> Alcotest.fail "u8 256 accepted"
+  | exception Invalid_argument _ -> ());
+  match enc (fun b -> W.Enc.u8 b (-1)) with
+  | _ -> Alcotest.fail "u8 -1 accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_crc32_vectors () =
+  Alcotest.(check int) "crc32 of empty" 0 (W.crc32 "");
+  (* the standard IEEE 802.3 check value *)
+  Alcotest.(check int) "crc32 check value" 0xCBF43926 (W.crc32 "123456789");
+  Alcotest.(check int) "chaining splits anywhere" (W.crc32 "123456789")
+    (W.crc32 ~crc:(W.crc32 "12345") "6789")
+
+let test_float_round_trip () =
+  List.iter
+    (fun f ->
+      let s = enc (fun b -> W.Enc.float b f) in
+      Alcotest.(check int) "8 bytes" 8 (String.length s);
+      let got = W.Dec.float (W.Dec.of_string s) in
+      Alcotest.(check bool)
+        (Printf.sprintf "float %h round-trips" f)
+        true
+        (Int64.bits_of_float got = Int64.bits_of_float f))
+    [ 0.0; -0.0; 1.5; -3.25e300; infinity; neg_infinity; nan ]
+
+let test_string_round_trip () =
+  List.iter
+    (fun s ->
+      let e = enc (fun b -> W.Enc.string b s) in
+      Alcotest.(check string) "string round-trips" s (W.Dec.string (W.Dec.of_string e)))
+    [ ""; "a"; String.make 1000 '\xff'; "embedded \x00 nul" ]
+
+(* ------------------------------------------------------------------ *)
+(* Composite round-trips (qcheck) *)
+
+let pid_gen = QCheck.Gen.int_range (-1) 40
+let seq_gen = QCheck.Gen.int_range 0 100_000
+
+let event_gen : int T.trace_event QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* tag = int_range 0 6 in
+  let* src = pid_gen and* dst = pid_gen and* seq = seq_gen in
+  let* action = int_range (-1000) 1000 in
+  let* kind = oneofl [ T.Duplicate; T.Corrupt; T.Delay; T.Crash_restart ] in
+  return
+    (match tag with
+    | 0 -> T.Sent { src; dst; seq }
+    | 1 -> T.Delivered { src; dst; seq }
+    | 2 -> T.Dropped { src; dst; seq }
+    | 3 -> T.Moved { who = max 0 src; action }
+    | 4 -> T.Halted (max 0 src)
+    | 5 -> T.Started (max 0 src)
+    | _ -> T.Fault { kind; src; dst; seq })
+
+let coords_gen : J.coords QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* src = pid_gen and* dst = pid_gen and* seq = seq_gen in
+  return { J.src; dst; seq }
+
+let entry_gen : J.entry QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* co = coords_gen in
+  let* reason = oneofl [ J.Blocked; J.Invalid; J.Sched_exn ] in
+  oneofl
+    [
+      J.Forced co;
+      J.Chose co;
+      J.Fallback (reason, Some co);
+      J.Fallback (reason, None);
+      J.Stopped;
+      J.Watchdog;
+    ]
+
+let metrics_gen : Obs.Metrics.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let* counters = array_size (return 15) (int_range 0 1_000_000) in
+  let* w = float_range 0.0 100.0 in
+  let c i = counters.(i) in
+  let counts i =
+    { Obs.Metrics.p2p = c i; p2m = c (i + 1) land 0xffff; m2p = c i lsr 3; self = c (i + 1) }
+  in
+  return
+    {
+      Obs.Metrics.runs = c 0;
+      sent = counts 1;
+      delivered = counts 3;
+      dropped = counts 5;
+      batches = c 7;
+      steps = c 8;
+      starved = c 9;
+      invalid_decisions = c 10;
+      scheduler_exns = c 11;
+      injected_dup = c 12;
+      injected_corrupt = c 13;
+      injected_delay = c 14;
+      injected_crash = c 0 lsr 1;
+      timed_out = c 1 land 1;
+      trial_retries = c 2 land 3;
+      wall_clock = w;
+      gc_minor_words = w *. 10.0;
+      gc_major_words = w /. 2.0;
+    }
+
+let event_arb = QCheck.make ~print:(fun _ -> "<event>") event_gen
+let entry_arb = QCheck.make ~print:(fun e -> J.entry_repr e) entry_gen
+let metrics_arb = QCheck.make ~print:Obs.Metrics.det_repr metrics_gen
+
+let prop_event_round_trip =
+  QCheck.Test.make ~count:500 ~name:"event list round-trips"
+    (QCheck.list_of_size QCheck.Gen.(int_range 0 50) event_arb)
+    (fun evs -> W.Event.decode_list (W.Event.encode_list evs) = evs)
+
+let prop_entry_round_trip =
+  QCheck.Test.make ~count:500 ~name:"journal entry array round-trips"
+    (QCheck.array_of_size QCheck.Gen.(int_range 0 50) entry_arb)
+    (fun es -> W.Entry.decode_array (W.Entry.encode_array es) = es)
+
+let prop_metrics_round_trip =
+  QCheck.Test.make ~count:300 ~name:"metrics round-trip preserves det_repr and floats"
+    metrics_arb
+    (fun m ->
+      let m' = W.Metrics.of_string (W.Metrics.to_string m) in
+      String.equal (Obs.Metrics.det_repr m) (Obs.Metrics.det_repr m')
+      && m'.Obs.Metrics.wall_clock = m.Obs.Metrics.wall_clock
+      && m'.Obs.Metrics.gc_minor_words = m.Obs.Metrics.gc_minor_words
+      && m'.Obs.Metrics.gc_major_words = m.Obs.Metrics.gc_major_words)
+
+(* Decoders must degrade into Decode_error — never Invalid_argument,
+   End_of_file or a silent wrong answer that escapes as an unrelated
+   crash. Truncate valid encodings at every prefix length. *)
+let prop_truncation_only_decode_error =
+  QCheck.Test.make ~count:300 ~name:"truncated input raises Decode_error only"
+    (QCheck.array_of_size QCheck.Gen.(int_range 1 10) entry_arb)
+    (fun es ->
+      let s = W.Entry.encode_array es in
+      let ok = ref true in
+      for len = 0 to String.length s - 1 do
+        match W.Entry.decode_array (String.sub s 0 len) with
+        | _ -> () (* a prefix can be a valid shorter encoding *)
+        | exception W.Decode_error _ -> ()
+        | exception _ -> ok := false
+      done;
+      !ok)
+
+let test_unknown_tags_rejected () =
+  (* one entry whose tag byte is mangled past the known range *)
+  let s = W.Entry.encode_array [| J.Stopped |] in
+  let mangled = Bytes.of_string s in
+  Bytes.set mangled 1 '\xee';
+  (match W.Entry.decode_array (Bytes.to_string mangled) with
+  | _ -> Alcotest.fail "unknown entry tag accepted"
+  | exception W.Decode_error _ -> ());
+  let s = W.Event.encode_list [ T.Halted 1 ] in
+  let mangled = Bytes.of_string s in
+  Bytes.set mangled 1 '\xee';
+  match W.Event.decode_list (Bytes.to_string mangled) with
+  | _ -> Alcotest.fail "unknown event tag accepted"
+  | exception W.Decode_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The bytes-per-message budget: typical events are tiny, and the
+   format must not silently bloat. Sent/Delivered between single-digit
+   pids with a small seq is exactly 4 bytes (tag + 3 varints). *)
+
+let test_bytes_per_message_budget () =
+  let small = T.Delivered { src = 3; dst = 4; seq = 17 } in
+  Alcotest.(check int) "small delivered event is 4 bytes" 4
+    (String.length (enc (fun b -> W.Event.encode b small)));
+  let chose = J.Chose { J.src = 3; dst = 4; seq = 17 } in
+  Alcotest.(check int) "small journal decision is 4 bytes" 4
+    (String.length (enc (fun b -> W.Entry.encode b chose)));
+  Alcotest.(check int) "stop decision is 1 byte" 1
+    (String.length (enc (fun b -> W.Entry.encode b J.Stopped)))
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "primitives",
+        [
+          Alcotest.test_case "varint edges" `Quick test_varint_edges;
+          Alcotest.test_case "zigzag edges" `Quick test_int_edges;
+          Alcotest.test_case "small magnitudes 1 byte" `Quick
+            test_small_magnitudes_one_byte;
+          Alcotest.test_case "u8 range" `Quick test_u8_range;
+          Alcotest.test_case "crc32 vectors + chaining" `Quick test_crc32_vectors;
+          Alcotest.test_case "float round-trip" `Quick test_float_round_trip;
+          Alcotest.test_case "string round-trip" `Quick test_string_round_trip;
+        ] );
+      ( "composites",
+        List.map
+          (QCheck_alcotest.to_alcotest ~long:false)
+          [
+            prop_event_round_trip;
+            prop_entry_round_trip;
+            prop_metrics_round_trip;
+            prop_truncation_only_decode_error;
+          ]
+        @ [ Alcotest.test_case "unknown tags rejected" `Quick test_unknown_tags_rejected ]
+      );
+      ( "budget",
+        [ Alcotest.test_case "bytes per message" `Quick test_bytes_per_message_budget ] );
+    ]
