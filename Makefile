@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-all: build lint check par-check live-check chaos throughput-check store-check perf-gate
+all: build lint check par-check live-check chaos throughput-check store-check alloc-check perf-gate
 
 build:
 	dune build @all
@@ -13,11 +13,13 @@ par-check:
 	dune exec test/test_parallel.exe -- test lint-under-j
 	dune exec bench/main.exe -- smoke e2 e3 e7 -j 4 diff
 
-# Static + dynamic analysis: typecheck everything, run the analyzers over
-# the bundled examples (non-zero exit on error findings), and the
-# analysis test suite (race detector vs Sim.Explore ground truth).
+# Static + dynamic analysis: typecheck everything, keep polymorphic
+# compare/hash off the hot paths (DESIGN.md section 17), run the
+# analyzers over the bundled examples (non-zero exit on error findings),
+# and the analysis test suite (race detector vs Sim.Explore ground truth).
 lint:
 	dune build @check
+	scripts/poly_compare_check.sh
 	dune exec bin/ctmed.exe -- lint
 	dune exec test/test_analysis.exe -- -c
 
@@ -68,6 +70,14 @@ store-check:
 	dune build bin/ctmed.exe
 	scripts/store_check.sh
 
+# Allocation budget (DESIGN.md section 17): run the throughput
+# experiment with the perf gate and fail if words/session (GC words
+# allocated per session, recycled setup included) drifts above the
+# committed baseline — the number that catches recycling quietly
+# breaking. Also checks the recycled-vs-fresh digest rows in the table.
+alloc-check:
+	dune exec bench/main.exe -- smoke throughput -j 1 --baseline BENCH_smoke.json --tolerance 0.5
+
 # Perf regression gate: rerun the smoke budget sequentially and compare
 # per-experiment wall-clock plus the kernel micro-benchmark estimates
 # against the committed baseline (BENCH_smoke.json). Exits 1 if anything
@@ -96,7 +106,8 @@ bench-csv:
 # BENCH_smoke.json actually carries every experiment plus the fit.
 bench-json:
 	dune exec bench/main.exe -- smoke json
-	@for key in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 a1 throughput complexity model_check wire; do \
+	@for key in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 a1 throughput complexity model_check wire \
+	  sessions_per_min words_per_session; do \
 	  grep -q "\"$$key\"" BENCH_smoke.json \
 	    || { echo "bench-json: BENCH_smoke.json is missing \"$$key\"" >&2; exit 1; }; \
 	done
@@ -112,4 +123,4 @@ examples:
 clean:
 	dune clean
 
-.PHONY: all build lint check par-check live-check chaos throughput-check store-check perf-gate test test-verbose bench bench-full bench-csv bench-json examples clean
+.PHONY: all build lint check par-check live-check chaos throughput-check store-check alloc-check perf-gate test test-verbose bench bench-full bench-csv bench-json examples clean

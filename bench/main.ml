@@ -295,7 +295,9 @@ let check_gate ~tolerance ~(baseline : baseline) ~timings ~micro ~model_check ~t
     model_check;
   (* throughput: rates gate downward drops, latency percentiles gate
      upward drifts (with a doubled band — tail latency on a shared box
-     is the noisiest number the gate sees) *)
+     is the noisiest number the gate sees), and the allocation budget
+     (words/session — a deterministic-ish count, lower is better) gates
+     upward drifts like a timing *)
   List.iter
     (fun (name, v) ->
       match List.assoc_opt name baseline.b_throughput with
@@ -310,6 +312,8 @@ let check_gate ~tolerance ~(baseline : baseline) ~timings ~micro ~model_check ~t
                 (v /. base) verdict
             end
           end
+          else if name = "words_per_session" then
+            compare_one ~floor:1.0 ~unit:"w" gname base v
           else compare_rate ~floor:min_rate ~unit:"/s" gname base v
       | None -> ())
     throughput;
@@ -447,9 +451,10 @@ let () =
   | Some e ->
       Printf.printf
         "\nthroughput (single domain): %.0f sessions/min, %.0f msgs/sec, latency \
-         p50=%.0fus p99=%.0fus\n"
+         p50=%.0fus p99=%.0fus, %.0f words/session\n"
         e.Experiments.Throughput.sessions_per_min e.Experiments.Throughput.messages_per_sec
-        e.Experiments.Throughput.p50_us e.Experiments.Throughput.p99_us;
+        e.Experiments.Throughput.p50_us e.Experiments.Throughput.p99_us
+        e.Experiments.Throughput.words_per_session;
       List.iter
         (fun (d, r) ->
           Printf.printf "  scaling: %d domain(s) -> %.0f sessions/min\n" d r)
@@ -463,6 +468,7 @@ let () =
           ("messages_per_sec", e.Experiments.Throughput.messages_per_sec);
           ("p50_latency_us", e.Experiments.Throughput.p50_us);
           ("p99_latency_us", e.Experiments.Throughput.p99_us);
+          ("words_per_session", e.Experiments.Throughput.words_per_session);
         ]
   in
   let mc_counters, mc_naive_capped =

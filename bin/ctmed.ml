@@ -770,11 +770,21 @@ let serve_cmd =
       & info [ "checkpoint-every" ] ~docv:"N"
           ~doc:"seeds per checkpoint chunk when --journal is active")
   in
+  let no_recycle_arg =
+    Arg.(
+      value & flag
+      & info [ "no-recycle" ]
+          ~doc:
+            "escape hatch: allocate fresh runner state for every session on the \
+             engine path instead of recycling the previous session's arrays. \
+             Digests are byte-identical either way ($(b,--smoke) checks it); the \
+             flag only trades allocation for isolation while debugging")
+  in
   let show = string_of_int in
   let mk_plan spec =
     let n = spec.Mediator.Spec.game.Games.Game.n in
     let t = if n >= 4 then 1 else 0 in
-    Cheaptalk.Compile.plan_exn ~spec ~theorem:Cheaptalk.Compile.T41 ~k:0 ~t ()
+    Cheaptalk.Compile.plan_memo_exn ~spec ~theorem:Cheaptalk.Compile.T41 ~k:0 ~t ()
   in
   let mk_config plan ~seed () =
     let n = plan.Cheaptalk.Compile.spec.Mediator.Spec.game.Games.Game.n in
@@ -848,7 +858,7 @@ let serve_cmd =
      aggregates as they complete instead of parking every outcome in
      the result table — the shape that scales to millions of sessions *)
   let serve_sharded ~plan ~spec_name ~backend ~sessions ~shards ~inflight ~jobs ~smoke
-      ~journal ~resume ~checkpoint_every =
+      ~recycle ~journal ~resume ~checkpoint_every =
     let make ~seed = mk_config plan ~seed () in
     let profile = Transport.Differential.profile ~show in
     (* graceful shutdown for durable runs: first SIGTERM/SIGINT flips
@@ -864,7 +874,8 @@ let serve_cmd =
     let meta = Obs.Json.Obj [ ("spec", Obs.Json.String spec_name) ] in
     match
       Parallel.Pool.with_pool ~domains:jobs (fun pool ->
-          Engine.run ~backend ~shards ~inflight ~pool ?journal ~checkpoint_every ~resume
+          Engine.run ~backend ~shards ~inflight ~recycle ~pool ?journal ~checkpoint_every
+            ~resume
             ~kill_switch:(fun () -> Atomic.get stop)
             ~on_warning:(fun w -> Printf.eprintf "ctmed serve: warning: %s\n%!" w)
             ~meta ~sessions ~make ~profile ())
@@ -888,17 +899,21 @@ let serve_cmd =
         Printf.printf "digest: %s\n"
           (Digest.to_hex (Digest.string (Engine.det_repr stats)));
         if smoke then begin
-          let reference = Engine.run ~sessions ~make ~profile () in
+          (* the reference run is sequential, unsharded AND non-recycled:
+             one comparison covers both the sharding contract and the
+             recycled-vs-fresh contract (DESIGN.md section 17) *)
+          let reference = Engine.run ~recycle:false ~sessions ~make ~profile () in
           let identical =
             String.equal (Engine.det_repr reference) (Engine.det_repr stats)
           in
-          Printf.printf "smoke: sharded aggregate %s sequential unsharded run\n"
+          Printf.printf
+            "smoke: sharded aggregate %s sequential unsharded non-recycled run\n"
             (if identical then "byte-identical to" else "DIVERGED from");
           if not identical then exit 1
         end
   in
   let run smoke sessions spec_name jobs batch backend_name shards journal resume_dir
-      checkpoint_every =
+      checkpoint_every no_recycle =
     if jobs < 1 || batch < 1 || sessions < 1 then begin
       Printf.eprintf "ctmed serve: --jobs/--batch/--sessions must be >= 1\n";
       exit 2
@@ -990,7 +1005,7 @@ let serve_cmd =
         | plan when shards > 0 ->
             let sessions = if smoke then min sessions 8 else sessions in
             serve_sharded ~plan ~spec_name ~backend ~sessions ~shards ~inflight ~jobs
-              ~smoke ~journal ~resume ~checkpoint_every
+              ~smoke ~recycle:(not no_recycle) ~journal ~resume ~checkpoint_every
         | plan ->
             let sessions = if smoke then min sessions 8 else sessions in
             let server = Transport.Serve.create ~backend ~batch () in
@@ -1027,10 +1042,24 @@ let serve_cmd =
               (List.sort compare
                  (Hashtbl.fold (fun k v acc -> (k, v) :: acc) dist []));
             if smoke then begin
+              (* the sim re-runs share one Compile.Pool: the recycled MPC
+                 engines must reproduce the served (fresh-engine) outcomes
+                 byte-for-byte, so the smoke doubles as a live
+                 pooled-vs-fresh differential. Sequential fold — one
+                 session at a time, the pool's contract. *)
+              let ct_pool = Cheaptalk.Compile.Pool.create plan in
+              let n = plan.Cheaptalk.Compile.spec.Mediator.Spec.game.Games.Game.n in
+              let mk_config_pooled ~seed =
+                let procs =
+                  Cheaptalk.Compile.Pool.processes ct_pool ~types:(Array.make n 0)
+                    ~coin_seed:(seed * 7919) ~seed
+                in
+                Sim.Runner.config ~scheduler:(Sim.Scheduler.random_seeded seed) procs
+              in
               let mismatches =
                 Array.fold_left
                   (fun acc (seed, o) ->
-                    let o_sim = Sim.Runner.run (mk_config plan ~seed ()) in
+                    let o_sim = Sim.Runner.run (mk_config_pooled ~seed) in
                     if
                       String.equal
                         (Transport.Differential.outcome_repr ~show o)
@@ -1041,7 +1070,8 @@ let serve_cmd =
               in
               let rendezvous_ok, cancel_ok = session_smoke plan in
               Printf.printf
-                "smoke: %d/%d seeds byte-identical to sim · rendezvous %s · cancel %s\n"
+                "smoke: %d/%d seeds byte-identical to pooled sim re-run · rendezvous %s \
+                 · cancel %s\n"
                 (sessions - mismatches) sessions
                 (if rendezvous_ok then "ok" else "FAIL")
                 (if cancel_ok then "ok" else "FAIL");
@@ -1051,7 +1081,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ smoke_arg $ sessions_arg $ spec_arg $ jobs_arg $ batch_arg
-      $ backend_arg $ shards_arg $ journal_arg $ resume_arg $ checkpoint_arg)
+      $ backend_arg $ shards_arg $ journal_arg $ resume_arg $ checkpoint_arg
+      $ no_recycle_arg)
 
 (* --- replay --- *)
 

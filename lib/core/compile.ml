@@ -64,16 +64,66 @@ let plan_exn ?approach ~spec ~theorem ~k ~t () =
   | Ok p -> p
   | Error e -> invalid_arg ("Compile.plan: " ^ e)
 
-let player_process p ~me ~type_ ~coin_seed ~seed =
-  let spec = p.spec in
-  let n = spec.Spec.game.Games.Game.n in
-  let engine =
-    Engine.create ?stages:spec.Spec.stages ~n ~degree:p.degree ~faults:p.faults ~me
-      ~circuit:spec.Spec.circuit
-      ~input:(spec.Spec.encode_type ~player:me type_)
-      ~rng:(Random.State.make [| 0xC0DE; seed; me |])
-      ~coin_seed ()
+(* ------------------------------------------------------------------ *)
+(* Per-domain plan memoisation (the Shamir Lagrange-cache pattern).
+
+   A standing service — and the threshold-atlas sweep — compiles the
+   same (spec, theorem, k, t) over and over; the plan is a pure function
+   of those parameters, so each domain caches it once and every session
+   in the domain shares the SAME immutable plan record (physical
+   sharing is safe: [plan] is a private immutable record). Specs carry
+   closures, so the key compares the spec by physical identity and the
+   scalars by value; a structurally-equal-but-distinct spec is simply a
+   cache miss, never a wrong hit. Domain.DLS keeps the table
+   domain-local — no cross-domain mutation, byte-identical results with
+   or without the cache at any -j (the test_parallel property). *)
+
+let theorem_index = function T41 -> 0 | T42 -> 1 | T44 -> 2 | T45 -> 3
+let approach_index = function None -> 0 | Some Default_move -> 1 | Some Ah_wills -> 2
+
+type memo_entry = {
+  me_spec : Spec.t;
+  me_theorem : int;
+  me_k : int;
+  me_t : int;
+  me_approach : int;
+  me_result : (plan, string) result;
+}
+
+let memo_dls = Domain.DLS.new_key (fun () -> ref ([] : memo_entry list))
+
+let plan_memo ?approach ~spec ~theorem ~k ~t () =
+  let cache = Domain.DLS.get memo_dls in
+  let th = theorem_index theorem and ap = approach_index approach in
+  let hit =
+    List.find_opt
+      (fun e ->
+        e.me_spec == spec && e.me_theorem = th && e.me_k = k && e.me_t = t
+        && e.me_approach = ap)
+      !cache
   in
+  match hit with
+  | Some e -> e.me_result
+  | None ->
+      let r = plan ?approach ~spec ~theorem ~k ~t () in
+      cache :=
+        { me_spec = spec; me_theorem = th; me_k = k; me_t = t; me_approach = ap;
+          me_result = r }
+        :: !cache;
+      r
+
+let plan_memo_exn ?approach ~spec ~theorem ~k ~t () =
+  match plan_memo ?approach ~spec ~theorem ~k ~t () with
+  | Ok p -> p
+  | Error e -> invalid_arg ("Compile.plan: " ^ e)
+
+let clear_caches () = Domain.DLS.get memo_dls := []
+let cache_size () = List.length !(Domain.DLS.get memo_dls)
+
+(* Wrap an MPC engine as the honest cheap-talk process for one player —
+   shared by the fresh ([player_process]) and recycled ([Pool]) paths. *)
+let process_of_engine p ~me ~type_ engine =
+  let spec = p.spec in
   let emit (r : Engine.reaction) =
     List.map (fun (dst, m) -> Send (dst, m)) r.Engine.sends
     @
@@ -96,10 +146,70 @@ let player_process p ~me ~type_ ~coin_seed ~seed =
     will;
   }
 
+let player_rng ~seed ~me = Random.State.make [| 0xC0DE; seed; me |]
+
+let player_process p ~me ~type_ ~coin_seed ~seed =
+  let spec = p.spec in
+  let n = spec.Spec.game.Games.Game.n in
+  let engine =
+    Engine.create ?stages:spec.Spec.stages ~n ~degree:p.degree ~faults:p.faults ~me
+      ~circuit:spec.Spec.circuit
+      ~input:(spec.Spec.encode_type ~player:me type_)
+      ~rng:(player_rng ~seed ~me) ~coin_seed ()
+  in
+  process_of_engine p ~me ~type_ engine
+
 let processes p ~types ~coin_seed ~seed =
   let n = p.spec.Spec.game.Games.Game.n in
   if Array.length types <> n then invalid_arg "Compile.processes: types arity";
   Array.init n (fun me -> player_process p ~me ~type_:types.(me) ~coin_seed ~seed)
+
+(* ------------------------------------------------------------------ *)
+(* Engine pool: n recycled MPC engines (one per player) for replaying
+   one plan across many sessions. [processes] allocates n full engines
+   per session; the pool instead calls [Mpc.Engine.reset] on the
+   engines it already holds, so the dense session/vote/share arrays are
+   reused. Single-threaded, one session at a time: build the next
+   session's processes only after the previous session has completed
+   (the engines ARE the previous session's state until then). *)
+
+module Pool = struct
+  type nonrec t = { plan : plan; engines : Engine.t option array }
+
+  let create plan =
+    { plan; engines = Array.make plan.spec.Spec.game.Games.Game.n None }
+
+  let plan_of pool = pool.plan
+
+  let engine pool ~me ~input ~rng ~coin_seed =
+    match pool.engines.(me) with
+    | Some e ->
+        Engine.reset e ~input ~rng ~coin_seed;
+        e
+    | None ->
+        let p = pool.plan in
+        let spec = p.spec in
+        let e =
+          Engine.create ?stages:spec.Spec.stages ~n:spec.Spec.game.Games.Game.n
+            ~degree:p.degree ~faults:p.faults ~me ~circuit:spec.Spec.circuit ~input ~rng
+            ~coin_seed ()
+        in
+        pool.engines.(me) <- Some e;
+        e
+
+  let processes pool ~types ~coin_seed ~seed =
+    let p = pool.plan in
+    let spec = p.spec in
+    let n = spec.Spec.game.Games.Game.n in
+    if Array.length types <> n then invalid_arg "Compile.Pool.processes: types arity";
+    Array.init n (fun me ->
+        let e =
+          engine pool ~me
+            ~input:(spec.Spec.encode_type ~player:me types.(me))
+            ~rng:(player_rng ~seed ~me) ~coin_seed
+        in
+        process_of_engine p ~me ~type_:types.(me) e)
+end
 
 (* Explicit-constant instantiation of the paper's message bounds. One AVSS
    is O(n^2) messages, one ABA O(n^2) per round (O(1) expected rounds with

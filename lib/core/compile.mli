@@ -65,6 +65,32 @@ val plan :
 val plan_exn :
   ?approach:approach -> spec:Mediator.Spec.t -> theorem:theorem -> k:int -> t:int -> unit -> plan
 
+val plan_memo :
+  ?approach:approach ->
+  spec:Mediator.Spec.t ->
+  theorem:theorem ->
+  k:int ->
+  t:int ->
+  unit ->
+  (plan, string) result
+(** Exactly {!plan}, memoised per domain (Domain.DLS, like the Shamir
+    Lagrange caches): the same (spec, theorem, k, t, approach) computes
+    once per domain and every caller shares the {e same} immutable plan
+    record — physical sharing a standing service and the threshold-atlas
+    sweep rely on. The spec keys by physical identity ([==], specs carry
+    closures); a structurally-equal-but-distinct spec is a cache miss,
+    never a wrong hit, so results are byte-identical with or without the
+    cache at any domain count. *)
+
+val plan_memo_exn :
+  ?approach:approach -> spec:Mediator.Spec.t -> theorem:theorem -> k:int -> t:int -> unit -> plan
+
+val clear_caches : unit -> unit
+(** Empty the calling domain's plan-memo table (test hook). *)
+
+val cache_size : unit -> int
+(** Number of memoised plans in the calling domain's table (test hook). *)
+
 val player_process :
   plan ->
   me:int ->
@@ -87,3 +113,31 @@ val message_bound : plan -> int
 (** The paper's asymptotic message budget for one history, instantiated
     with explicit constants — O(nNc) for 4.1/4.2/4.4-strong, O(nc) for the
     weak variants. Used as a sanity ceiling in experiments. *)
+
+(** A pool of n recycled MPC engines (one per player) for running one
+    plan across many sessions: where {!processes} allocates n full
+    engines per session, [Pool.processes] scrubs and reuses the engines
+    it already holds ({!Mpc.Engine.reset}), so the dense
+    session/vote/share arrays — the dominant per-player setup
+    allocation — are recycled. Byte-identical outcomes to {!processes}
+    for the same (types, coin_seed, seed): the differential suite in
+    test_compile holds this per seed.
+
+    A pool is single-threaded, one-session-at-a-time state (the engines
+    ARE the previous session's state until the next reset): one pool per
+    domain or per in-flight session, and build the next session's
+    processes only after the previous session completed. *)
+module Pool : sig
+  type t
+
+  val create : plan -> t
+  val plan_of : t -> plan
+
+  val processes :
+    t ->
+    types:int array ->
+    coin_seed:int ->
+    seed:int ->
+    (Mpc.Engine.msg, int) Sim.Types.process array
+  (** Recycled mirror of {!val:processes} for the pool's plan. *)
+end

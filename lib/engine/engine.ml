@@ -3,6 +3,16 @@ module Toy = Toy
 module Runner = Sim.Runner
 module Types = Sim.Types
 
+(* Profile counts are keyed by strings on the per-session hot path; a
+   monomorphic hashtable avoids the structural hash/equality fallbacks
+   (see the poly-compare lint guard in scripts/). *)
+module Stbl = Hashtbl.Make (struct
+  type t = string
+
+  let equal = String.equal
+  let hash = String.hash
+end)
+
 type stats = {
   sessions : int;
   completed : int;
@@ -10,26 +20,31 @@ type stats = {
   agg : Obs.Agg.t;
   latency : Obs.Hist.t;
   wall_s : float;
+  alloc_words : float;
 }
 
 (* Per-shard accumulator: every completed session folds in immediately,
    so shard memory is O(1) in the number of sessions. All fields are
    insertion-order independent once canonicalised (the profile table is
    key-sorted at merge), which is what makes the merged result
-   invariant under shard count, pool size and in-flight interleaving. *)
+   invariant under shard count, pool size and in-flight interleaving.
+   [alloc_words] is environmental (GC words allocated while the shard
+   executed on its domain) and excluded from det_repr like wall-clock. *)
 type acc = {
   agg : Obs.Agg.t;
   lat : Obs.Hist.t;
-  profiles : (string, int) Hashtbl.t;
+  profiles : int Stbl.t;
   mutable completed : int;
+  mutable alloc_words : float;
 }
 
 let acc_create () =
   {
     agg = Obs.Agg.create ();
     lat = Obs.Hist.create ();
-    profiles = Hashtbl.create 16;
+    profiles = Stbl.create 16;
     completed = 0;
+    alloc_words = 0.0;
   }
 
 let note acc ~profile ~t0 (o : 'a Types.outcome) =
@@ -39,32 +54,44 @@ let note acc ~profile ~t0 (o : 'a Types.outcome) =
   | Types.All_halted -> acc.completed <- acc.completed + 1
   | _ -> ());
   let p = profile o in
-  let n = match Hashtbl.find_opt acc.profiles p with Some n -> n | None -> 0 in
-  Hashtbl.replace acc.profiles p (n + 1)
+  let n = match Stbl.find_opt acc.profiles p with Some n -> n | None -> 0 in
+  Stbl.replace acc.profiles p (n + 1)
 
-(* Sim backend: each session is a synchronous Runner.run. *)
-let sim_shard ~make ~profile ~lo ~hi acc =
+(* Sim backend: each session is a synchronous Runner.run. With
+   [recycle], one Runner.Slot per shard carries the driver's grown
+   arrays from session to session, so setup stops allocating after the
+   first seed (the recycled det_repr is byte-identical — see the
+   differential suite in test_engine). *)
+let sim_shard ~recycle ~make ~profile ~lo ~hi acc =
+  let slot = if recycle then Some (Runner.Slot.create ()) else None in
   for seed = lo to hi - 1 do
     let t0 = Runner.now () in
-    note acc ~profile ~t0 (Runner.run (make ~seed))
+    note acc ~profile ~t0 (Runner.run ?slot (make ~seed))
   done
 
 (* Live backend: an in-flight window of fiber sessions multiplexed on
    this shard's domain, stepped round-robin. Session state is
    struct-of-arrays: parallel slot arrays for the live handle and the
    start timestamp. Sessions share no state, so the interleaving cannot
-   change any session's outcome — only latency. *)
-let live_shard ~inflight ~make ~profile ~lo ~hi acc =
+   change any session's outcome — only latency. With [recycle] each
+   window entry owns one Runner.Slot, refilled only when its previous
+   session has completed. *)
+let live_shard ~recycle ~inflight ~make ~profile ~lo ~hi acc =
   let window = min inflight (max 0 (hi - lo)) in
   if window > 0 then begin
     let handles = Array.make window None in
     let t0s = Array.make window 0.0 in
+    let slots =
+      if recycle then Some (Array.init window (fun _ -> Runner.Slot.create ()))
+      else None
+    in
     let next = ref lo in
     let active = ref 0 in
     let fill slot =
       if !next < hi then begin
         t0s.(slot) <- Runner.now ();
-        handles.(slot) <- Some (Transport.Live.start (make ~seed:!next));
+        let rslot = match slots with Some a -> Some a.(slot) | None -> None in
+        handles.(slot) <- Some (Transport.Live.start ?slot:rslot (make ~seed:!next));
         incr next;
         incr active
       end
@@ -112,7 +139,7 @@ let rec mkdir_p dir =
 let profiles_sorted tbl =
   List.sort
     (fun (a, _) (b, _) -> String.compare a b)
-    (Hashtbl.fold (fun k n l -> (k, n) :: l) tbl [])
+    (Stbl.fold (fun k n l -> (k, n) :: l) tbl [])
 
 let save_shard path ~lo ~hi ~next acc =
   Store.write_json_atomic ~path
@@ -144,15 +171,15 @@ let load_shard path ~lo ~hi =
           let profs = Option.bind (Obs.Json.member "profiles" j) Obs.Json.to_obj_opt in
           match (agg, lat, int "completed", profs) with
           | Some agg, Some lat, Some completed, Some profs -> (
-              let profiles = Hashtbl.create 16 in
+              let profiles = Stbl.create 16 in
               try
                 List.iter
                   (fun (k, v) ->
                     match Obs.Json.to_int_opt v with
-                    | Some n -> Hashtbl.replace profiles k n
+                    | Some n -> Stbl.replace profiles k n
                     | None -> raise Exit)
                   profs;
-                Ok (next, { agg; lat; profiles; completed })
+                Ok (next, { agg; lat; profiles; completed; alloc_words = 0.0 })
               with Exit -> Error "bad profile table")
           | _ -> Error "missing or mistyped checkpoint fields")
       | Some _, Some _, Some _ -> Error "checkpoint range does not match this run"
@@ -166,9 +193,9 @@ let load_manifest ~dir =
   | exception Sys_error m -> failwith ("unrecoverable journal: " ^ m)
 
 let run ?(backend = Transport.Backend.Sim) ?(shards = 1) ?(inflight = 16)
-    ?(pool = Parallel.Pool.sequential) ?journal ?(checkpoint_every = 1024)
-    ?(resume = false) ?(kill_switch = fun () -> false) ?(on_warning = fun _ -> ())
-    ?(meta = Obs.Json.Null) ~sessions ~make ~profile () =
+    ?(recycle = true) ?(pool = Parallel.Pool.sequential) ?journal
+    ?(checkpoint_every = 1024) ?(resume = false) ?(kill_switch = fun () -> false)
+    ?(on_warning = fun _ -> ()) ?(meta = Obs.Json.Null) ~sessions ~make ~profile () =
   if sessions < 0 then
     invalid_arg (Printf.sprintf "Engine.run: sessions must be >= 0 (got %d)" sessions);
   if shards < 1 then
@@ -217,8 +244,24 @@ let run ?(backend = Transport.Backend.Sim) ?(shards = 1) ?(inflight = 16)
   let per = if shards = 0 then 0 else (sessions + shards - 1) / shards in
   let run_range ~lo ~hi acc =
     match backend with
-    | Transport.Backend.Sim -> sim_shard ~make ~profile ~lo ~hi acc
-    | Transport.Backend.Live -> live_shard ~inflight ~make ~profile ~lo ~hi acc
+    | Transport.Backend.Sim -> sim_shard ~recycle ~make ~profile ~lo ~hi acc
+    | Transport.Backend.Live -> live_shard ~recycle ~inflight ~make ~profile ~lo ~hi acc
+  in
+  (* Allocation budget: GC word deltas around one shard's whole
+     execution. A shard task runs wholly on one domain and quick_stat's
+     allocation counters are domain-local in OCaml 5, so the delta is
+     exactly what this shard's sessions (plus its fold) allocated.
+     total = minor + major - promoted (promoted words appear in both). *)
+  let alloc_delta f acc =
+    let g0 = Gc.quick_stat () in
+    let r = f () in
+    let g1 = Gc.quick_stat () in
+    acc.alloc_words <-
+      acc.alloc_words
+      +. (g1.Gc.minor_words -. g0.Gc.minor_words)
+      +. (g1.Gc.major_words -. g0.Gc.major_words)
+      -. (g1.Gc.promoted_words -. g0.Gc.promoted_words);
+    r
   in
   (* chunk:1 — shards are the stealing unit, so one slow shard cannot
      serialise the tail behind a fixed pre-assignment *)
@@ -228,7 +271,7 @@ let run ?(backend = Transport.Backend.Sim) ?(shards = 1) ?(inflight = 16)
         match journal with
         | None ->
             let acc = acc_create () in
-            run_range ~lo ~hi acc;
+            alloc_delta (fun () -> run_range ~lo ~hi acc) acc;
             (acc, false)
         | Some dir ->
             let path = shard_path dir shard in
@@ -250,7 +293,7 @@ let run ?(backend = Transport.Backend.Sim) ?(shards = 1) ?(inflight = 16)
             let stop = ref false in
             while !next < hi && not !stop do
               let chunk_hi = min hi (!next + checkpoint_every) in
-              run_range ~lo:!next ~hi:chunk_hi acc;
+              alloc_delta (fun () -> run_range ~lo:!next ~hi:chunk_hi acc) acc;
               next := chunk_hi;
               save_shard path ~lo ~hi ~next:!next acc;
               if kill_switch () then stop := true
@@ -260,25 +303,23 @@ let run ?(backend = Transport.Backend.Sim) ?(shards = 1) ?(inflight = 16)
   (* merge on the submitting domain, in shard order *)
   let agg = Obs.Agg.create () in
   let lat = Obs.Hist.create () in
-  let profiles = Hashtbl.create 16 in
+  let profiles = Stbl.create 16 in
   let completed = ref 0 in
+  let alloc_words = ref 0.0 in
   Array.iter
     (fun ((a : acc), _) ->
       Obs.Agg.merge_into ~dst:agg a.agg;
       Obs.Hist.merge_into ~dst:lat a.lat;
       completed := !completed + a.completed;
-      Hashtbl.iter
+      alloc_words := !alloc_words +. a.alloc_words;
+      Stbl.iter
         (fun k n ->
-          let m = match Hashtbl.find_opt profiles k with Some m -> m | None -> 0 in
-          Hashtbl.replace profiles k (m + n))
+          let m = match Stbl.find_opt profiles k with Some m -> m | None -> 0 in
+          Stbl.replace profiles k (m + n))
         a.profiles)
     shard_accs;
   if Array.exists (fun (_, interrupted) -> interrupted) shard_accs then raise Interrupted;
-  let profiles =
-    List.sort
-      (fun (a, _) (b, _) -> String.compare a b)
-      (Hashtbl.fold (fun k n l -> (k, n) :: l) profiles [])
-  in
+  let profiles = profiles_sorted profiles in
   {
     sessions;
     completed = !completed;
@@ -286,6 +327,7 @@ let run ?(backend = Transport.Backend.Sim) ?(shards = 1) ?(inflight = 16)
     agg;
     latency = lat;
     wall_s = Runner.now () -. t0;
+    alloc_words = !alloc_words;
   }
 
 let det_repr s =
@@ -306,8 +348,12 @@ let messages_per_sec s =
 
 let latency_us s = (Obs.Hist.percentile s.latency 50, Obs.Hist.percentile s.latency 99)
 
+let words_per_session s =
+  if s.sessions > 0 then s.alloc_words /. float_of_int s.sessions else 0.0
+
 let throughput_line s =
   let p50, p99 = latency_us s in
   Printf.sprintf
-    "%.0f sessions/min  %.0f msgs/sec  latency p50=%dus p99=%dus  wall=%.3fs"
-    (sessions_per_min s) (messages_per_sec s) p50 p99 s.wall_s
+    "%.0f sessions/min  %.0f msgs/sec  latency p50=%dus p99=%dus  %.0f words/session  \
+     wall=%.3fs"
+    (sessions_per_min s) (messages_per_sec s) p50 p99 (words_per_session s) s.wall_s

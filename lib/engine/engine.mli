@@ -44,6 +44,12 @@ type stats = {
       (** per-session wall latency in µs — environmental, never in
           {!det_repr} *)
   wall_s : float;  (** submission-to-merge wall time — environmental *)
+  alloc_words : float;
+      (** GC words (minor + major − promoted) allocated across all
+          shards while their sessions executed — the allocation budget
+          the perf gate tracks as [words_per_session]. Environmental,
+          never in {!det_repr} (like wall-clock: it depends on the
+          runtime, not the workload's deterministic behaviour). *)
 }
 
 exception Interrupted
@@ -55,6 +61,7 @@ val run :
   ?backend:Transport.Backend.t ->
   ?shards:int ->
   ?inflight:int ->
+  ?recycle:bool ->
   ?pool:Parallel.Pool.t ->
   ?journal:string ->
   ?checkpoint_every:int ->
@@ -71,7 +78,18 @@ val run :
     be a pure function of the seed (the usual trial contract).
     Defaults: [backend = Sim], [shards = 1], [inflight = 16] (live
     in-flight window per shard; ignored by the Sim backend, which runs
-    each session to completion), [pool = Parallel.Pool.sequential].
+    each session to completion), [recycle = true],
+    [pool = Parallel.Pool.sequential].
+
+    {b Session recycling} (DESIGN.md §17). With [recycle] (the default)
+    each shard reuses driver state across its sessions via
+    {!Sim.Runner.Slot} — one slot per shard on the Sim backend, one per
+    in-flight window entry on Live — so per-session setup stops
+    allocating after each slot's first session. Observationally
+    invisible: {!det_repr} is byte-identical with recycling on or off
+    (the qcheck differential suite and [ctmed serve --smoke] both
+    enforce this); [~recycle:false] is the escape hatch that forces
+    fresh per-session state.
 
     {b Durability} (DESIGN.md section 16). With [~journal:dir] the run
     is crash-restartable: each shard executes in chunks of
@@ -119,6 +137,11 @@ val messages_per_sec : stats -> float
 
 val latency_us : stats -> int * int
 (** (p50, p99) session latency in µs. Environmental. *)
+
+val words_per_session : stats -> float
+(** Allocated GC words per session ([alloc_words / sessions]) — the
+    allocation budget surfaced in the bench throughput section and
+    gated lower-is-better by [--baseline]. Environmental. *)
 
 val throughput_line : stats -> string
 (** One-line environmental summary (rates + latency percentiles) for

@@ -12,23 +12,26 @@ let sessions_of budget = Common.samples budget 20_000
 
 let make ~seed = Engine.Toy.config ~seed ()
 
-let digest ~ctx ~sessions ~backend ~shards =
+let digest ~ctx ?(recycle = true) ~sessions ~backend ~shards () =
   let s =
-    Engine.run ~backend ~shards ~pool:ctx.Common.pool ~sessions ~make
+    Engine.run ~backend ~shards ~recycle ~pool:ctx.Common.pool ~sessions ~make
       ~profile:Engine.Toy.profile ()
   in
   (s, Engine.det_repr s)
 
 let run (ctx : Common.ctx) : Common.table =
   let sessions = sessions_of ctx.Common.budget in
-  let reference, ref_repr = digest ~ctx ~sessions ~backend:Transport.Backend.Sim ~shards:1 in
+  let reference, ref_repr =
+    digest ~ctx ~sessions ~backend:Transport.Backend.Sim ~shards:1 ()
+  in
   let agg = Obs.Agg.create () in
   Obs.Agg.merge_into ~dst:agg reference.Engine.agg;
-  let row ~backend ~shards =
-    let s, repr = digest ~ctx ~sessions ~backend ~shards in
+  let row ?recycle ~backend ~shards () =
+    let s, repr = digest ~ctx ?recycle ~sessions ~backend ~shards () in
     let ok = String.equal repr ref_repr in
     [
-      Transport.Backend.to_string backend;
+      (let b = Transport.Backend.to_string backend in
+       if recycle = Some false then b ^ "/fresh" else b);
       string_of_int shards;
       string_of_int s.Engine.sessions;
       string_of_int s.Engine.completed;
@@ -39,13 +42,19 @@ let run (ctx : Common.ctx) : Common.table =
       (if ok then "identical" else "DIVERGED");
     ]
   in
+  (* the /fresh rows disable session-state recycling: the recycled rows
+     above them must match the same reference digest, so the table holds
+     the recycled-vs-fresh byte-identity contract (DESIGN.md section 17)
+     at every shard shape it sweeps *)
   let rows =
     [
-      row ~backend:Transport.Backend.Sim ~shards:1;
-      row ~backend:Transport.Backend.Sim ~shards:2;
-      row ~backend:Transport.Backend.Sim ~shards:4;
-      row ~backend:Transport.Backend.Sim ~shards:13;
-      row ~backend:Transport.Backend.Live ~shards:2;
+      row ~backend:Transport.Backend.Sim ~shards:1 ();
+      row ~backend:Transport.Backend.Sim ~shards:2 ();
+      row ~backend:Transport.Backend.Sim ~shards:4 ();
+      row ~backend:Transport.Backend.Sim ~shards:13 ();
+      row ~recycle:false ~backend:Transport.Backend.Sim ~shards:4 ();
+      row ~backend:Transport.Backend.Live ~shards:2 ();
+      row ~recycle:false ~backend:Transport.Backend.Live ~shards:2 ();
     ]
   in
   let all_identical =
@@ -81,6 +90,10 @@ type env = {
   messages_per_sec : float;
   p50_us : float;
   p99_us : float;
+  words_per_session : float;
+      (** GC allocation budget: minor+major words allocated per session,
+          from the engine's per-shard [Gc.quick_stat] deltas. Lower is
+          better; gated like the rates. *)
   scaling : (int * float) list;  (** domains -> sessions/min *)
 }
 
@@ -106,5 +119,6 @@ let measure_env ~budget () =
     messages_per_sec = Engine.messages_per_sec single;
     p50_us = float_of_int p50;
     p99_us = float_of_int p99;
+    words_per_session = Engine.words_per_session single;
     scaling;
   }

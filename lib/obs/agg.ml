@@ -18,6 +18,15 @@ type t = {
 let create () =
   { total = Metrics.zero; n = 0; sent = Hist.create (); delivered = Hist.create (); steps = Hist.create () }
 
+(* Scrub-and-reuse: a fresh aggregate without reallocating the three
+   histograms' bucket arrays. *)
+let reset t =
+  t.total <- Metrics.zero;
+  t.n <- 0;
+  Hist.reset t.sent;
+  Hist.reset t.delivered;
+  Hist.reset t.steps
+
 let add t (m : Metrics.t) =
   t.total <- Metrics.merge t.total m;
   (* runless records (e.g. Metrics.retries) adjust totals without

@@ -17,6 +17,10 @@ type t
 
 val create : unit -> t
 
+val reset : t -> unit
+(** Scrub-and-reuse: observationally [create ()], but the three
+    histograms keep their bucket-array storage ({!Hist.reset}). *)
+
 val add : t -> Metrics.t -> unit
 (** Fold one run's (or one pre-merged group's) metrics in. Call in seed
     order from the submitting domain only. *)

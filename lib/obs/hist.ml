@@ -30,6 +30,16 @@ let create () =
     buckets = Array.make n_buckets 0;
   }
 
+(* Scrub-and-reuse: observationally a fresh histogram, but the 1136-slot
+   bucket array (and the exact buffer) keep their storage. [buf] needs
+   no clearing — only the prefix [0..n-1] is ever read, and [add]
+   overwrites slots as [n] grows back. *)
+let reset t =
+  t.n <- 0;
+  t.sum <- 0;
+  t.max_v <- 0;
+  Array.fill t.buckets 0 n_buckets 0
+
 (* index of the highest set bit, for v >= 1 (branchy binary search — no
    clz in the stdlib, and this must stay allocation-free) *)
 let msb v =

@@ -35,6 +35,11 @@ val exact_cap : int
 
 val create : unit -> t
 
+val reset : t -> unit
+(** Scrub-and-reuse: after [reset t], [t] is observationally identical
+    to [create ()] but keeps its bucket array and exact buffer storage
+    (no ~1.1k-word reallocation). Used by recycled engine shards. *)
+
 val add : t -> int -> unit
 (** Record one value. Negative values are clamped to 0. O(1), no
     allocation. *)

@@ -261,7 +261,7 @@ let class_index ~mediator ~src ~dst =
 
 module Builder = struct
   type t = {
-    mediator : int option;
+    mutable mediator : int option;
     sent : int array;
     delivered : int array;
     dropped : int array;
@@ -273,9 +273,9 @@ module Builder = struct
     mutable injected_delay : int;
     mutable injected_crash : int;
     mutable timed_out : bool;
-    t0 : float;
-    gc0_minor : float;
-    gc0_major : float;
+    mutable t0 : float;
+    mutable gc0_minor : float;
+    mutable gc0_major : float;
   }
 
   let create ~mediator =
@@ -297,6 +297,28 @@ module Builder = struct
       gc0_minor = gc.Gc.minor_words;
       gc0_major = gc.Gc.major_words;
     }
+
+  (* Scrub-and-reuse: re-zero the count arrays and flags and re-snapshot
+     the clock/GC baselines, exactly as [create] would, but without
+     allocating a fresh record. Recycled runs (Runner.Slot) lean on
+     this so per-session setup stays off the allocator. *)
+  let reset b ~mediator =
+    let gc = Gc.quick_stat () in
+    b.mediator <- mediator;
+    Array.fill b.sent 0 4 0;
+    Array.fill b.delivered 0 4 0;
+    Array.fill b.dropped 0 4 0;
+    b.starved <- 0;
+    b.invalid_decisions <- 0;
+    b.scheduler_exns <- 0;
+    b.injected_dup <- 0;
+    b.injected_corrupt <- 0;
+    b.injected_delay <- 0;
+    b.injected_crash <- 0;
+    b.timed_out <- false;
+    b.t0 <- Unix.gettimeofday ();
+    b.gc0_minor <- gc.Gc.minor_words;
+    b.gc0_major <- gc.Gc.major_words
 
   let bump b arr ~src ~dst =
     let i = class_index ~mediator:b.mediator ~src ~dst in

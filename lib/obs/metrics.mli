@@ -97,6 +97,14 @@ module Builder : sig
   type t
 
   val create : mediator:int option -> t
+
+  val reset : t -> mediator:int option -> unit
+  (** Scrub-and-reuse: zero all counters/flags and re-snapshot the
+      wall-clock/GC baselines in place, making the builder
+      observationally identical to a fresh [create ~mediator] without
+      allocating. Used by the session-recycling path
+      ({!Sim.Runner.Slot}). *)
+
   val sent : t -> src:int -> dst:int -> unit
   val delivered : t -> src:int -> dst:int -> unit
   val dropped : t -> src:int -> dst:int -> unit

@@ -16,6 +16,14 @@ let create () = { first = None; last = None; size = 0 }
 let count s = s.size
 let is_empty s = s.size = 0
 
+(* Drop every element at once (the nodes become garbage without being
+   individually unlinked). Used by the session-recycling path; any node
+   handles the caller still holds are dead with the list. *)
+let clear s =
+  s.first <- None;
+  s.last <- None;
+  s.size <- 0
+
 let append s view =
   let node = { view; prev = s.last; next = None; live = true } in
   (match s.last with

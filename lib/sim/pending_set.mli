@@ -36,6 +36,12 @@ val to_list : t -> Types.pending_view list
 type node
 
 val create : unit -> t
+
+val clear : t -> unit
+(** Empty the set in O(1): the list head/tail/size are reset and every
+    node becomes garbage. Node handles obtained before [clear] must not
+    be passed to {!remove} afterwards. Used by session recycling. *)
+
 val append : t -> Types.pending_view -> node
 val remove : t -> node -> unit
 (** Idempotent. *)

@@ -136,6 +136,88 @@ let create_core ?faults ?fuzz ?(record = true) ~mediator procs =
     crash_announced = Array.make n false;
   }
 
+(* Session recycling: scrub a finished core back to its post-create_core
+   state and reuse its grown storage for the next run. Everything
+   [create_core] allocates fresh is either cleared in place (the items
+   prefix, flag arrays, seq counters, batch bitset, metrics builder —
+   keeping whatever capacity earlier sessions grew) or rebuilt only when
+   it must be (crash windows, which depend on the new fault plan). The
+   small top-level record is re-allocated ([{ old with ... }]) so the
+   immutable-field discipline of [core] is untouched; at ~25 words it is
+   noise next to the ~1.1k words of arrays being reused. Only valid when
+   the process count matches — [core_for] falls back to a fresh core
+   otherwise. *)
+let reset_core old ?faults ?fuzz ~record ~mediator procs =
+  let n = Array.length procs in
+  assert (n = old.n);
+  Array.fill old.halted 0 n false;
+  Array.fill old.started 0 n false;
+  Array.fill old.moves 0 n None;
+  (* ids are dense, so every slot ever written lies below next_id (and
+     item_set grew the array past it) — clearing the prefix suffices
+     for all termination kinds, including Cutoff with items pending *)
+  Array.fill old.items 0 old.next_id None;
+  Pending_set.clear old.pending;
+  Array.fill old.seq 0 ((n + 1) * n) 0;
+  Bytes.fill old.delivered_batches 0
+    (min (Bytes.length old.delivered_batches) ((old.next_batch + 7) lsr 3))
+    '\000';
+  Obs.Metrics.Builder.reset old.mb ~mediator;
+  let crash_specs =
+    match faults with
+    | None -> [||]
+    | Some plan ->
+        if Array.length old.crash_specs = n then begin
+          for pid = 0 to n - 1 do
+            old.crash_specs.(pid) <- Faults.Plan.crash_window plan ~pid
+          done;
+          old.crash_specs
+        end
+        else Array.init n (fun pid -> Faults.Plan.crash_window plan ~pid)
+  in
+  Array.fill old.crash_announced 0 n false;
+  {
+    old with
+    procs;
+    mediator;
+    faults;
+    fuzz;
+    record;
+    trace = [];
+    pattern = [];
+    next_id = 0;
+    next_batch = 0;
+    messages_sent = 0;
+    messages_delivered = 0;
+    steps = 0;
+    decisions = 0;
+    crash_specs;
+  }
+
+(* A slot carries one recyclable core between runs. [core_for] hands out
+   a scrubbed core when the slot holds a compatible one, else creates
+   fresh; either way the slot retains the core for the next run. *)
+module Slot = struct
+  type ('m, 'a) t = ('m, 'a) core option ref
+
+  let create () = ref None
+  let clear s = s := None
+  let is_warm s = Option.is_some !s
+end
+
+let core_for ?slot ?faults ?fuzz ~record ~mediator procs =
+  match slot with
+  | None -> create_core ?faults ?fuzz ~record ~mediator procs
+  | Some slot ->
+      let c =
+        match !slot with
+        | Some old when old.n = Array.length procs ->
+            reset_core old ?faults ?fuzz ~record ~mediator procs
+        | _ -> create_core ?faults ?fuzz ~record ~mediator procs
+      in
+      slot := Some c;
+      c
+
 let emit c ev = if c.record then c.trace <- ev :: c.trace
 let emit_pat c p = if c.record then c.pattern <- p :: c.pattern
 
@@ -492,11 +574,11 @@ let replay_fail fmt = Printf.ksprintf (fun s -> raise (Replay_mismatch s)) fmt
               prefix the loop continues natively. Without [sync_scheduler]
               the scheduler is never consulted and the run freezes (as a
               Cutoff) when the script runs out: time-travel. *)
-let run_impl ?emit ?script ~sync_scheduler (cfg : ('m, 'a) config) : 'a outcome =
+let run_impl ?slot ?emit ?script ~sync_scheduler (cfg : ('m, 'a) config) : 'a outcome =
   let scripted = Option.is_some script in
   if (not scripted) || sync_scheduler then cfg.scheduler.Scheduler.reset ();
   let c =
-    create_core ?faults:cfg.faults ?fuzz:cfg.fuzz ~record:cfg.record
+    core_for ?slot ?faults:cfg.faults ?fuzz:cfg.fuzz ~record:cfg.record
       ~mediator:cfg.mediator cfg.processes
   in
   let have_faults = Option.is_some cfg.faults in
@@ -744,7 +826,7 @@ let run_impl ?emit ?script ~sync_scheduler (cfg : ('m, 'a) config) : 'a outcome 
   done;
   outcome_of c !termination
 
-let run (cfg : ('m, 'a) config) : 'a outcome = run_impl ~sync_scheduler:true cfg
+let run ?slot (cfg : ('m, 'a) config) : 'a outcome = run_impl ?slot ~sync_scheduler:true cfg
 let run_journaled ~emit cfg = run_impl ~emit ~sync_scheduler:true cfg
 let resume ~entries ?emit cfg = run_impl ?emit ~script:entries ~sync_scheduler:true cfg
 
@@ -898,8 +980,8 @@ end
 module Driver = struct
   type ('m, 'a) t = ('m, 'a) core
 
-  let create ?faults ?fuzz ?record ~mediator procs =
-    create_core ?faults ?fuzz ?record ~mediator procs
+  let create ?slot ?faults ?fuzz ?(record = true) ~mediator procs =
+    core_for ?slot ?faults ?fuzz ~record ~mediator procs
   let enqueue_starts c = enqueue_starts c
   let pending c = c.pending
   let history c = c.pattern

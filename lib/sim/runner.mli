@@ -75,14 +75,42 @@ val config :
 (** @raise Invalid_argument when [max_steps], [starvation_bound] or
     [fuel] is not positive, or [wall_limit] is not > 0. *)
 
-val run : ('m, 'a) config -> 'a Types.outcome
+(** Session recycling. A slot carries the driver's grown storage (the
+    items option array, seq counters, batch bitset, flag arrays, metrics
+    builder) from one finished run to the next: [run ~slot] scrubs that
+    state back to post-create freshness in place instead of
+    reallocating it, which removes essentially all per-session setup
+    allocation for a standing service replaying one config shape across
+    millions of seeds (DESIGN.md §17). Recycling is {e observationally
+    invisible}: a [run ~slot] outcome — [det_repr], trace, every
+    deterministic metric — is byte-identical to the same config run
+    fresh. A slot is single-threaded state: one slot per domain (or per
+    in-flight session), never shared. When the process count changes the
+    slot falls back to a fresh core automatically. *)
+module Slot : sig
+  type ('m, 'a) t
+
+  val create : unit -> ('m, 'a) t
+  (** An empty (cold) slot; the first run through it allocates normally
+      and parks its state in the slot. *)
+
+  val clear : ('m, 'a) t -> unit
+  (** Drop the parked state (the next run allocates fresh). *)
+
+  val is_warm : ('m, 'a) t -> bool
+  (** Whether the slot holds recyclable state. *)
+end
+
+val run : ?slot:('m, 'a) Slot.t -> ('m, 'a) config -> 'a Types.outcome
 (** Execute one complete history. Calls [scheduler.reset] first (per-run
     freshness for stateful schedulers) and fills the outcome's
     [metrics] record. Scheduler exceptions: [Stack_overflow],
     [Out_of_memory] and [Assert_failure] propagate (with backtrace);
     any other exception from [scheduler.choose] falls back to
     oldest-first delivery and increments [metrics.scheduler_exns] —
-    never a silent FIFO degradation. *)
+    never a silent FIFO degradation. With [?slot] the run recycles the
+    slot's parked driver state (see {!Slot}); the outcome is
+    byte-identical either way. *)
 
 (** {1 Decision journal: durable runs}
 
@@ -265,6 +293,7 @@ module Driver : sig
   type ('m, 'a) t
 
   val create :
+    ?slot:('m, 'a) Slot.t ->
     ?faults:Faults.Plan.t ->
     ?fuzz:(src:Types.pid -> dst:Types.pid -> seq:int -> 'm -> 'm) ->
     ?record:bool ->
@@ -273,7 +302,9 @@ module Driver : sig
     ('m, 'a) t
   (** Fresh driver state; crash-restart windows are sampled from the
       plan per process, exactly as {!run} does before its first
-      decision. *)
+      decision. With [?slot] the state recycles the slot's parked
+      storage exactly as [run ~slot] does — the live backend's
+      per-window-entry recycling path. *)
 
   val enqueue_starts : ('m, 'a) t -> unit
   (** Enqueue every process's start signal, in pid order — the first

@@ -144,7 +144,8 @@ module Reader = struct
     let size = in_channel_length ic in
     if size < 8 then fail_close "%s: too short for a store header (%d bytes)" path size;
     let hdr = really_input_string ic 8 in
-    if String.sub hdr 0 4 <> magic then fail_close "%s: bad magic (not a trace store)" path;
+    if not (String.equal (String.sub hdr 0 4) magic) then
+      fail_close "%s: bad magic (not a trace store)" path;
     let ver = Char.code hdr.[4] in
     if ver <> Wire.version then
       fail_close "%s: format version %d, this build reads %d" path ver Wire.version;

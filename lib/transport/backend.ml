@@ -18,7 +18,7 @@ end
 
 module Sim_backend = struct
   let name = "sim"
-  let run = Sim.Runner.run
+  let run cfg = Sim.Runner.run cfg
 end
 
 module Live_backend = struct

@@ -98,7 +98,7 @@ type ('m, 'a) t = {
   mutable result : 'a Types.outcome option;
 }
 
-let start (cfg : ('m, 'a) Runner.config) =
+let start ?slot (cfg : ('m, 'a) Runner.config) =
   cfg.Runner.scheduler.Scheduler.reset ();
   let fibers = Array.map (fun _ -> make_fiber ()) cfg.Runner.processes in
   let hosted =
@@ -110,7 +110,7 @@ let start (cfg : ('m, 'a) Runner.config) =
       cfg.Runner.processes
   in
   let d =
-    Driver.create ?faults:cfg.Runner.faults ?fuzz:cfg.Runner.fuzz
+    Driver.create ?slot ?faults:cfg.Runner.faults ?fuzz:cfg.Runner.fuzz
       ~record:cfg.Runner.record ~mediator:cfg.Runner.mediator hosted
   in
   Driver.enqueue_starts d;

@@ -27,12 +27,15 @@ exception Cancelled
 type ('m, 'a) t
 (** A live session in flight. *)
 
-val start : ('m, 'a) Sim.Runner.config -> ('m, 'a) t
+val start :
+  ?slot:('m, 'a) Sim.Runner.Slot.t -> ('m, 'a) Sim.Runner.config -> ('m, 'a) t
 (** Spawn one fiber per process (each suspended at its first [Await]),
     create the shared driver state, enqueue the environment's start
     signals and reset the scheduler — the exact preamble of
     {!Sim.Runner.run}, with the players now live. No delivery happens
-    until {!step}. *)
+    until {!step}. With [?slot] the driver state recycles the slot's
+    parked storage ({!Sim.Runner.Slot}); only hand a slot whose previous
+    session has completed. *)
 
 val step : ('m, 'a) t -> [ `Running | `Done of 'a Sim.Types.outcome ]
 (** One arbiter decision, replicating {!Sim.Runner.run}'s loop body

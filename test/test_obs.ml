@@ -550,6 +550,41 @@ let prop_hist_merge_equals_concat =
            (fun q -> Hist.percentile dst q = Hist.percentile whole q)
            [ 0; 10; 50; 90; 99; 100 ])
 
+let prop_hist_reset_equals_fresh =
+  (* scrub-and-reuse (DESIGN.md section 17): a reset histogram is
+     indistinguishable from a newly created one, whatever it held *)
+  QCheck.Test.make ~count:100 ~name:"hist reset = fresh hist"
+    QCheck.(pair (list_of_size Gen.(int_range 0 700) (int_bound 1_000_000))
+              (list_of_size Gen.(int_range 0 700) (int_bound 1_000_000)))
+    (fun (xs, ys) ->
+      let h = hist_of xs in
+      Hist.reset h;
+      List.iter (Hist.add h) ys;
+      let fresh = hist_of ys in
+      Hist.count h = Hist.count fresh
+      && Hist.max_value h = Hist.max_value fresh
+      && Hist.mean h = Hist.mean fresh
+      && Hist.is_exact h = Hist.is_exact fresh
+      && List.for_all
+           (fun q -> Hist.percentile h q = Hist.percentile fresh q)
+           [ 0; 10; 50; 90; 99; 100 ])
+
+let prop_agg_reset_equals_fresh =
+  QCheck.Test.make ~count:60 ~name:"agg reset = fresh agg"
+    QCheck.(pair (list_of_size Gen.(int_range 0 40) (int_bound 5_000))
+              (list_of_size Gen.(int_range 0 40) (int_bound 5_000)))
+    (fun (xs, ys) ->
+      let a = Agg.create () in
+      List.iter (fun s -> Agg.add a (metrics_with_sent s)) xs;
+      Agg.reset a;
+      let b = Agg.create () in
+      List.iter (fun s -> Agg.add a (metrics_with_sent s)) ys;
+      List.iter (fun s -> Agg.add b (metrics_with_sent s)) ys;
+      Agg.count a = Agg.count b
+      && String.equal (Metrics.det_repr (Agg.total a)) (Metrics.det_repr (Agg.total b))
+      && String.equal (Agg.summary_repr (Agg.summary a))
+           (Agg.summary_repr (Agg.summary b)))
+
 let test_hist_order_independent_beyond_cap () =
   let values = List.init 1500 (fun i -> (i * 7919) mod 50_000) in
   let a = hist_of values and b = hist_of (List.rev values) in
@@ -815,6 +850,8 @@ let () =
               prop_hist_exact_below_cap;
               prop_hist_within_one_bucket;
               prop_hist_merge_equals_concat;
+              prop_hist_reset_equals_fresh;
+              prop_agg_reset_equals_fresh;
             ] );
       ( "complexity",
         [

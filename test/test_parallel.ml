@@ -291,6 +291,46 @@ let prop_shamir_cache_domain_safety =
              warm && List.for_all (fun (r1, r2, rr, s) -> r1 = s && r2 = s && rr = s) digests)
            got)
 
+(* The plan memo is per-domain the same way (Domain.DLS, DESIGN.md
+   section 17): concurrent domains compiling the same (spec, theorem, k,
+   t) must each fill their own cache, hand back physically shared plan
+   records within a domain, memoise Error results too, and produce runs
+   byte-identical to the uncached Compile.plan_exn plan. *)
+let prop_plan_memo_domain_safety =
+  QCheck.Test.make ~count:8
+    ~name:"plan memo is per-domain, physically shared, value-transparent"
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let spec_a = plan_coord.Compile.spec in
+      let spec_b = plan_majority.Compile.spec in
+      let job dseed () =
+        Compile.clear_caches ();
+        let p1 = Compile.plan_memo_exn ~spec:spec_a ~theorem:Compile.T41 ~k:0 ~t:1 () in
+        let p2 = Compile.plan_memo_exn ~spec:spec_a ~theorem:Compile.T41 ~k:0 ~t:1 () in
+        let q = Compile.plan_memo_exn ~spec:spec_b ~theorem:Compile.T41 ~k:0 ~t:1 () in
+        (* a failing compilation is cached as its Error, never recomputed
+           into a spurious Ok *)
+        let err = Compile.plan_memo ~spec:spec_a ~theorem:Compile.T45 ~k:1 ~t:1 () in
+        ( p1 == p2,
+          Result.is_error err,
+          Compile.cache_size (),
+          run_digest p1 (dseed land 0xFF),
+          run_digest q (dseed land 0xFF) )
+      in
+      let expect =
+        List.map
+          (fun d ->
+            ( true,
+              true,
+              3,
+              run_digest plan_coord (d land 0xFF),
+              run_digest plan_majority (d land 0xFF) ))
+          [ seed; seed + 1 ]
+      in
+      let domains = List.map (fun d -> Domain.spawn (job d)) [ seed; seed + 1 ] in
+      let got = List.map Domain.join domains in
+      got = expect)
+
 (* ------------------------------------------------------------------ *)
 (* Linting from worker domains *)
 
@@ -371,7 +411,12 @@ let () =
         ] );
       ("tables-differential", List.map differential_case experiments);
       ( "domain-safety",
-        qsuite [ prop_concurrent_plans_match; prop_shamir_cache_domain_safety ] );
+        qsuite
+          [
+            prop_concurrent_plans_match;
+            prop_shamir_cache_domain_safety;
+            prop_plan_memo_domain_safety;
+          ] );
       ( "lint-under-j",
         [
           Alcotest.test_case "clean plan lints clean across domains" `Quick

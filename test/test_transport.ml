@@ -123,6 +123,77 @@ let prop_relaxed_identical =
       String.equal (repr (Runner.run (cfg ()))) (repr (Live.run (cfg ()))))
 
 (* ------------------------------------------------------------------ *)
+(* Session-state recycling (DESIGN.md section 17): a batch of sessions
+   run through ONE recycled Runner.Slot must reproduce, outcome by
+   outcome, the same batch run fresh — across scheduler families, fault
+   plans with payload fuzz, the relaxed stop path, and both backends.
+   The repr covers termination, moves, accounting, deterministic
+   metrics and the trace digest, so any stale state leaking across a
+   reset shows up byte-for-byte. *)
+
+let live_to_completion s =
+  let rec go () = match Live.step s with `Running -> go () | `Done o -> o in
+  go ()
+
+let prop_recycled_equals_fresh =
+  QCheck.Test.make ~count:40
+    ~name:"slot recycling: recycled reprs = fresh reprs (both backends)"
+    QCheck.(quad (int_bound 500) (int_bound 3) (int_bound 2) bool)
+    (fun (seed0, sched, variant, live) ->
+      let cfg seed =
+        let scheduler =
+          if variant = 2 then Scheduler.relaxed_stop_after (seed mod 13)
+          else scheduler_of_variant sched seed
+        in
+        let faults =
+          if variant = 1 then
+            Some
+              (Faults.Plan.make ~seed
+                 (Faults.make ~dup:0.15 ~corrupt:0.1 ~delay:0.2 ~crash:0.3
+                    ~delay_decisions:12 ~crash_window:6 ()))
+          else None
+        in
+        let fuzz =
+          if variant = 1 then Some (fun ~src:_ ~dst:_ ~seq:_ m -> m + 1000) else None
+        in
+        Runner.config ~scheduler ?faults ?fuzz (random_protocol ~n:4 ~seed ())
+      in
+      let seeds = List.init 6 (fun i -> seed0 + i) in
+      let fresh =
+        List.map
+          (fun seed ->
+            if live then repr (Live.run (cfg seed)) else repr (Runner.run (cfg seed)))
+          seeds
+      in
+      let slot = Runner.Slot.create () in
+      let recycled =
+        List.map
+          (fun seed ->
+            if live then repr (live_to_completion (Live.start ~slot (cfg seed)))
+            else repr (Runner.run ~slot (cfg seed)))
+          seeds
+      in
+      List.for_all2 String.equal fresh recycled)
+
+let test_slot_reuse_across_arities () =
+  let slot = Runner.Slot.create () in
+  let cfg ~n seed =
+    Runner.config ~scheduler:(Scheduler.random_seeded seed) (random_protocol ~n ~seed ())
+  in
+  Alcotest.(check bool) "cold slot" false (Runner.Slot.is_warm slot);
+  let r1 = repr (Runner.run ~slot (cfg ~n:3 7)) in
+  Alcotest.(check bool) "warm after a run" true (Runner.Slot.is_warm slot);
+  Alcotest.(check string) "n=3 recycled = fresh" (repr (Runner.run (cfg ~n:3 7))) r1;
+  (* arity change: the slot falls back to a fresh core, still correct *)
+  let r2 = repr (Runner.run ~slot (cfg ~n:5 8)) in
+  Alcotest.(check string) "n=5 through an n=3 slot" (repr (Runner.run (cfg ~n:5 8))) r2;
+  (* and back down again, now recycling the n=5 core away *)
+  let r3 = repr (Runner.run ~slot (cfg ~n:3 9)) in
+  Alcotest.(check string) "n=3 again" (repr (Runner.run (cfg ~n:3 9))) r3;
+  Runner.Slot.clear slot;
+  Alcotest.(check bool) "cleared" false (Runner.Slot.is_warm slot)
+
+(* ------------------------------------------------------------------ *)
 (* The acceptance harness: 3 families x >= 100 seeds, identical
    distributions and metrics digests — the LIVE experiment table is the
    enforcement point shared with `make live-check` / `ctmed experiment
@@ -477,9 +548,9 @@ let test_fiber_program_will_and_halt () =
 
 let toy_make ~seed = Engine.Toy.config ~seed ()
 
-let engine_run ?backend ?shards ?inflight ?pool ~sessions () =
+let engine_run ?backend ?shards ?inflight ?recycle ?pool ~sessions () =
   Engine.det_repr
-    (Engine.run ?backend ?shards ?inflight ?pool ~sessions ~make:toy_make
+    (Engine.run ?backend ?shards ?inflight ?recycle ?pool ~sessions ~make:toy_make
        ~profile:Engine.Toy.profile ())
 
 let test_engine_invariant_under_shape () =
@@ -501,6 +572,32 @@ let test_engine_invariant_under_shape () =
       (Backend.Sim, 13, 2, 16);
       (Backend.Live, 3, 2, 5);
       (Backend.Live, 2, 4, 1);
+    ]
+
+let test_engine_recycle_off_identical () =
+  (* --no-recycle escape hatch: the recycled engine (the default) and a
+     fresh-state engine agree byte-for-byte at every shard shape the
+     acceptance sweep names — shards {1,2,4,13}, -j {1,4}, both
+     backends *)
+  let sessions = 400 in
+  let reference = engine_run ~recycle:false ~sessions () in
+  List.iter
+    (fun (backend, shards, domains, inflight) ->
+      let recycled =
+        Pool.with_pool ~domains (fun pool ->
+            engine_run ~backend ~shards ~inflight ~pool ~sessions ())
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "recycled %s shards=%d j=%d inflight=%d"
+           (Backend.to_string backend) shards domains inflight)
+        reference recycled)
+    [
+      (Backend.Sim, 1, 1, 16);
+      (Backend.Sim, 2, 4, 16);
+      (Backend.Sim, 4, 4, 16);
+      (Backend.Sim, 13, 4, 16);
+      (Backend.Live, 2, 1, 4);
+      (Backend.Live, 13, 4, 3);
     ]
 
 let test_engine_random_protocol_sessions () =
@@ -566,6 +663,10 @@ let () =
               prop_random_protocols_with_faults;
               prop_relaxed_identical;
             ] );
+      ( "recycling",
+        Alcotest.test_case "slot reuse across arities" `Quick
+          test_slot_reuse_across_arities
+        :: qsuite [ prop_recycled_equals_fresh ] );
       ( "live sessions",
         [
           Alcotest.test_case "cancel mid-run conserves messages" `Quick
@@ -603,6 +704,8 @@ let () =
         [
           Alcotest.test_case "digest invariant under shards/j/inflight/backend"
             `Quick test_engine_invariant_under_shape;
+          Alcotest.test_case "recycled engine = fresh engine at every shape" `Quick
+            test_engine_recycle_off_identical;
           Alcotest.test_case "random protocols shard-invariant" `Quick
             test_engine_random_protocol_sessions;
           Alcotest.test_case "edge cases and validation" `Quick
